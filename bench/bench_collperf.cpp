@@ -1,0 +1,24 @@
+// Reproduces Fig. 4 (coll_perf perceived bandwidth) and Figs. 5/6
+// (coll_perf collective I/O contribution breakdown, cache enabled /
+// disabled). 512 MPI processes on 64 nodes write 4 files x 32 GiB with a
+// 30 s compute delay; the last write phase's residual sync is excluded
+// (paper §IV-B).
+#include "bench/bench_common.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace e10;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::FigureSpec figure;
+  figure.benchmark = "coll_perf";
+  figure.figure = "Fig. 4 + Figs. 5/6";
+  figure.include_last_phase = false;
+  figure.factory = [](const workloads::TestbedParams& testbed) {
+    const int ranks =
+        static_cast<int>(testbed.compute_nodes * testbed.ranks_per_node);
+    return std::make_unique<workloads::CollPerfWorkload>(
+        workloads::collperf_paper_params(ranks));
+  };
+  (void)bench::run_figure(figure, options);
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace e10::bench {
+
+using namespace e10::units;
+using workloads::CacheCase;
+using workloads::ExperimentResult;
+using workloads::ExperimentSpec;
+
+BenchOptions BenchOptions::parse(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--no-breakdown") {
+      options.breakdown = false;
+    } else if (arg.starts_with("--files=")) {
+      options.files = std::stoi(arg.substr(8));
+    } else if (arg.starts_with("--combos=")) {
+      std::string list = arg.substr(9);
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string item =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!item.empty()) options.combos.push_back(item);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+    }
+  }
+  return options;
+}
+
+bool BenchOptions::combo_selected(const std::string& label) const {
+  if (combos.empty()) return true;
+  return std::find(combos.begin(), combos.end(), label) != combos.end();
+}
+
+workloads::TestbedParams testbed_for(const BenchOptions& options) {
+  workloads::TestbedParams testbed = workloads::deep_er_testbed();
+  if (options.quick) {
+    testbed.compute_nodes = 16;
+    testbed.ranks_per_node = 4;  // 64 ranks
+  }
+  return testbed;
+}
+
+std::vector<std::pair<int, Offset>> sweep_for(const BenchOptions& options) {
+  if (!options.quick) return workloads::paper_sweep();
+  // Quarter-scale aggregator counts at 64 ranks / 16 nodes.
+  std::vector<std::pair<int, Offset>> sweep;
+  for (const int aggregators : {2, 4, 8, 16}) {
+    for (const Offset cb : {4 * MiB, 16 * MiB, 64 * MiB}) {
+      sweep.emplace_back(aggregators, cb);
+    }
+  }
+  return sweep;
+}
+
+Time compute_delay_for(const BenchOptions& options) {
+  // Paper: 30 s, "in most cases enough to hide the synchronisation time".
+  // Quick scale moves 1/8 of the data, so scale the delay accordingly.
+  return options.quick ? units::seconds_f(3.75) : seconds(30);
+}
+
+std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
+                                         const BenchOptions& options) {
+  std::vector<ExperimentResult> results;
+  const auto sweep = sweep_for(options);
+  std::printf("## %s: %s%s\n", figure.figure.c_str(),
+              figure.benchmark.c_str(), options.quick ? " [QUICK scale]" : "");
+  std::fflush(stdout);
+
+  for (const CacheCase cache_case :
+       {CacheCase::disabled, CacheCase::enabled, CacheCase::theoretical}) {
+    for (const auto& [aggregators, cb] : sweep) {
+      ExperimentSpec spec;
+      spec.testbed = testbed_for(options);
+      spec.aggregators = aggregators;
+      spec.cb_buffer_size = cb;
+      spec.cache_case = cache_case;
+      spec.workflow.base_path = "/pfs/" + figure.benchmark;
+      spec.workflow.num_files = options.files;
+      spec.workflow.compute_delay = compute_delay_for(options);
+      spec.workflow.include_last_phase = figure.include_last_phase;
+      if (!options.combo_selected(workloads::combo_label(spec))) continue;
+      ExperimentResult result =
+          workloads::run_experiment(spec, figure.factory);
+      std::fprintf(stderr, "  done %s %s: %.2f GiB/s\n",
+                   workloads::to_string(cache_case), result.combo.c_str(),
+                   result.bandwidth_gib);
+      results.push_back(std::move(result));
+    }
+  }
+
+  print_bandwidth_table(figure.benchmark + " perceived write bandwidth",
+                        results);
+  if (options.breakdown) {
+    print_breakdown_table(figure.benchmark + " breakdown, cache enabled",
+                          CacheCase::enabled, results);
+    print_breakdown_table(figure.benchmark + " breakdown, cache disabled",
+                          CacheCase::disabled, results);
+  }
+  return results;
+}
+
+void print_bandwidth_table(const std::string& title,
+                           const std::vector<ExperimentResult>& results) {
+  // Rows: combos in sweep order; columns: the three cases.
+  std::vector<std::string> combos;
+  for (const ExperimentResult& r : results) {
+    if (std::find(combos.begin(), combos.end(), r.combo) == combos.end()) {
+      combos.push_back(r.combo);
+    }
+  }
+  std::printf("\n### %s [GiB/s]\n", title.c_str());
+  std::printf("%-10s %18s %18s %18s\n", "combo", "BW_cache_disable",
+              "BW_cache_enable", "TBW_cache_enable");
+  for (const std::string& combo : combos) {
+    double bw[3] = {0, 0, 0};
+    for (const ExperimentResult& r : results) {
+      if (r.combo == combo) {
+        bw[static_cast<int>(r.cache_case)] = r.bandwidth_gib;
+      }
+    }
+    std::printf("%-10s %18.2f %18.2f %18.2f\n", combo.c_str(), bw[0], bw[1],
+                bw[2]);
+  }
+  std::fflush(stdout);
+}
+
+void print_breakdown_table(const std::string& title, CacheCase cache_case,
+                           const std::vector<ExperimentResult>& results) {
+  static constexpr prof::Phase kShown[] = {
+      prof::Phase::offset_exchange, prof::Phase::shuffle_all2all,
+      prof::Phase::exchange,        prof::Phase::write_contig,
+      prof::Phase::post_write,      prof::Phase::not_hidden_sync,
+  };
+  std::printf("\n### %s [s, max over ranks]\n", title.c_str());
+  std::printf("%-10s", "combo");
+  for (const prof::Phase phase : kShown) {
+    std::printf(" %16s", prof::phase_name(phase));
+  }
+  std::printf("\n");
+  for (const ExperimentResult& r : results) {
+    if (r.cache_case != cache_case) continue;
+    std::printf("%-10s", r.combo.c_str());
+    for (const prof::Phase phase : kShown) {
+      std::printf(" %16.3f", units::to_seconds(r.breakdown.at(phase)));
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace e10::bench

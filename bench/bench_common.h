@@ -1,0 +1,65 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Every figure bench sweeps the paper's <aggregators>_<coll_bufsize> combos
+// for the three cases (BW cache disable / BW cache enable / TBW cache
+// enable) and prints (a) the perceived-bandwidth table (Figs. 4/7/9) and
+// (b) the collective I/O time breakdown (Figs. 5/6/8/10).
+//
+// Flags:
+//   --quick            scaled-down run (64 ranks, 1/8 data) for smoke tests
+//   --combos=a_bm,...  restrict to a subset, e.g. --combos=64_4m,8_4m
+//   --files=N          number of files per experiment (paper: 4)
+//   --no-breakdown     skip the breakdown tables
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/experiment.h"
+#include "workloads/model.h"
+
+namespace e10::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  bool breakdown = true;
+  int files = 4;
+  std::vector<std::string> combos;  // empty = all
+
+  static BenchOptions parse(int argc, char** argv);
+  bool combo_selected(const std::string& label) const;
+};
+
+struct FigureSpec {
+  std::string benchmark;     // "coll_perf", "flash_io", "ior"
+  std::string figure;        // "Fig. 4" etc.
+  bool include_last_phase = false;
+  workloads::WorkloadFactory factory;
+};
+
+/// Runs the full sweep for one benchmark and prints the tables. Returns the
+/// results for further processing.
+std::vector<workloads::ExperimentResult> run_figure(
+    const FigureSpec& figure, const BenchOptions& options);
+
+/// Aggregator/cb sweep adapted to the scale (paper combos at 512 ranks;
+/// proportionally smaller at --quick scale).
+std::vector<std::pair<int, Offset>> sweep_for(const BenchOptions& options);
+
+/// The testbed for the selected scale.
+workloads::TestbedParams testbed_for(const BenchOptions& options);
+
+/// Compute delay used between files (30 s at paper scale).
+Time compute_delay_for(const BenchOptions& options);
+
+void print_bandwidth_table(
+    const std::string& title,
+    const std::vector<workloads::ExperimentResult>& results);
+
+void print_breakdown_table(
+    const std::string& title, workloads::CacheCase cache_case,
+    const std::vector<workloads::ExperimentResult>& results);
+
+}  // namespace e10::bench

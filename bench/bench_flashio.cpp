@@ -1,0 +1,21 @@
+// Reproduces Fig. 7 (Flash-IO perceived bandwidth) and Fig. 8 (Flash-IO
+// collective I/O contribution breakdown, cache enabled). The checkpoint
+// file carries 80 blocks/process x 24 variables x 32 KiB chunks plus an
+// HDF5-ish metadata header (~30 GiB total at 512 processes); the residual
+// sync of the last file is excluded, as for coll_perf.
+#include "bench/bench_common.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace e10;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::FigureSpec figure;
+  figure.benchmark = "flash_io";
+  figure.figure = "Fig. 7 + Fig. 8";
+  figure.include_last_phase = false;
+  figure.factory = [](const workloads::TestbedParams&) {
+    return std::make_unique<workloads::FlashIoWorkload>();
+  };
+  (void)bench::run_figure(figure, options);
+  return 0;
+}

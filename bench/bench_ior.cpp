@@ -1,0 +1,22 @@
+// Reproduces Fig. 9 (IOR perceived bandwidth) and Fig. 10 (IOR collective
+// I/O contribution breakdown, cache enabled). Each of the 512 processes
+// writes one 8 MiB block per each of 8 segments (32 GiB per file). Unlike
+// coll_perf/Flash-IO, IOR *includes* the last write phase's non-hidden
+// synchronisation cost (paper §IV-D), which caps the peak perceived
+// bandwidth well below the theoretical value.
+#include "bench/bench_common.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace e10;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  bench::FigureSpec figure;
+  figure.benchmark = "ior";
+  figure.figure = "Fig. 9 + Fig. 10";
+  figure.include_last_phase = true;
+  figure.factory = [](const workloads::TestbedParams&) {
+    return std::make_unique<workloads::IorWorkload>();
+  };
+  (void)bench::run_figure(figure, options);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Substrate micro-benchmarks (google-benchmark): DES engine switch rate,
+// PFS client write throughput, local-SSD cache write path, and MPI
+// collective/point-to-point overheads. These establish the simulator's own
+// performance envelope — how much real time a simulated experiment costs.
+#include <benchmark/benchmark.h>
+
+#include "common/units.h"
+#include "mpi/world.h"
+#include "workloads/testbed.h"
+
+namespace {
+
+using namespace e10;
+using namespace e10::units;
+
+void BM_EngineSwitch(benchmark::State& state) {
+  // Two fibers ping-ponging via delays: measures one scheduler round trip.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    const std::int64_t iters = 4096;
+    for (int p = 0; p < 2; ++p) {
+      engine.spawn("p" + std::to_string(p), [&engine, iters] {
+        for (std::int64_t i = 0; i < iters; ++i) engine.delay(1);
+      });
+    }
+    state.ResumeTiming();
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_EngineSwitch)->Unit(benchmark::kMillisecond);
+
+void BM_EngineSpawnTeardown(benchmark::State& state) {
+  const auto fibers = state.range(0);
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (std::int64_t i = 0; i < fibers; ++i) {
+      engine.spawn("p", [&engine] { engine.delay(1); });
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * fibers);
+}
+BENCHMARK(BM_EngineSpawnTeardown)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_PfsClientWrite(benchmark::State& state) {
+  const Offset block = state.range(0) * KiB;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    net::Fabric fabric(6, net::FabricParams{});
+    pfs::PfsParams params;
+    params.target.jitter_sigma = 0.0;
+    pfs::Pfs fs(engine, fabric, {1, 2, 3, 4}, 5, params, 1);
+    state.ResumeTiming();
+    engine.spawn("client", [&] {
+      pfs::OpenOptions opts;
+      opts.create = true;
+      const auto h = fs.open("/pfs/bench", 0, opts).value();
+      for (int i = 0; i < 64; ++i) {
+        (void)fs.write(h, i * block, DataView::synthetic(1, 0, block));
+      }
+    });
+    engine.run();
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * block);
+}
+BENCHMARK(BM_PfsClientWrite)->Arg(512)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_MpiAlltoall(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Fabric fabric(static_cast<std::size_t>(ranks), net::FabricParams{});
+    mpi::World world(engine, fabric,
+                     mpi::Topology(static_cast<std::size_t>(ranks), 1));
+    world.launch([ranks](mpi::Comm comm) {
+      std::vector<Offset> send(static_cast<std::size_t>(ranks), 1);
+      for (int i = 0; i < 8; ++i) (void)comm.alltoall(send, sizeof(Offset));
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * ranks);
+}
+BENCHMARK(BM_MpiAlltoall)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_MpiPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    net::Fabric fabric(2, net::FabricParams{});
+    mpi::World world(engine, fabric, mpi::Topology(2, 1));
+    world.launch([](mpi::Comm comm) {
+      for (int i = 0; i < 512; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(1, 0, i, 8);
+          (void)comm.recv(1, 1);
+        } else {
+          (void)comm.recv(0, 0);
+          comm.send(0, 1, i, 8);
+        }
+      }
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MpiPingPong)->Unit(benchmark::kMillisecond);
+
+void BM_ByteStoreWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    ByteStore store;
+    for (Offset i = 0; i < 4096; ++i) {
+      store.write(i * 4 * MiB, DataView::synthetic(1, i * 4 * MiB, 4 * MiB));
+    }
+    benchmark::DoNotOptimize(store.extent_end());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ByteStoreWrite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Validates the paper's analytic bandwidth model (Equations 1 and 2,
+// §III-D) against the simulator: for each aggregator count, predict the
+// per-phase sync time Ts analytically, plug it into Eq. 2 with the measured
+// collective write time Tc, and compare with the measured bandwidth.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "workloads/model.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace e10;
+  using namespace e10::units;
+  using namespace e10::workloads;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  std::printf("## Eq. 1/2 model validation (IOR, cache enabled)%s\n",
+              options.quick ? " [QUICK scale]" : "");
+  std::printf("%-10s %14s %14s %12s %14s\n", "combo", "measured_GiB/s",
+              "model_GiB/s", "rel_err", "model_Ts_s");
+
+  const TestbedParams testbed = bench::testbed_for(options);
+  const Time compute = bench::compute_delay_for(options);
+  const int files = options.files;
+
+  for (const auto& [aggregators, cb] : bench::sweep_for(options)) {
+    if (cb != 4 * MiB) continue;  // Ts does not depend on cb; one column
+    ExperimentSpec spec;
+    spec.testbed = testbed;
+    spec.aggregators = aggregators;
+    spec.cb_buffer_size = cb;
+    spec.cache_case = CacheCase::enabled;
+    spec.workflow.base_path = "/pfs/model";
+    spec.workflow.num_files = files;
+    spec.workflow.compute_delay = compute;
+    spec.workflow.include_last_phase = true;
+    if (!options.combo_selected(combo_label(spec))) continue;
+
+    const auto result =
+        run_experiment(spec, [](const TestbedParams&) {
+          return std::make_unique<IorWorkload>();
+        });
+
+    // Model: Ts from the analytic staging-pipeline estimate; Tc measured.
+    const Offset bytes_per_file = result.workflow.phases[0].bytes;
+    const Time ts = estimate_sync_time(
+        bytes_per_file / aggregators, static_cast<std::size_t>(aggregators),
+        testbed);
+    std::vector<PhaseModel> phases;
+    for (int k = 0; k < files; ++k) {
+      PhaseModel phase;
+      phase.bytes = bytes_per_file;
+      phase.write =
+          result.workflow.phases[static_cast<std::size_t>(k)].write_time;
+      phase.sync = ts;
+      phase.compute = k == files - 1 ? 0 : compute;
+      phases.push_back(phase);
+    }
+    const double model_bw = eq2_bandwidth(phases);
+    const double measured = result.bandwidth_gib;
+    const double rel_err =
+        measured > 0 ? (model_bw - measured) / measured : 0.0;
+    std::printf("%-10s %14.2f %14.2f %11.1f%% %14.1f\n",
+                result.combo.c_str(), measured, model_bw, rel_err * 100.0,
+                to_seconds(ts));
+    std::fflush(stdout);
+  }
+  return 0;
+}

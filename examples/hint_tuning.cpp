@@ -1,0 +1,55 @@
+// Hint tuning: how the collective I/O hints (Table I) and the E10 cache
+// hints (Table II) interact — a miniature of the paper's evaluation sweep
+// that runs in seconds. Prints the perceived bandwidth for each aggregator
+// count with and without the cache, showing the paper's headline effect:
+// the cache multiplies bandwidth when aggregators are plentiful, and can
+// *hurt* when they are too few to hide the synchronisation.
+#include <cstdio>
+
+#include "workloads/experiment.h"
+#include "workloads/workload.h"
+
+using namespace e10;
+using namespace e10::units;
+using namespace e10::workloads;
+
+int main() {
+  TestbedParams testbed = deep_er_testbed();
+  testbed.compute_nodes = 16;  // keep the example fast: 128 ranks
+  testbed.ranks_per_node = 8;
+
+  std::printf("IOR, 128 ranks / 16 nodes, 4 files, compute delay 7.5 s\n");
+  std::printf("%-12s %20s %20s %12s\n", "aggregators", "cache disabled",
+              "cache enabled", "speedup");
+
+  for (const int aggregators : {2, 4, 8, 16}) {
+    double bw[2] = {0, 0};
+    for (const bool cached : {false, true}) {
+      ExperimentSpec spec;
+      spec.testbed = testbed;
+      spec.aggregators = aggregators;
+      spec.cb_buffer_size = 4 * MiB;
+      spec.cache_case =
+          cached ? CacheCase::enabled : CacheCase::disabled;
+      spec.workflow.base_path = "/pfs/tune";
+      spec.workflow.num_files = 4;
+      spec.workflow.compute_delay = units::seconds_f(7.5);
+      spec.workflow.include_last_phase = true;
+      const auto result =
+          run_experiment(spec, [](const TestbedParams&) {
+            IorWorkload::Params params;
+            params.block_bytes = 8 * MiB;
+            params.segments = 2;
+            return std::make_unique<IorWorkload>(params);
+          });
+      bw[cached ? 1 : 0] = result.bandwidth_gib;
+    }
+    std::printf("%-12d %17.2f GiB/s %14.2f GiB/s %11.2fx\n", aggregators,
+                bw[0], bw[1], bw[0] > 0 ? bw[1] / bw[0] : 0.0);
+  }
+  std::printf("\nFewer aggregators -> fewer SSDs absorbing the burst and a\n"
+              "longer background flush; when the flush no longer fits in the\n"
+              "compute phase, the close blocks (Eq. 1) and the advantage\n"
+              "shrinks or reverses -- the paper's central observation.\n");
+  return 0;
+}

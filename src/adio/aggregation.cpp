@@ -1,0 +1,92 @@
+#include "adio/aggregation.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace e10::adio {
+
+std::vector<int> select_aggregators(const mpi::Comm& comm, int cb_nodes,
+                                    int per_node_cap) {
+  const int size = comm.size();
+  if (per_node_cap <= 0) {
+    throw std::logic_error("select_aggregators: per_node_cap must be > 0");
+  }
+  // Group ranks by node, in rank order.
+  std::map<std::size_t, std::vector<int>> by_node;
+  for (int r = 0; r < size; ++r) {
+    by_node[comm.node_of(r)].push_back(r);
+  }
+  const int nodes = static_cast<int>(by_node.size());
+  // The cap limits both the per-node layers and the total pool.
+  std::size_t max_layers = static_cast<std::size_t>(per_node_cap);
+  int pool = 0;
+  for (const auto& [node, ranks] : by_node) {
+    pool += static_cast<int>(std::min(ranks.size(), max_layers));
+  }
+  int want = cb_nodes > 0 ? std::min({cb_nodes, size, pool})
+                          : std::min(nodes, pool);
+
+  std::vector<int> aggregators;
+  aggregators.reserve(static_cast<std::size_t>(want));
+  // Node-major round-robin: lowest rank of each node first.
+  for (std::size_t layer = 0;
+       layer < max_layers && static_cast<int>(aggregators.size()) < want;
+       ++layer) {
+    for (const auto& [node, ranks] : by_node) {
+      if (static_cast<int>(aggregators.size()) >= want) break;
+      if (layer < ranks.size()) aggregators.push_back(ranks[layer]);
+    }
+  }
+  std::sort(aggregators.begin(), aggregators.end());
+  return aggregators;
+}
+
+std::vector<Extent> partition_file_domains(const Extent& region,
+                                           std::size_t count,
+                                           std::optional<Offset> align_unit) {
+  if (count == 0) {
+    throw std::logic_error("partition_file_domains: zero aggregators");
+  }
+  std::vector<Extent> domains(count, Extent{region.offset, 0});
+  if (region.empty()) return domains;
+
+  if (!align_unit) {
+    // Even split (ADIOI_GEN): remainder spread over the first domains.
+    const Offset base = region.length / static_cast<Offset>(count);
+    Offset rem = region.length % static_cast<Offset>(count);
+    Offset cursor = region.offset;
+    for (std::size_t i = 0; i < count; ++i) {
+      const Offset len = base + (rem > 0 ? 1 : 0);
+      if (rem > 0) --rem;
+      domains[i] = Extent{cursor, len};
+      cursor += len;
+    }
+    return domains;
+  }
+
+  // Stripe-aligned split: boundaries land on multiples of align_unit, so no
+  // two aggregators ever touch the same stripe.
+  const Offset unit = *align_unit;
+  if (unit <= 0) {
+    throw std::logic_error("partition_file_domains: bad align unit");
+  }
+  const Offset first_boundary = (region.offset / unit) * unit;
+  const Offset stripes =
+      (region.end() - first_boundary + unit - 1) / unit;  // stripes covered
+  const Offset per = stripes / static_cast<Offset>(count);
+  Offset extra = stripes % static_cast<Offset>(count);
+  Offset cursor = region.offset;
+  Offset boundary = first_boundary;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Offset nstripes = per + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    boundary += nstripes * unit;
+    const Offset domain_end = std::clamp(boundary, cursor, region.end());
+    domains[i] = Extent{cursor, domain_end - cursor};
+    cursor = domain_end;
+  }
+  return domains;
+}
+
+}  // namespace e10::adio

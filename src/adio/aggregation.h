@@ -1,0 +1,34 @@
+// Aggregator selection and file-domain partitioning.
+//
+// ROMIO picks `cb_nodes` aggregator processes spread across compute nodes
+// (the default cb_config_list places one per node) and splits the accessed
+// file region into contiguous "file domains", one per aggregator. The
+// generic (UFS) driver splits evenly; file-system-aware drivers (the
+// paper's BeeGFS driver, footnote 1; Lustre's) align domain boundaries to
+// stripe boundaries so aggregators never false-share a stripe lock.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/extent.h"
+#include "common/units.h"
+#include "mpi/comm.h"
+
+namespace e10::adio {
+
+/// Chooses aggregator ranks: node-major round-robin — first the lowest rank
+/// of each node, then second ranks, wrapping until `cb_nodes` are chosen.
+/// cb_nodes <= 0 selects the ROMIO default of one aggregator per node.
+/// `per_node_cap` (cb_config_list "*:k") bounds aggregators per node.
+std::vector<int> select_aggregators(const mpi::Comm& comm, int cb_nodes,
+                                    int per_node_cap = 1 << 30);
+
+/// Splits `region` into `count` contiguous file domains. With `align_unit`
+/// set, domain boundaries are rounded to multiples of it (stripe-aligned
+/// partitioning); trailing domains may be empty when the region is small.
+std::vector<Extent> partition_file_domains(const Extent& region,
+                                           std::size_t count,
+                                           std::optional<Offset> align_unit);
+
+}  // namespace e10::adio

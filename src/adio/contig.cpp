@@ -1,0 +1,83 @@
+#include "adio/adio_file.h"
+#include "common/log.h"
+
+namespace e10::adio {
+
+Status write_contig(AdioFile& fd, Offset offset, const DataView& data) {
+  if (offset < 0) {
+    return Status::error(Errc::invalid_argument, "write_contig: offset < 0");
+  }
+  if (data.empty()) return Status::ok();
+
+  prof::Profiler* profiler = fd.ctx->profiler;
+  std::optional<prof::Profiler::Scope> scope;
+  if (profiler != nullptr) {
+    scope.emplace(*profiler, fd.rank(), prof::Phase::write_contig);
+  }
+
+  if (fd.cache != nullptr) {
+    const Status cached =
+        fd.cache->write(Extent{offset, data.size()}, data);
+    if (cached.is_ok()) return Status::ok();
+    // Cache cannot take the data (e.g. the scratch partition filled up):
+    // fall back to a direct global-file write so no data is lost.
+    log::warn("adio", "cache write failed (", cached.to_string(),
+              "), writing through to the global file");
+  }
+  return fd.ctx->pfs.write(fd.handle, offset, data);
+}
+
+Status write_contig_run(AdioFile& fd, const Extent& run,
+                        const std::vector<mpi::IoPiece>& pieces) {
+  if (pieces.empty()) return Status::ok();
+  Offset cursor = run.offset;
+  std::vector<DataView> parts;
+  parts.reserve(pieces.size());
+  Offset total = 0;
+  for (const mpi::IoPiece& piece : pieces) {
+    if (piece.file.offset != cursor) {
+      return Status::error(Errc::invalid_argument,
+                           "write_contig_run: pieces not contiguous");
+    }
+    parts.push_back(piece.data);
+    cursor += piece.file.length;
+    total += piece.file.length;
+  }
+  if (total != run.length || run.offset + run.length != cursor) {
+    return Status::error(Errc::invalid_argument,
+                         "write_contig_run: run/pieces mismatch");
+  }
+  return write_contig(fd, run.offset, DataView::concat(parts));
+}
+
+Result<DataView> read_contig(AdioFile& fd, Offset offset, Offset length) {
+  if (offset < 0 || length < 0) {
+    return Status::error(Errc::invalid_argument, "read_contig: bad range");
+  }
+  if (length == 0) return DataView();
+
+  prof::Profiler* profiler = fd.ctx->profiler;
+  std::optional<prof::Profiler::Scope> scope;
+  if (profiler != nullptr) {
+    scope.emplace(*profiler, fd.rank(), prof::Phase::read_contig);
+  }
+
+  // EXTENSION (paper §VI future work, off by default): serve the read from
+  // the local cache when the whole extent is cached here. The layout map in
+  // CacheFile provides the metadata §III-B says generic cache reads need.
+  if (fd.cache != nullptr && fd.hints.e10_cache_read) {
+    if (auto hit = fd.cache->try_read(Extent{offset, length})) {
+      return std::move(*hit);
+    }
+  }
+
+  // Otherwise reads are served by the global file; the cache is write-only
+  // (§III-B). Coherent mode blocks while any overlapping extent is still in
+  // transit from a cache to the global file.
+  if (fd.hints.e10_cache == CacheMode::coherent) {
+    fd.ctx->locks.wait_unlocked(fd.path, Extent{offset, length});
+  }
+  return fd.ctx->pfs.read(fd.handle, offset, length);
+}
+
+}  // namespace e10::adio

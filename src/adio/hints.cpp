@@ -1,0 +1,199 @@
+#include "adio/hints.h"
+
+#include <charconv>
+#include <limits>
+
+namespace e10::adio {
+
+namespace {
+
+Result<Toggle> parse_toggle(const std::string& key, const std::string& value) {
+  if (value == "enable" || value == "true") return Toggle::enable;
+  if (value == "disable" || value == "false") return Toggle::disable;
+  if (value == "automatic") return Toggle::automatic;
+  return Status::error(Errc::invalid_argument, key + ": bad value " + value);
+}
+
+Result<Offset> parse_bytes(const std::string& key, const std::string& value) {
+  Offset out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size() || out <= 0) {
+    return Status::error(Errc::invalid_argument,
+                         key + ": not a positive byte count: " + value);
+  }
+  return out;
+}
+
+Result<int> parse_int(const std::string& key, const std::string& value) {
+  int out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size() || out <= 0) {
+    return Status::error(Errc::invalid_argument,
+                         key + ": not a positive integer: " + value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(Toggle t) {
+  switch (t) {
+    case Toggle::enable: return "enable";
+    case Toggle::automatic: return "automatic";
+    case Toggle::disable: return "disable";
+  }
+  return "?";
+}
+
+std::string to_string(CacheMode m) {
+  switch (m) {
+    case CacheMode::disable: return "disable";
+    case CacheMode::enable: return "enable";
+    case CacheMode::coherent: return "coherent";
+  }
+  return "?";
+}
+
+std::string to_string(FlushFlag f) {
+  switch (f) {
+    case FlushFlag::flush_immediate: return "flush_immediate";
+    case FlushFlag::flush_onclose: return "flush_onclose";
+    case FlushFlag::none: return "none";
+  }
+  return "?";
+}
+
+Result<Hints> Hints::parse(const mpi::Info& info) {
+  Hints hints;
+  if (const auto v = info.get("romio_cb_write")) {
+    auto t = parse_toggle("romio_cb_write", *v);
+    if (!t.is_ok()) return t.status();
+    hints.romio_cb_write = t.value();
+  }
+  if (const auto v = info.get("romio_cb_read")) {
+    auto t = parse_toggle("romio_cb_read", *v);
+    if (!t.is_ok()) return t.status();
+    hints.romio_cb_read = t.value();
+  }
+  if (const auto v = info.get("cb_buffer_size")) {
+    auto b = parse_bytes("cb_buffer_size", *v);
+    if (!b.is_ok()) return b.status();
+    hints.cb_buffer_size = b.value();
+  }
+  if (const auto v = info.get("cb_nodes")) {
+    auto n = parse_int("cb_nodes", *v);
+    if (!n.is_ok()) return n.status();
+    hints.cb_nodes = n.value();
+  }
+  if (const auto v = info.get("cb_config_list")) {
+    // Common subset: "*:k" or "*:*".
+    const std::string& value = *v;
+    if (value.starts_with("*:")) {
+      const std::string count = value.substr(2);
+      if (count == "*") {
+        hints.cb_config_per_node = std::numeric_limits<int>::max();
+      } else {
+        auto n = parse_int("cb_config_list", count);
+        if (!n.is_ok()) return n.status();
+        hints.cb_config_per_node = n.value();
+      }
+    } else {
+      return Status::error(Errc::not_supported,
+                           "cb_config_list: only '*:k' forms are supported");
+    }
+  }
+  if (const auto v = info.get("striping_unit")) {
+    auto b = parse_bytes("striping_unit", *v);
+    if (!b.is_ok()) return b.status();
+    hints.striping_unit = b.value();
+  }
+  if (const auto v = info.get("striping_factor")) {
+    auto n = parse_int("striping_factor", *v);
+    if (!n.is_ok()) return n.status();
+    hints.striping_factor = n.value();
+  }
+  if (const auto v = info.get("e10_cache")) {
+    if (*v == "enable") {
+      hints.e10_cache = CacheMode::enable;
+    } else if (*v == "disable") {
+      hints.e10_cache = CacheMode::disable;
+    } else if (*v == "coherent") {
+      hints.e10_cache = CacheMode::coherent;
+    } else {
+      return Status::error(Errc::invalid_argument,
+                           "e10_cache: bad value " + *v);
+    }
+  }
+  if (const auto v = info.get("e10_cache_path")) {
+    if (v->empty()) {
+      return Status::error(Errc::invalid_argument, "e10_cache_path: empty");
+    }
+    hints.e10_cache_path = *v;
+  }
+  if (const auto v = info.get("e10_cache_flush_flag")) {
+    if (*v == "flush_immediate") {
+      hints.e10_cache_flush_flag = FlushFlag::flush_immediate;
+    } else if (*v == "flush_onclose") {
+      hints.e10_cache_flush_flag = FlushFlag::flush_onclose;
+    } else if (*v == "none") {
+      hints.e10_cache_flush_flag = FlushFlag::none;
+    } else {
+      return Status::error(Errc::invalid_argument,
+                           "e10_cache_flush_flag: bad value " + *v);
+    }
+  }
+  if (const auto v = info.get("e10_cache_discard_flag")) {
+    if (*v == "enable") {
+      hints.e10_cache_discard = true;
+    } else if (*v == "disable") {
+      hints.e10_cache_discard = false;
+    } else {
+      return Status::error(Errc::invalid_argument,
+                           "e10_cache_discard_flag: bad value " + *v);
+    }
+  }
+  if (const auto v = info.get("e10_cache_read")) {
+    if (*v == "enable") {
+      hints.e10_cache_read = true;
+    } else if (*v == "disable") {
+      hints.e10_cache_read = false;
+    } else {
+      return Status::error(Errc::invalid_argument,
+                           "e10_cache_read: bad value " + *v);
+    }
+  }
+  if (const auto v = info.get("ind_wr_buffer_size")) {
+    auto b = parse_bytes("ind_wr_buffer_size", *v);
+    if (!b.is_ok()) return b.status();
+    hints.ind_wr_buffer_size = b.value();
+  }
+  return hints;
+}
+
+mpi::Info Hints::to_info() const {
+  mpi::Info info;
+  info.set("romio_cb_write", to_string(romio_cb_write));
+  info.set("cb_config_list",
+           cb_config_per_node == std::numeric_limits<int>::max()
+               ? "*:*"
+               : "*:" + std::to_string(cb_config_per_node));
+  info.set("romio_cb_read", to_string(romio_cb_read));
+  info.set("cb_buffer_size", std::to_string(cb_buffer_size));
+  if (cb_nodes > 0) info.set("cb_nodes", std::to_string(cb_nodes));
+  if (striping_unit) info.set("striping_unit", std::to_string(*striping_unit));
+  if (striping_factor) {
+    info.set("striping_factor", std::to_string(*striping_factor));
+  }
+  info.set("e10_cache", to_string(e10_cache));
+  info.set("e10_cache_path", e10_cache_path);
+  info.set("e10_cache_flush_flag", to_string(e10_cache_flush_flag));
+  info.set("e10_cache_discard_flag",
+           e10_cache_discard ? "enable" : "disable");
+  info.set("ind_wr_buffer_size", std::to_string(ind_wr_buffer_size));
+  info.set("e10_cache_read", e10_cache_read ? "enable" : "disable");
+  return info;
+}
+
+}  // namespace e10::adio

@@ -1,0 +1,28 @@
+// Shared services the ADIO layer runs against: the simulation engine, the
+// global parallel file system, the per-node local file systems (cache tier)
+// and the coherency lock table. A Platform (workloads/testbed.h) wires one
+// up for the DEEP-ER-like cluster.
+#pragma once
+
+#include "cache/lock_table.h"
+#include "lfs/local_fs.h"
+#include "pfs/pfs.h"
+#include "prof/profiler.h"
+#include "sim/engine.h"
+
+namespace e10::adio {
+
+struct IoContext {
+  IoContext(sim::Engine& engine_in, pfs::Pfs& pfs_in, lfs::LocalFsSet& lfs_in,
+            cache::LockTable& locks_in)
+      : engine(engine_in), pfs(pfs_in), lfs(lfs_in), locks(locks_in) {}
+
+  sim::Engine& engine;
+  pfs::Pfs& pfs;
+  lfs::LocalFsSet& lfs;
+  cache::LockTable& locks;
+  /// Optional MPE-style instrumentation of the collective write path.
+  prof::Profiler* profiler = nullptr;
+};
+
+}  // namespace e10::adio

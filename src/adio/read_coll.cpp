@@ -1,0 +1,238 @@
+// Two-phase collective read (ADIOI_GEN_ReadStridedColl): aggregators read
+// their file-domain windows from the global file and scatter the pieces to
+// the requesting ranks. Reads never touch the cache tier (§III-B); coherent
+// mode blocks on in-transit extents inside read_contig.
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+
+#include "adio/adio_file.h"
+#include "adio/aggregation.h"
+
+namespace e10::adio {
+
+namespace {
+
+constexpr Offset kNoOffset = std::numeric_limits<Offset>::max();
+
+Status agree_status(const mpi::Comm& comm, const Status& mine) {
+  const int code = static_cast<int>(mine.code());
+  const int worst =
+      comm.allreduce(code, [](int a, int b) { return std::max(a, b); });
+  if (worst == 0) return Status::ok();
+  if (code == worst) return mine;
+  return Status::error(static_cast<Errc>(worst), "error on a peer rank");
+}
+
+/// A rank's request for part of an aggregator's round window.
+struct ReadChunk {
+  int requester = 0;
+  Extent extent;
+};
+
+}  // namespace
+
+Result<std::vector<DataView>> read_strided_coll(
+    AdioFile& fd, const std::vector<Extent>& wanted) {
+  IoContext& ctx = *fd.ctx;
+  const mpi::Comm& comm = fd.comm;
+  prof::Profiler* profiler = ctx.profiler;
+  const int p = comm.size();
+  const int me = comm.rank();
+
+  std::vector<Extent> sorted = wanted;
+  std::erase_if(sorted, [](const Extent& e) { return e.empty(); });
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+
+  Offset my_start = kNoOffset, my_end = kNoOffset;
+  if (!sorted.empty()) {
+    my_start = sorted.front().offset;
+    my_end = sorted.back().end();
+  }
+  std::vector<std::pair<Offset, Offset>> all_offsets;
+  {
+    std::optional<prof::Profiler::Scope> scope;
+    if (profiler != nullptr) {
+      scope.emplace(*profiler, me, prof::Phase::offset_exchange);
+    }
+    all_offsets = comm.allgather(std::make_pair(my_start, my_end),
+                                 Offset{2} * sizeof(Offset));
+  }
+
+  bool interleaved = false;
+  Offset prev_end = -1;
+  Offset gmin = kNoOffset, gmax = -1;
+  for (const auto& [start, end] : all_offsets) {
+    if (start == kNoOffset) continue;
+    if (prev_end >= 0 && start < prev_end) interleaved = true;
+    prev_end = std::max(prev_end, end);
+    gmin = std::min(gmin, start);
+    gmax = std::max(gmax, end);
+  }
+
+  if (fd.hints.romio_cb_read == Toggle::disable ||
+      (fd.hints.romio_cb_read == Toggle::automatic && !interleaved) ||
+      gmin == kNoOffset) {
+    auto result = read_strided(fd, wanted);
+    const Status agreed = agree_status(comm, result.status());
+    if (!agreed.is_ok()) return agreed;
+    return result;
+  }
+
+  std::optional<Offset> align;
+  if (fd.driver == Driver::beegfs && fd.stripe_unit > 0) {
+    align = fd.stripe_unit;
+  }
+  const std::vector<Extent> domains = partition_file_domains(
+      Extent{gmin, gmax - gmin}, fd.aggregators.size(), align);
+  const Offset cb = fd.hints.cb_buffer_size;
+  Offset ntimes = 0;
+  for (const Extent& d : domains) {
+    ntimes = std::max(ntimes, (d.length + cb - 1) / cb);
+  }
+
+  // Which (aggregator, round) serves each part of my request list.
+  std::vector<std::map<std::size_t, std::vector<Extent>>> plan(
+      static_cast<std::size_t>(ntimes));
+  std::size_t a = 0;
+  for (const Extent& want : sorted) {
+    Offset cursor = want.offset;
+    while (cursor < want.end()) {
+      while (a + 1 < domains.size() &&
+             (domains[a].empty() || cursor >= domains[a].end())) {
+        ++a;
+      }
+      const Extent& dom = domains[a];
+      const Offset round = (cursor - dom.offset) / cb;
+      const Offset window_end =
+          std::min(dom.offset + (round + 1) * cb, dom.end());
+      const Offset take = std::min(want.end(), window_end) - cursor;
+      plan[static_cast<std::size_t>(round)][a].push_back(
+          Extent{cursor, take});
+      cursor += take;
+    }
+  }
+
+  Status my_status = Status::ok();
+  ByteStore assembled;  // pieces land here, keyed by file offset
+
+  for (Offset round = 0; round < ntimes; ++round) {
+    auto& round_plan = plan[static_cast<std::size_t>(round)];
+
+    // Dissemination: every rank tells every aggregator which extents it
+    // wants this round (the read-side analogue of the alltoall).
+    std::vector<std::vector<Extent>> requests_by_rank(
+        static_cast<std::size_t>(p));
+    for (const auto& [agg_index, extents] : round_plan) {
+      requests_by_rank[static_cast<std::size_t>(
+          fd.aggregators[agg_index])] = extents;
+    }
+    std::vector<std::vector<Extent>> incoming;
+    {
+      std::optional<prof::Profiler::Scope> scope;
+      if (profiler != nullptr) {
+        scope.emplace(*profiler, me, prof::Phase::shuffle_all2all);
+      }
+      incoming = comm.alltoall(requests_by_rank, 2 * sizeof(Offset) * 4);
+    }
+
+    // Post receives for the data I asked for.
+    std::vector<mpi::Request> recv_requests;
+    std::vector<std::size_t> recv_agg;
+    for (const auto& [agg_index, extents] : round_plan) {
+      recv_requests.push_back(
+          comm.irecv(fd.aggregators[agg_index], static_cast<int>(round)));
+      recv_agg.push_back(agg_index);
+    }
+
+    // Aggregator: read the covering window once, slice per requester.
+    std::vector<mpi::Request> send_requests;
+    if (fd.is_aggregator()) {
+      std::vector<ReadChunk> chunks;
+      Offset lo = kNoOffset, hi = -1;
+      for (int src = 0; src < p; ++src) {
+        for (const Extent& e : incoming[static_cast<std::size_t>(src)]) {
+          chunks.push_back(ReadChunk{src, e});
+          lo = std::min(lo, e.offset);
+          hi = std::max(hi, e.end());
+        }
+      }
+      if (!chunks.empty()) {
+        auto window = read_contig(fd, lo, hi - lo);
+        if (!window.is_ok()) {
+          if (my_status.is_ok()) my_status = window.status();
+        } else {
+          // Group the chunks per requester and answer each with one message.
+          std::map<int, std::vector<mpi::IoPiece>> replies;
+          for (const ReadChunk& chunk : chunks) {
+            mpi::IoPiece piece;
+            piece.file = chunk.extent;
+            const Offset rel = chunk.extent.offset - lo;
+            const Offset avail = window.value().size();
+            const Offset take =
+                std::clamp<Offset>(avail - rel, 0, chunk.extent.length);
+            // Reads near EOF may come back short; pad with zeros so the
+            // requester always gets what it asked for.
+            std::vector<DataView> parts;
+            if (take > 0) parts.push_back(window.value().slice(rel, take));
+            if (take < chunk.extent.length) {
+              parts.push_back(DataView::real(std::vector<std::byte>(
+                  static_cast<std::size_t>(chunk.extent.length - take),
+                  std::byte{0})));
+            }
+            piece.data = DataView::concat(parts);
+            replies[chunk.requester].push_back(std::move(piece));
+          }
+          for (auto& [dst, pieces] : replies) {
+            Offset bytes = 0;
+            for (const mpi::IoPiece& piece : pieces) {
+              bytes += piece.file.length;
+            }
+            send_requests.push_back(comm.isend(dst, static_cast<int>(round),
+                                               std::move(pieces), bytes));
+          }
+        }
+      }
+    }
+
+    {
+      std::optional<prof::Profiler::Scope> scope;
+      if (profiler != nullptr) {
+        scope.emplace(*profiler, me, prof::Phase::exchange);
+      }
+      mpi::Request::wait_all(recv_requests);
+      mpi::Request::wait_all(send_requests);
+    }
+
+    for (const mpi::Request& request : recv_requests) {
+      const auto pieces = std::any_cast<std::vector<mpi::IoPiece>>(
+          request.packet().payload);
+      for (const mpi::IoPiece& piece : pieces) {
+        assembled.write(piece.file.offset, piece.data);
+      }
+    }
+  }
+
+  {
+    std::optional<prof::Profiler::Scope> scope;
+    if (profiler != nullptr) {
+      scope.emplace(*profiler, me, prof::Phase::post_write);
+    }
+    const Status agreed = agree_status(comm, my_status);
+    if (!agreed.is_ok()) return agreed;
+  }
+
+  std::vector<DataView> out;
+  out.reserve(wanted.size());
+  for (const Extent& want : wanted) {
+    out.push_back(want.empty() ? DataView()
+                               : assembled.read(want.offset, want.length));
+  }
+  return out;
+}
+
+}  // namespace e10::adio

@@ -1,0 +1,199 @@
+#include "cache/cache_file.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e10::cache {
+
+Result<std::unique_ptr<CacheFile>> CacheFile::open(
+    sim::Engine& engine, lfs::LocalFs& local_fs, pfs::Pfs& pfs,
+    pfs::FileHandle global_handle, const CacheFileParams& params,
+    LockTable* locks) {
+  if (params.coherent && params.flush == FlushPolicy::none) {
+    return Status::error(Errc::invalid_argument,
+                         "coherent cache requires a flush policy");
+  }
+  if (params.coherent && locks == nullptr) {
+    return Status::error(Errc::invalid_argument,
+                         "coherent cache requires a lock table");
+  }
+  const auto handle =
+      local_fs.open(params.cache_path, /*create=*/true, /*truncate=*/true);
+  if (!handle.is_ok()) return handle.status();
+
+  std::unique_ptr<CacheFile> cache(new CacheFile(
+      engine, local_fs, pfs, global_handle, params, locks, handle.value()));
+  cache->sync_->start();
+  return cache;
+}
+
+CacheFile::CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs,
+                     pfs::Pfs& pfs, pfs::FileHandle global_handle,
+                     const CacheFileParams& params, LockTable* locks,
+                     lfs::FileHandle cache_handle)
+    : engine_(engine),
+      local_fs_(local_fs),
+      params_(params),
+      locks_(locks),
+      cache_handle_(cache_handle) {
+  sync_ = std::make_unique<SyncThread>(
+      engine, local_fs, cache_handle, pfs, global_handle, params.global_path,
+      params.staging_bytes, locks);
+}
+
+CacheFile::~CacheFile() {
+  // close() must have run inside a simulated process; the destructor only
+  // verifies nothing leaked. A still-running sync thread at destruction
+  // would deadlock the engine, which surfaces the bug loudly in tests.
+}
+
+Status CacheFile::ensure_allocated(Offset needed_end) {
+  if (needed_end <= allocated_) return Status::ok();
+  // Round the reservation up to the allocation chunk (ADIOI_Cache_alloc).
+  const Offset target =
+      ((needed_end + params_.alloc_chunk - 1) / params_.alloc_chunk) *
+      params_.alloc_chunk;
+  const Status s = local_fs_.fallocate(cache_handle_, target);
+  if (!s.is_ok()) return s;
+  allocated_ = target;
+  return Status::ok();
+}
+
+Status CacheFile::write(const Extent& global, const DataView& data) {
+  if (closed_) {
+    return Status::error(Errc::invalid_argument, "cache file closed");
+  }
+  if (global.length != data.size()) {
+    return Status::error(Errc::invalid_argument,
+                         "cache write: extent/data size mismatch");
+  }
+  if (data.empty()) return Status::ok();
+
+  if (const Status s = ensure_allocated(append_cursor_ + data.size());
+      !s.is_ok()) {
+    return s;  // caller falls back to a direct global-file write
+  }
+  if (params_.coherent) {
+    locks_->lock(params_.global_path, global);
+  }
+  const Offset cache_offset = append_cursor_;
+  const Status written = local_fs_.write(cache_handle_, cache_offset, data);
+  if (!written.is_ok()) {
+    if (params_.coherent) locks_->unlock(params_.global_path, global);
+    return written;
+  }
+  append_cursor_ += data.size();
+  ++stats_.writes;
+  stats_.bytes_cached += data.size();
+
+  // Update the layout map; this write shadows any older overlapping entry.
+  {
+    auto it = extent_map_.lower_bound(global.offset);
+    if (it != extent_map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second.second > global.offset) it = prev;
+    }
+    while (it != extent_map_.end() && it->first < global.end()) {
+      const Offset start = it->first;
+      const auto [cache_off, len] = it->second;
+      it = extent_map_.erase(it);
+      if (start < global.offset) {
+        extent_map_.emplace(start,
+                            std::make_pair(cache_off, global.offset - start));
+      }
+      if (start + len > global.end()) {
+        extent_map_.emplace(
+            global.end(),
+            std::make_pair(cache_off + (global.end() - start),
+                           start + len - global.end()));
+      }
+    }
+    extent_map_.emplace(global.offset,
+                        std::make_pair(cache_offset, global.length));
+  }
+
+  if (params_.flush == FlushPolicy::none) {
+    // Theoretical-bandwidth mode: data stays in the cache.
+    if (params_.coherent) locks_->unlock(params_.global_path, global);
+    return Status::ok();
+  }
+
+  SyncRequest request;
+  request.global = global;
+  request.cache_offset = cache_offset;
+  request.grequest = mpi::Request::grequest(engine_);
+  request.release_lock = params_.coherent;
+  outstanding_.push_back(request.grequest);
+  if (params_.flush == FlushPolicy::immediate) {
+    sync_->enqueue(std::move(request));
+  } else {
+    deferred_.push_back(std::move(request));
+  }
+  return Status::ok();
+}
+
+std::optional<DataView> CacheFile::try_read(const Extent& global) {
+  if (closed_ || global.empty()) return std::nullopt;
+  // Collect the cache locations covering [global.offset, global.end());
+  // bail out on the first gap.
+  std::vector<std::pair<Offset, Offset>> runs;  // (cache offset, length)
+  Offset cursor = global.offset;
+  auto it = extent_map_.lower_bound(cursor);
+  if (it != extent_map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.second > cursor) it = prev;
+  }
+  while (cursor < global.end()) {
+    if (it == extent_map_.end() || it->first > cursor) {
+      ++stats_.read_misses;
+      return std::nullopt;  // gap: extent not fully cached
+    }
+    const Offset skip = cursor - it->first;
+    const Offset take =
+        std::min(global.end(), it->first + it->second.second) - cursor;
+    runs.emplace_back(it->second.first + skip, take);
+    cursor += take;
+    ++it;
+  }
+  std::vector<DataView> parts;
+  parts.reserve(runs.size());
+  for (const auto& [cache_off, len] : runs) {
+    auto piece = local_fs_.read(cache_handle_, cache_off, len);
+    if (!piece.is_ok() || piece.value().size() != len) {
+      ++stats_.read_misses;
+      return std::nullopt;
+    }
+    parts.push_back(std::move(piece).value());
+  }
+  ++stats_.read_hits;
+  stats_.bytes_read_from_cache += global.length;
+  return DataView::concat(parts);
+}
+
+Status CacheFile::flush() {
+  if (closed_) return Status::ok();
+  for (SyncRequest& request : deferred_) {
+    sync_->enqueue(std::move(request));
+  }
+  deferred_.clear();
+  mpi::Request::wait_all(outstanding_);
+  outstanding_.clear();
+  return Status::ok();
+}
+
+Status CacheFile::close() {
+  if (closed_) return Status::ok();
+  if (const Status s = flush(); !s.is_ok()) return s;
+  sync_->shutdown_and_join();
+  const Status closed = local_fs_.close(cache_handle_);
+  if (!closed.is_ok()) return closed;
+  if (params_.discard) {
+    if (const Status s = local_fs_.unlink(params_.cache_path); !s.is_ok()) {
+      return s;
+    }
+  }
+  closed_ = true;
+  return Status::ok();
+}
+
+}  // namespace e10::cache

@@ -1,0 +1,124 @@
+// Persistent local cache file for collective write data (paper §III).
+//
+// A CacheFile is the per-rank cache of one open MPI file: writes destined
+// for the global file are appended (log-structured, so the SSD always
+// streams sequentially) to a file on the node-local NVM device, space is
+// reserved with fallocate (ADIOI_Cache_alloc), and a SyncRequest carrying a
+// generalized MPI request is created for every written extent
+// (ADIOI_GEN_WriteContig). Depending on the flush policy, requests are
+// dispatched to the background SyncThread immediately or at flush/close
+// time (ADIOI_GEN_Flush / ADIO_Close).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/lock_table.h"
+#include "cache/sync_thread.h"
+#include "common/status.h"
+#include "lfs/local_fs.h"
+#include "pfs/pfs.h"
+#include "sim/engine.h"
+
+namespace e10::cache {
+
+enum class FlushPolicy {
+  immediate,  // dispatch at write time (e10_cache_flush_flag=flush_immediate)
+  onclose,    // dispatch at flush/close  (flush_onclose)
+  none,       // never sync (harness-only: measures theoretical bandwidth)
+};
+
+struct CacheFileParams {
+  std::string global_path;  // the global file this cache shadows
+  std::string cache_path;   // pathname of the cache file on the local FS
+  FlushPolicy flush = FlushPolicy::immediate;
+  bool coherent = false;  // hold extent locks until data is persistent
+  bool discard = true;    // remove the cache file on close
+  Offset staging_bytes = 512 * units::KiB;  // ind_wr_buffer_size
+  /// fallocate granularity: space is reserved in chunks this big so that
+  /// most writes pay no allocation cost.
+  Offset alloc_chunk = 64 * units::MiB;
+};
+
+struct CacheFileStats {
+  Offset bytes_cached = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t fallback_writes = 0;  // writes that bypassed the cache
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  Offset bytes_read_from_cache = 0;
+};
+
+class CacheFile {
+ public:
+  /// Opens (creates) the cache file and starts the sync thread. Fails if
+  /// the local file system cannot host it — the caller then reverts to
+  /// standard (uncached) operation, as the paper's OpenColl does.
+  static Result<std::unique_ptr<CacheFile>> open(sim::Engine& engine,
+                                                 lfs::LocalFs& local_fs,
+                                                 pfs::Pfs& pfs,
+                                                 pfs::FileHandle global_handle,
+                                                 const CacheFileParams& params,
+                                                 LockTable* locks);
+
+  ~CacheFile();
+  CacheFile(const CacheFile&) = delete;
+  CacheFile& operator=(const CacheFile&) = delete;
+
+  /// Writes `data` for global-file extent `global` into the cache and
+  /// creates the sync request. In coherent mode the extent is locked until
+  /// the sync thread makes it persistent.
+  Status write(const Extent& global, const DataView& data);
+
+  /// Serves a read from the cache if (and only if) the extent is fully
+  /// covered by data this cache holds; returns nullopt otherwise. Charges
+  /// local-device read time. This implements the paper's §VI future work
+  /// ("support cache reading operations"): the per-extent map the cache
+  /// already keeps is exactly the layout metadata §III-B says reads need.
+  /// Callers must understand the staleness caveat: the cache knows nothing
+  /// about writes other ranks made to the same extent afterwards.
+  std::optional<DataView> try_read(const Extent& global);
+
+  /// ADIOI_GEN_Flush: dispatches deferred requests (onclose policy) and
+  /// waits for every outstanding sync request to complete.
+  Status flush();
+
+  /// Flush, stop the sync thread, close and (per discard flag) remove the
+  /// cache file. Idempotent.
+  Status close();
+
+  const CacheFileStats& stats() const { return stats_; }
+  const SyncStats& sync_stats() const { return sync_->stats(); }
+  std::size_t outstanding_requests() const { return outstanding_.size(); }
+  const CacheFileParams& params() const { return params_; }
+  bool closed() const { return closed_; }
+
+ private:
+  CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs, pfs::Pfs& pfs,
+            pfs::FileHandle global_handle, const CacheFileParams& params,
+            LockTable* locks, lfs::FileHandle cache_handle);
+
+  Status ensure_allocated(Offset needed_end);
+
+  sim::Engine& engine_;
+  lfs::LocalFs& local_fs_;
+  CacheFileParams params_;
+  LockTable* locks_;
+  lfs::FileHandle cache_handle_;
+  std::unique_ptr<SyncThread> sync_;
+  Offset append_cursor_ = 0;
+  Offset allocated_ = 0;
+  // Layout map: global-file offset -> location in the cache file. Later
+  // writes of the same extent shadow earlier ones (the map keeps the
+  // freshest copy, like the log-structured cache itself).
+  std::map<Offset, std::pair<Offset, Offset>> extent_map_;  // off->(cache,len)
+  std::vector<SyncRequest> deferred_;      // onclose policy, not yet sent
+  std::vector<mpi::Request> outstanding_;  // dispatched, possibly incomplete
+  CacheFileStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace e10::cache

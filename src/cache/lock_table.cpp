@@ -1,0 +1,71 @@
+#include "cache/lock_table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e10::cache {
+
+bool LockTable::overlaps_held(const FileLocks& locks,
+                              const Extent& extent) const {
+  return std::any_of(locks.held.begin(), locks.held.end(),
+                     [&](const Extent& h) { return h.overlaps(extent); });
+}
+
+void LockTable::wake_all(FileLocks& locks) {
+  // Woken processes re-check their predicate and may block again; FIFO
+  // wake order keeps the schedule deterministic.
+  while (!locks.waiters.empty()) {
+    const sim::ProcessId pid = locks.waiters.front();
+    locks.waiters.pop_front();
+    engine_.make_ready(pid, engine_.now());
+  }
+}
+
+void LockTable::lock(const std::string& path, const Extent& extent) {
+  if (extent.empty()) return;
+  FileLocks& locks = files_[path];
+  while (overlaps_held(locks, extent)) {
+    locks.waiters.push_back(engine_.current());
+    engine_.block("LockTable::lock");
+  }
+  locks.held.push_back(extent);
+}
+
+void LockTable::unlock(const std::string& path, const Extent& extent) {
+  if (extent.empty()) return;
+  const auto file_it = files_.find(path);
+  if (file_it == files_.end()) {
+    throw std::logic_error("LockTable::unlock: no locks for " + path);
+  }
+  FileLocks& locks = file_it->second;
+  const auto it = std::find(locks.held.begin(), locks.held.end(), extent);
+  if (it == locks.held.end()) {
+    throw std::logic_error("LockTable::unlock: extent not held");
+  }
+  locks.held.erase(it);
+  wake_all(locks);
+}
+
+void LockTable::wait_unlocked(const std::string& path, const Extent& extent) {
+  if (extent.empty()) return;
+  const auto file_it = files_.find(path);
+  if (file_it == files_.end()) return;
+  FileLocks& locks = file_it->second;
+  while (overlaps_held(locks, extent)) {
+    locks.waiters.push_back(engine_.current());
+    engine_.block("LockTable::wait_unlocked");
+  }
+}
+
+bool LockTable::is_locked(const std::string& path, const Extent& extent) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  return overlaps_held(it->second, extent);
+}
+
+std::size_t LockTable::held_count(const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.held.size();
+}
+
+}  // namespace e10::cache

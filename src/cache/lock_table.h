@@ -1,0 +1,53 @@
+// Extent locks for cache coherency.
+//
+// Reproduces ROMIO's internal ADIOI_WRITE_LOCK / ADIOI_UNLOCK used by the
+// paper's `e10_cache = coherent` mode (§III-B): a written extent stays
+// locked from the cache write until the sync thread has made it persistent
+// in the global file, so readers can never observe in-transit data.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/extent.h"
+#include "sim/engine.h"
+
+namespace e10::cache {
+
+class LockTable {
+ public:
+  explicit LockTable(sim::Engine& engine) : engine_(engine) {}
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Acquires an exclusive lock on `extent` of `path`; blocks while any
+  /// overlapping extent is held.
+  void lock(const std::string& path, const Extent& extent);
+
+  /// Releases a previously acquired extent (must match exactly).
+  void unlock(const std::string& path, const Extent& extent);
+
+  /// Blocks until no held lock overlaps `extent` (reader-side check).
+  void wait_unlocked(const std::string& path, const Extent& extent);
+
+  /// True if any held lock overlaps (non-blocking query).
+  bool is_locked(const std::string& path, const Extent& extent) const;
+
+  std::size_t held_count(const std::string& path) const;
+
+ private:
+  struct FileLocks {
+    std::vector<Extent> held;
+    std::deque<sim::ProcessId> waiters;
+  };
+
+  bool overlaps_held(const FileLocks& locks, const Extent& extent) const;
+  void wake_all(FileLocks& locks);
+
+  sim::Engine& engine_;
+  std::map<std::string, FileLocks> files_;
+};
+
+}  // namespace e10::cache

@@ -1,0 +1,82 @@
+#include "cache/sync_thread.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace e10::cache {
+
+SyncThread::SyncThread(sim::Engine& engine, lfs::LocalFs& local_fs,
+                       lfs::FileHandle cache_handle, pfs::Pfs& pfs,
+                       pfs::FileHandle global_handle, std::string global_path,
+                       Offset staging_bytes, LockTable* locks)
+    : engine_(engine),
+      local_fs_(local_fs),
+      cache_handle_(cache_handle),
+      pfs_(pfs),
+      global_handle_(global_handle),
+      global_path_(std::move(global_path)),
+      staging_bytes_(staging_bytes),
+      locks_(locks),
+      inbox_(engine) {
+  if (staging_bytes_ <= 0) {
+    throw std::logic_error("SyncThread: staging buffer must be > 0");
+  }
+}
+
+void SyncThread::start() {
+  if (handle_.valid()) throw std::logic_error("SyncThread already started");
+  handle_ = engine_.spawn("sync:" + global_path_, [this] { run(); });
+}
+
+void SyncThread::enqueue(SyncRequest request) {
+  if (!handle_.valid()) throw std::logic_error("SyncThread not started");
+  inbox_.send(std::move(request));
+}
+
+void SyncThread::shutdown_and_join() {
+  if (!handle_.valid()) return;
+  SyncRequest sentinel;
+  sentinel.shutdown = true;
+  inbox_.send(std::move(sentinel));
+  handle_.join();
+  handle_ = sim::ProcessHandle();
+}
+
+void SyncThread::run() {
+  for (;;) {
+    SyncRequest request = inbox_.recv();
+    if (request.shutdown) break;
+    ++stats_.requests;
+    // Stage the extent through the ind_wr_buffer_size buffer: read back
+    // from the cache file, write to the global file, chunk by chunk.
+    Offset done = 0;
+    while (done < request.global.length) {
+      const Offset chunk =
+          std::min(staging_bytes_, request.global.length - done);
+      auto data = local_fs_.read(cache_handle_, request.cache_offset + done,
+                                 chunk);
+      if (!data.is_ok()) {
+        log::error("sync", "cache read failed: ", data.status().to_string());
+        break;
+      }
+      // Durable: completing the grequest promises persistence (§III-A).
+      const Status written = pfs_.write_durable(
+          global_handle_, request.global.offset + done, data.value());
+      if (!written.is_ok()) {
+        log::error("sync", "global write failed: ", written.to_string());
+        break;
+      }
+      done += chunk;
+      ++stats_.staging_chunks;
+    }
+    stats_.bytes_synced += done;
+    if (request.release_lock && locks_ != nullptr) {
+      locks_->unlock(global_path_, request.global);
+    }
+    if (request.grequest.valid()) request.grequest.complete();
+  }
+}
+
+}  // namespace e10::cache

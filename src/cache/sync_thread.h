@@ -1,0 +1,87 @@
+// Background cache synchronisation (ADIOI_Sync_thread_start, paper §III-A).
+//
+// One SyncThread runs per open cached file per rank, as a dedicated
+// simulated process (the paper uses a POSIX thread). It consumes sync
+// requests from a queue; for each, it reads the cached extent back from the
+// local NVM file through a staging buffer of `ind_wr_buffer_size` bytes and
+// writes it to the global parallel file system, then completes the
+// associated generalized MPI request (MPI_Grequest_complete) — which is what
+// ADIOI_GEN_Flush later waits on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/lock_table.h"
+#include "common/extent.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "lfs/local_fs.h"
+#include "mpi/request.h"
+#include "pfs/pfs.h"
+#include "sim/engine.h"
+#include "sim/mailbox.h"
+
+namespace e10::cache {
+
+struct SyncRequest {
+  /// Extent of the *global* file this data belongs to.
+  Extent global;
+  /// Where the bytes sit in the local cache file.
+  Offset cache_offset = 0;
+  /// Completed (MPI_Grequest_complete) when the extent is persistent in the
+  /// global file.
+  mpi::Request grequest;
+  /// Coherent mode: release this extent's lock once persistent.
+  bool release_lock = false;
+  /// Shutdown sentinel (internal).
+  bool shutdown = false;
+};
+
+struct SyncStats {
+  std::uint64_t requests = 0;
+  Offset bytes_synced = 0;
+  std::uint64_t staging_chunks = 0;
+};
+
+class SyncThread {
+ public:
+  SyncThread(sim::Engine& engine, lfs::LocalFs& local_fs,
+             lfs::FileHandle cache_handle, pfs::Pfs& pfs,
+             pfs::FileHandle global_handle, std::string global_path,
+             Offset staging_bytes, LockTable* locks);
+
+  SyncThread(const SyncThread&) = delete;
+  SyncThread& operator=(const SyncThread&) = delete;
+
+  /// Spawns the worker process (call once, from a simulated process).
+  void start();
+
+  /// Queues a sync request; never blocks the caller.
+  void enqueue(SyncRequest request);
+
+  /// Sends the shutdown sentinel and joins the worker: all previously
+  /// enqueued requests are drained first.
+  void shutdown_and_join();
+
+  const SyncStats& stats() const { return stats_; }
+  bool started() const { return handle_.valid(); }
+
+ private:
+  void run();
+
+  sim::Engine& engine_;
+  lfs::LocalFs& local_fs_;
+  lfs::FileHandle cache_handle_;
+  pfs::Pfs& pfs_;
+  pfs::FileHandle global_handle_;
+  std::string global_path_;
+  Offset staging_bytes_;
+  LockTable* locks_;
+  sim::Mailbox<SyncRequest> inbox_;
+  sim::ProcessHandle handle_;
+  SyncStats stats_;
+};
+
+}  // namespace e10::cache

@@ -1,0 +1,163 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace e10 {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+void ConfigSection::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ConfigSection::has(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+std::optional<std::string> ConfigSection::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigSection::get_or(const std::string& key,
+                                  std::string fallback) const {
+  return get(key).value_or(std::move(fallback));
+}
+
+Result<bool> ConfigSection::get_bool(const std::string& key,
+                                     bool fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  const std::string v = lower(trim(*raw));
+  if (v == "true" || v == "1" || v == "enable" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "disable" || v == "no" || v == "off") {
+    return false;
+  }
+  return Status::error(Errc::invalid_argument,
+                       "not a boolean: " + key + "=" + *raw);
+}
+
+Result<Offset> ConfigSection::get_size(const std::string& key,
+                                       Offset fallback) const {
+  const auto raw = get(key);
+  if (!raw) return fallback;
+  return Config::parse_size(*raw);
+}
+
+Result<Offset> Config::parse_size(const std::string& text) {
+  const std::string v = lower(trim(text));
+  if (v.empty()) {
+    return Status::error(Errc::invalid_argument, "empty size value");
+  }
+  Offset multiplier = 1;
+  std::string digits = v;
+  const char suffix = v.back();
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k' ? units::KiB
+               : suffix == 'm' ? units::MiB
+                               : units::GiB;
+    digits = v.substr(0, v.size() - 1);
+  }
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](unsigned char c) { return std::isdigit(c); })) {
+    return Status::error(Errc::invalid_argument, "not a size: " + text);
+  }
+  return static_cast<Offset>(std::stoll(digits)) * multiplier;
+}
+
+Result<Config> Config::parse(const std::string& text) {
+  Config config;
+  ConfigSection* current = &config.global_;
+  std::istringstream stream(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#' || stripped[0] == ';') continue;
+    if (stripped.front() == '[') {
+      if (stripped.back() != ']') {
+        return Status::error(Errc::invalid_argument,
+                             "line " + std::to_string(lineno) +
+                                 ": unterminated section header");
+      }
+      config.sections_.emplace_back(
+          trim(stripped.substr(1, stripped.size() - 2)));
+      current = &config.sections_.back();
+      continue;
+    }
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return Status::error(Errc::invalid_argument,
+                           "line " + std::to_string(lineno) +
+                               ": expected key = value");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty()) {
+      return Status::error(Errc::invalid_argument,
+                           "line " + std::to_string(lineno) + ": empty key");
+    }
+    current->set(key, value);
+  }
+  return config;
+}
+
+const ConfigSection* Config::find(const std::string& name) const {
+  for (const ConfigSection& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+const ConfigSection* Config::match(const std::string& candidate) const {
+  for (const ConfigSection& s : sections_) {
+    if (glob_match(s.name(), candidate)) return &s;
+  }
+  return nullptr;
+}
+
+bool Config::glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative glob with '*' only; backtracks to the last star on mismatch.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace e10

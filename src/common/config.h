@@ -1,0 +1,78 @@
+// INI-style configuration parsing.
+//
+// Used by the MPIWRAP wrapper library (per-file-pattern hint sections, as in
+// the paper's §III-C) and by the benchmark harness. Format:
+//
+//   # comment
+//   [file:/pfs/ckpt*]
+//   e10_cache = enable
+//   cb_buffer_size = 16m
+//
+// Section names are free-form; keys and values are trimmed strings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace e10 {
+
+class ConfigSection {
+ public:
+  ConfigSection() = default;
+  explicit ConfigSection(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void set(std::string key, std::string value);
+  bool has(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+
+  /// Parses "true/false/1/0/enable/disable/yes/no".
+  Result<bool> get_bool(const std::string& key, bool fallback) const;
+
+  /// Parses integers with optional binary suffix: "4k", "16m", "2g".
+  Result<Offset> get_size(const std::string& key, Offset fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> entries_;
+};
+
+class Config {
+ public:
+  /// Parses config text; returns a Status describing the first syntax error.
+  static Result<Config> parse(const std::string& text);
+
+  /// Key/value pairs appearing before any [section] header.
+  const ConfigSection& global() const { return global_; }
+
+  const std::vector<ConfigSection>& sections() const { return sections_; }
+
+  /// First section whose name matches exactly.
+  const ConfigSection* find(const std::string& name) const;
+
+  /// First section whose name glob-matches `candidate` ('*' wildcards only,
+  /// the pattern style MPIWRAP uses for file base names).
+  const ConfigSection* match(const std::string& candidate) const;
+
+  /// True if `pattern` (with '*' wildcards) matches `text`.
+  static bool glob_match(const std::string& pattern, const std::string& text);
+
+  /// Parses "4k" / "16m" / "2g" / plain integers into a byte count.
+  static Result<Offset> parse_size(const std::string& text);
+
+ private:
+  ConfigSection global_;
+  std::vector<ConfigSection> sections_;
+};
+
+}  // namespace e10

@@ -1,0 +1,256 @@
+#include "common/dataview.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace e10 {
+
+std::byte DataView::Segment::at(Offset i) const {
+  if (buffer != nullptr) {
+    return (*buffer)[static_cast<std::size_t>(offset + i)];
+  }
+  return DataView::pattern_byte(seed, origin + i);
+}
+
+DataView DataView::real(std::vector<std::byte> bytes) {
+  auto shared =
+      std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+  const Offset len = static_cast<Offset>(shared->size());
+  return real_slice(std::move(shared), 0, len);
+}
+
+DataView DataView::real_slice(
+    std::shared_ptr<const std::vector<std::byte>> buffer, Offset offset,
+    Offset length) {
+  if (offset < 0 || length < 0 ||
+      offset + length > static_cast<Offset>(buffer->size())) {
+    throw std::out_of_range("DataView::real_slice out of range");
+  }
+  DataView v;
+  if (length > 0) {
+    Segment seg;
+    seg.buffer = std::move(buffer);
+    seg.offset = offset;
+    seg.length = length;
+    v.segments_.push_back(std::move(seg));
+  }
+  v.length_ = length;
+  return v;
+}
+
+DataView DataView::synthetic(std::uint64_t seed, Offset origin,
+                             Offset length) {
+  if (length < 0) {
+    throw std::out_of_range("DataView::synthetic negative length");
+  }
+  DataView v;
+  if (length > 0) {
+    Segment seg;
+    seg.seed = seed;
+    seg.origin = origin;
+    seg.length = length;
+    v.segments_.push_back(std::move(seg));
+  }
+  v.length_ = length;
+  return v;
+}
+
+DataView DataView::concat(const std::vector<DataView>& views) {
+  DataView out;
+  for (const DataView& v : views) {
+    for (const Segment& seg : v.segments_) {
+      // Merge adjacent synthetic continuations (common when a strided
+      // pattern is reassembled in file order).
+      if (!out.segments_.empty()) {
+        Segment& last = out.segments_.back();
+        if (last.buffer == nullptr && seg.buffer == nullptr &&
+            last.seed == seg.seed && last.origin + last.length == seg.origin) {
+          last.length += seg.length;
+          continue;
+        }
+        if (last.buffer != nullptr && last.buffer == seg.buffer &&
+            last.offset + last.length == seg.offset) {
+          last.length += seg.length;
+          continue;
+        }
+      }
+      out.segments_.push_back(seg);
+    }
+    out.length_ += v.length_;
+  }
+  return out;
+}
+
+std::byte DataView::pattern_byte(std::uint64_t seed, Offset position) {
+  // SplitMix64 finalizer over (seed, position): cheap, stateless, and has
+  // no measurable bias for the byte-compare checks the tests perform.
+  std::uint64_t x =
+      seed ^ (static_cast<std::uint64_t>(position) * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<std::byte>(x & 0xFF);
+}
+
+bool DataView::is_real() const {
+  return std::all_of(segments_.begin(), segments_.end(),
+                     [](const Segment& s) { return s.buffer != nullptr; });
+}
+
+std::byte DataView::byte_at(Offset i) const {
+  if (i < 0 || i >= length_) throw std::out_of_range("DataView::byte_at");
+  for (const Segment& seg : segments_) {
+    if (i < seg.length) return seg.at(i);
+    i -= seg.length;
+  }
+  throw std::logic_error("DataView: inconsistent rope");
+}
+
+DataView DataView::slice(Offset offset, Offset length) const {
+  if (offset < 0 || length < 0 || offset + length > length_) {
+    throw std::out_of_range("DataView::slice out of range");
+  }
+  DataView out;
+  out.length_ = length;
+  Offset skip = offset;
+  Offset remaining = length;
+  for (const Segment& seg : segments_) {
+    if (remaining == 0) break;
+    if (skip >= seg.length) {
+      skip -= seg.length;
+      continue;
+    }
+    const Offset take = std::min(remaining, seg.length - skip);
+    Segment piece = seg;
+    if (piece.buffer != nullptr) {
+      piece.offset += skip;
+    } else {
+      piece.origin += skip;
+    }
+    piece.length = take;
+    out.segments_.push_back(std::move(piece));
+    remaining -= take;
+    skip = 0;
+  }
+  return out;
+}
+
+std::vector<std::byte> DataView::materialize() const {
+  std::vector<std::byte> out(static_cast<std::size_t>(length_));
+  Offset pos = 0;
+  for (const Segment& seg : segments_) {
+    if (seg.buffer != nullptr) {
+      std::memcpy(out.data() + pos, seg.buffer->data() + seg.offset,
+                  static_cast<std::size_t>(seg.length));
+    } else {
+      for (Offset i = 0; i < seg.length; ++i) {
+        out[static_cast<std::size_t>(pos + i)] =
+            pattern_byte(seg.seed, seg.origin + i);
+      }
+    }
+    pos += seg.length;
+  }
+  return out;
+}
+
+const std::byte* DataView::data() const {
+  if (segments_.size() != 1 || segments_[0].buffer == nullptr) return nullptr;
+  return segments_[0].buffer->data() + segments_[0].offset;
+}
+
+std::uint64_t DataView::seed() const {
+  if (segments_.size() != 1 || segments_[0].buffer != nullptr) {
+    throw std::logic_error("DataView::seed: not a single synthetic segment");
+  }
+  return segments_[0].seed;
+}
+
+Offset DataView::origin() const {
+  if (segments_.size() != 1 || segments_[0].buffer != nullptr) {
+    throw std::logic_error("DataView::origin: not a single synthetic segment");
+  }
+  return segments_[0].origin;
+}
+
+void ByteStore::erase_range(Offset begin, Offset end) {
+  // Find the first segment that could overlap [begin, end).
+  auto it = segments_.lower_bound(begin);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > begin) it = prev;
+  }
+  while (it != segments_.end() && it->first < end) {
+    const Offset start = it->first;
+    const Offset seg_end = start + it->second.size();
+    DataView view = std::move(it->second);
+    it = segments_.erase(it);
+    if (start < begin) {
+      it = segments_.emplace_hint(it, start, view.slice(0, begin - start));
+      ++it;
+    }
+    if (seg_end > end) {
+      it = segments_.emplace_hint(it, end,
+                                  view.slice(end - start, seg_end - end));
+    }
+  }
+}
+
+void ByteStore::write(Offset offset, const DataView& view) {
+  if (view.empty()) return;
+  erase_range(offset, offset + view.size());
+  segments_.emplace(offset, view);
+}
+
+DataView ByteStore::read(Offset offset, Offset length) const {
+  if (length <= 0) return DataView();
+  std::vector<DataView> parts;
+  Offset cursor = offset;
+  const Offset end = offset + length;
+  auto it = segments_.lower_bound(offset);
+  if (it != segments_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.size() > offset) it = prev;
+  }
+  for (; it != segments_.end() && it->first < end; ++it) {
+    const Offset start = it->first;
+    const Offset seg_end = start + it->second.size();
+    if (seg_end <= cursor) continue;
+    if (start > cursor) {
+      // Unwritten gap reads as zeros.
+      parts.push_back(DataView::real(std::vector<std::byte>(
+          static_cast<std::size_t>(start - cursor), std::byte{0})));
+      cursor = start;
+    }
+    const Offset lo = std::max(start, cursor);
+    const Offset hi = std::min(seg_end, end);
+    parts.push_back(it->second.slice(lo - start, hi - lo));
+    cursor = hi;
+  }
+  if (cursor < end) {
+    parts.push_back(DataView::real(std::vector<std::byte>(
+        static_cast<std::size_t>(end - cursor), std::byte{0})));
+  }
+  if (parts.size() == 1) return parts[0];
+  return DataView::concat(parts);
+}
+
+std::byte ByteStore::byte_at(Offset pos) const {
+  auto it = segments_.upper_bound(pos);
+  if (it == segments_.begin()) return std::byte{0};
+  --it;
+  if (pos < it->first + it->second.size()) {
+    return it->second.byte_at(pos - it->first);
+  }
+  return std::byte{0};
+}
+
+Offset ByteStore::extent_end() const {
+  if (segments_.empty()) return 0;
+  const auto& last = *segments_.rbegin();
+  return last.first + last.second.size();
+}
+
+}  // namespace e10

@@ -1,0 +1,118 @@
+// Payload representation for simulated I/O.
+//
+// A DataView is a contiguous run of bytes travelling through the stack
+// (user buffer -> shuffle message -> collective buffer -> cache -> PFS).
+// Internally it is a rope of segments, each either *real* (a slice of a
+// shared byte buffer; used by tests and examples, which verify byte-exact
+// file content) or *synthetic* (a deterministic pseudo-random pattern
+// identified by (seed, origin); used by the benchmarks, which run at the
+// paper's 32 GiB scale without allocating payload memory). The rope makes
+// concatenation O(segments) — aggregators coalesce many shuffle pieces into
+// one contiguous collective-buffer write without copying.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10 {
+
+class DataView {
+ public:
+  /// Empty view.
+  DataView() = default;
+
+  /// A real view owning (sharing) the given bytes.
+  static DataView real(std::vector<std::byte> bytes);
+
+  /// A real view sharing `buffer[offset, offset+length)`.
+  static DataView real_slice(
+      std::shared_ptr<const std::vector<std::byte>> buffer, Offset offset,
+      Offset length);
+
+  /// A synthetic view: byte i has value pattern_byte(seed, origin + i).
+  static DataView synthetic(std::uint64_t seed, Offset origin, Offset length);
+
+  /// Concatenation of `views` in order; shares all underlying storage.
+  static DataView concat(const std::vector<DataView>& views);
+
+  Offset size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+
+  /// True if every byte is backed by real storage.
+  bool is_real() const;
+
+  /// Number of rope segments (diagnostics/tests).
+  std::size_t segment_count() const { return segments_.size(); }
+
+  /// Value of byte `i` (0 <= i < size()), regardless of representation.
+  std::byte byte_at(Offset i) const;
+
+  /// Sub-view [offset, offset+length) of this view.
+  DataView slice(Offset offset, Offset length) const;
+
+  /// Materializes the view into a fresh byte vector (synthetic segments are
+  /// expanded from their pattern).
+  std::vector<std::byte> materialize() const;
+
+  /// Pointer to the bytes when the view is one real segment; nullptr
+  /// otherwise.
+  const std::byte* data() const;
+
+  /// For single-synthetic-segment views: the pattern identity.
+  std::uint64_t seed() const;
+  Offset origin() const;
+
+  /// The deterministic pattern used by synthetic segments; exposed so tests
+  /// can compute expected bytes.
+  static std::byte pattern_byte(std::uint64_t seed, Offset position);
+
+ private:
+  struct Segment {
+    std::shared_ptr<const std::vector<std::byte>> buffer;  // null => synthetic
+    Offset offset = 0;         // into buffer (real segments)
+    std::uint64_t seed = 0;    // synthetic segments
+    Offset origin = 0;
+    Offset length = 0;
+
+    std::byte at(Offset i) const;
+  };
+
+  std::vector<Segment> segments_;
+  Offset length_ = 0;
+};
+
+/// A sparse byte store: the in-memory model of one file's content, shared by
+/// the PFS and local-FS simulators and by the reference model in tests.
+class ByteStore {
+ public:
+  /// Writes `view` at `offset`, replacing anything underneath.
+  void write(Offset offset, const DataView& view);
+
+  /// Reads [offset, offset+length). Unwritten gaps read as zero bytes.
+  DataView read(Offset offset, Offset length) const;
+
+  /// Value of the byte at `pos` (0 for unwritten positions).
+  std::byte byte_at(Offset pos) const;
+
+  /// Highest written offset + 1 (the file size if never truncated larger).
+  Offset extent_end() const;
+
+  /// Total number of distinct stored segments (for tests).
+  std::size_t segment_count() const { return segments_.size(); }
+
+  void clear() { segments_.clear(); }
+
+ private:
+  // Keyed by start offset; segments never overlap. A map keeps updates
+  // O(log n) — benchmark-scale files hold thousands of segments.
+  std::map<Offset, DataView> segments_;
+
+  void erase_range(Offset begin, Offset end);
+};
+
+}  // namespace e10

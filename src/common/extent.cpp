@@ -1,0 +1,95 @@
+#include "common/extent.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace e10 {
+
+Extent intersect(const Extent& a, const Extent& b) {
+  const Offset lo = std::max(a.offset, b.offset);
+  const Offset hi = std::min(a.end(), b.end());
+  if (hi <= lo) return Extent{lo, 0};
+  return Extent{lo, hi - lo};
+}
+
+std::string to_string(const Extent& e) {
+  std::ostringstream os;
+  os << "[" << e.offset << ", " << e.end() << ")";
+  return os.str();
+}
+
+ExtentList::ExtentList(std::vector<Extent> extents)
+    : extents_(std::move(extents)) {}
+
+void ExtentList::add(Extent e) {
+  if (!e.empty()) extents_.push_back(e);
+}
+
+void ExtentList::normalize() {
+  std::erase_if(extents_, [](const Extent& e) { return e.empty(); });
+  std::sort(extents_.begin(), extents_.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<Extent> merged;
+  merged.reserve(extents_.size());
+  for (const Extent& e : extents_) {
+    if (!merged.empty() && e.offset <= merged.back().end()) {
+      merged.back().length =
+          std::max(merged.back().end(), e.end()) - merged.back().offset;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  extents_ = std::move(merged);
+}
+
+Offset ExtentList::total_bytes() const {
+  Offset total = 0;
+  for (const Extent& e : extents_) total += e.length;
+  return total;
+}
+
+Extent ExtentList::bounding() const {
+  if (extents_.empty()) return Extent{};
+  Offset lo = extents_.front().offset;
+  Offset hi = extents_.front().end();
+  for (const Extent& e : extents_) {
+    lo = std::min(lo, e.offset);
+    hi = std::max(hi, e.end());
+  }
+  return Extent{lo, hi - lo};
+}
+
+ExtentList ExtentList::clipped_to(const Extent& window) const {
+  ExtentList out;
+  for (const Extent& e : extents_) {
+    const Extent clipped = intersect(e, window);
+    if (!clipped.empty()) out.add(clipped);
+  }
+  return out;
+}
+
+ExtentList ExtentList::subtract(const ExtentList& other) const {
+  ExtentList out;
+  std::size_t j = 0;
+  for (const Extent& e : extents_) {
+    Offset cursor = e.offset;
+    while (j < other.extents_.size() && other.extents_[j].end() <= cursor) ++j;
+    std::size_t k = j;
+    while (k < other.extents_.size() && other.extents_[k].offset < e.end()) {
+      const Extent& cut = other.extents_[k];
+      if (cut.offset > cursor) out.add(Extent{cursor, cut.offset - cursor});
+      cursor = std::max(cursor, cut.end());
+      ++k;
+    }
+    if (cursor < e.end()) out.add(Extent{cursor, e.end() - cursor});
+  }
+  return out;
+}
+
+bool ExtentList::covers(const ExtentList& other) const {
+  return other.subtract(*this).empty();
+}
+
+}  // namespace e10

@@ -1,0 +1,81 @@
+// Byte extents and extent-list algebra.
+//
+// Extents are the working currency of the whole stack: file views flatten to
+// extent lists, file domains are extents, the cache tracks dirty extents, and
+// the lock manager locks extents.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10 {
+
+/// A half-open byte range [offset, offset + length).
+struct Extent {
+  Offset offset = 0;
+  Offset length = 0;
+
+  Offset end() const { return offset + length; }
+  bool empty() const { return length <= 0; }
+  bool contains(Offset pos) const { return pos >= offset && pos < end(); }
+  bool overlaps(const Extent& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+/// Intersection of two extents (empty extent if disjoint).
+Extent intersect(const Extent& a, const Extent& b);
+
+std::string to_string(const Extent& e);
+
+/// An ordered list of extents. Invariants after normalize(): sorted by
+/// offset, non-empty, non-overlapping, non-adjacent (fully coalesced).
+class ExtentList {
+ public:
+  ExtentList() = default;
+  explicit ExtentList(std::vector<Extent> extents);
+
+  void add(Extent e);
+  void clear() { extents_.clear(); }
+
+  /// Sorts, drops empties, and merges overlapping/adjacent extents.
+  void normalize();
+
+  bool empty() const { return extents_.empty(); }
+  std::size_t size() const { return extents_.size(); }
+  const Extent& operator[](std::size_t i) const { return extents_[i]; }
+  const std::vector<Extent>& items() const { return extents_; }
+
+  auto begin() const { return extents_.begin(); }
+  auto end() const { return extents_.end(); }
+
+  /// Total bytes covered. Only meaningful after normalize() if inputs
+  /// overlapped.
+  Offset total_bytes() const;
+
+  /// Smallest extent covering everything (empty list -> empty extent).
+  Extent bounding() const;
+
+  /// All parts of this list that fall inside `window`, clipped to it.
+  ExtentList clipped_to(const Extent& window) const;
+
+  /// Set-subtraction: parts of this list not covered by `other`.
+  /// Both lists must be normalized.
+  ExtentList subtract(const ExtentList& other) const;
+
+  /// True if `other`'s coverage is fully contained in this list's coverage.
+  /// Both lists must be normalized.
+  bool covers(const ExtentList& other) const;
+
+  friend bool operator==(const ExtentList&, const ExtentList&) = default;
+
+ private:
+  std::vector<Extent> extents_;
+};
+
+}  // namespace e10

@@ -1,0 +1,58 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace e10::log {
+
+namespace {
+
+Level parse_env() {
+  const char* env = std::getenv("E10_LOG");
+  if (env == nullptr) return Level::warn;
+  const std::string s(env);
+  if (s == "error") return Level::error;
+  if (s == "warn") return Level::warn;
+  if (s == "info") return Level::info;
+  if (s == "debug") return Level::debug;
+  if (s == "trace") return Level::trace;
+  return Level::warn;
+}
+
+std::atomic<Level>& level_storage() {
+  static std::atomic<Level> storage{parse_env()};
+  return storage;
+}
+
+constexpr const char* level_name(Level l) {
+  switch (l) {
+    case Level::error: return "error";
+    case Level::warn: return "warn";
+    case Level::info: return "info";
+    case Level::debug: return "debug";
+    case Level::trace: return "trace";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_level(Level l) {
+  level_storage().store(l, std::memory_order_relaxed);
+}
+
+bool enabled(Level l) { return static_cast<int>(l) <= static_cast<int>(level()); }
+
+void write(Level l, std::string_view component, std::string_view message) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> guard(mu);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(l),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace e10::log

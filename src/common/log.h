@@ -1,0 +1,59 @@
+// Minimal leveled logging. Level is read once from the E10_LOG environment
+// variable (error|warn|info|debug|trace); default is warn so tests and
+// benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace e10::log {
+
+enum class Level { error = 0, warn = 1, info = 2, debug = 3, trace = 4 };
+
+/// The process-wide log level (initialized from E10_LOG on first use).
+Level level();
+
+/// Overrides the level (tests).
+void set_level(Level l);
+
+bool enabled(Level l);
+
+/// Writes one line to stderr: "[level] component: message".
+void write(Level l, std::string_view component, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void error(std::string_view component, Args&&... args) {
+  if (enabled(Level::error))
+    write(Level::error, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(std::string_view component, Args&&... args) {
+  if (enabled(Level::warn))
+    write(Level::warn, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(std::string_view component, Args&&... args) {
+  if (enabled(Level::info))
+    write(Level::info, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void debug(std::string_view component, Args&&... args) {
+  if (enabled(Level::debug))
+    write(Level::debug, component, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void trace(std::string_view component, Args&&... args) {
+  if (enabled(Level::trace))
+    write(Level::trace, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace e10::log

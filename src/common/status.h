@@ -1,0 +1,116 @@
+// Error handling used on every I/O path.
+//
+// Recoverable conditions (file not found, cache device full, unsupported
+// hint value) are reported through Status / Result<T>; broken invariants
+// inside the simulator throw (and abort the test), following the C++ Core
+// Guidelines split between expected failures and programming errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace e10 {
+
+enum class Errc {
+  ok = 0,
+  no_such_file,
+  file_exists,
+  invalid_argument,
+  io_error,
+  no_space,
+  not_supported,
+  permission_denied,
+  busy,
+};
+
+/// Human-readable name of an error code ("no_such_file", ...).
+constexpr const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::no_such_file: return "no_such_file";
+    case Errc::file_exists: return "file_exists";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::io_error: return "io_error";
+    case Errc::no_space: return "no_space";
+    case Errc::not_supported: return "not_supported";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::busy: return "busy";
+  }
+  return "unknown";
+}
+
+/// Lightweight error-or-ok result for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Errc code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status error(Errc code, std::string message) {
+    return Status(code, std::move(message));
+  }
+
+  bool is_ok() const { return code_ == Errc::ok; }
+  explicit operator bool() const { return is_ok(); }
+  Errc code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(errc_name(code_)) + ": " + message_;
+  }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+/// Value-or-Status result. Accessing value() on an error throws, which turns
+/// an unchecked error into a loud test failure instead of silent corruption.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).is_ok()) {
+      throw std::logic_error("Result constructed from ok Status without value");
+    }
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+  Errc code() const { return status().code(); }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw std::runtime_error("Result::value on error: " +
+                               std::get<Status>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace e10

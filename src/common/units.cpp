@@ -1,0 +1,45 @@
+#include "common/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace e10 {
+
+namespace {
+
+std::string format_scaled(double value, const char* unit) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.2f %s", value, unit);
+  return std::string(buf.data());
+}
+
+}  // namespace
+
+std::string format_bytes(Offset bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= units::GiB) return format_scaled(b / static_cast<double>(units::GiB), "GiB");
+  if (bytes >= units::MiB) return format_scaled(b / static_cast<double>(units::MiB), "MiB");
+  if (bytes >= units::KiB) return format_scaled(b / static_cast<double>(units::KiB), "KiB");
+  return format_scaled(b, "B");
+}
+
+std::string format_time(Time t) {
+  const double ns = static_cast<double>(t);
+  if (t >= units::seconds(1)) return format_scaled(ns * 1e-9, "s");
+  if (t >= units::milliseconds(1)) return format_scaled(ns * 1e-6, "ms");
+  if (t >= units::microseconds(1)) return format_scaled(ns * 1e-3, "us");
+  return format_scaled(ns, "ns");
+}
+
+double bandwidth_gib(Offset bytes, Time elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes) / static_cast<double>(units::GiB) /
+         units::to_seconds(elapsed);
+}
+
+std::string format_bandwidth(Offset bytes, Time elapsed) {
+  return format_scaled(bandwidth_gib(bytes, elapsed), "GiB/s");
+}
+
+}  // namespace e10

@@ -1,0 +1,59 @@
+// Time and byte units used throughout the simulator.
+//
+// Virtual time is an integral count of nanoseconds. Using integers (rather
+// than floating point) keeps the discrete-event schedule exactly reproducible:
+// two runs with the same seed produce the same event order bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace e10 {
+
+/// Virtual time in nanoseconds.
+using Time = std::int64_t;
+
+/// File offsets and sizes in bytes. Signed, like off_t, so that arithmetic
+/// on differences cannot silently wrap.
+using Offset = std::int64_t;
+
+namespace units {
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(std::int64_t n) { return n * 1'000; }
+constexpr Time milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr Time seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Converts a floating-point second count to integral virtual time.
+constexpr Time seconds_f(double s) {
+  return static_cast<Time>(s * 1e9);
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+constexpr Offset KiB = 1024;
+constexpr Offset MiB = 1024 * KiB;
+constexpr Offset GiB = 1024 * MiB;
+
+constexpr Offset kibibytes(std::int64_t n) { return n * KiB; }
+constexpr Offset mebibytes(std::int64_t n) { return n * MiB; }
+constexpr Offset gibibytes(std::int64_t n) { return n * GiB; }
+
+}  // namespace units
+
+/// Formats a byte count with a binary-prefix unit, e.g. "4.0 MiB".
+std::string format_bytes(Offset bytes);
+
+/// Formats virtual time with an adaptive unit, e.g. "301.2 us".
+std::string format_time(Time t);
+
+/// Formats a bandwidth (bytes over virtual duration) as "X.XX GiB/s".
+std::string format_bandwidth(Offset bytes, Time elapsed);
+
+/// Bandwidth in GiB/s as a double (0 if elapsed == 0).
+double bandwidth_gib(Offset bytes, Time elapsed);
+
+}  // namespace e10

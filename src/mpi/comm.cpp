@@ -1,0 +1,305 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <tuple>
+
+namespace e10::mpi {
+
+namespace {
+/// Wire size of the message envelope (header) charged on top of payload.
+constexpr Offset kEnvelopeBytes = 64;
+
+int log2_stages(int p) {
+  if (p <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(p - 1));  // ceil(log2 p)
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Comm facade
+// ---------------------------------------------------------------------------
+
+int Comm::size() const { return state_->size(); }
+
+std::size_t Comm::node() const { return state_->node_of(rank_); }
+
+std::size_t Comm::node_of(int rank) const { return state_->node_of(rank); }
+
+sim::Engine& Comm::engine() const { return state_->engine(); }
+
+const std::string& Comm::name() const { return state_->name(); }
+
+Request Comm::isend(int dst, int tag, std::any payload, Offset bytes) const {
+  return state_->isend(rank_, dst, tag, std::move(payload), bytes);
+}
+
+Request Comm::irecv(int src, int tag) const {
+  return state_->irecv(rank_, src, tag);
+}
+
+void Comm::send(int dst, int tag, std::any payload, Offset bytes) const {
+  Request r = isend(dst, tag, std::move(payload), bytes);
+  r.wait();
+}
+
+Packet Comm::recv(int src, int tag) const {
+  Request r = irecv(src, tag);
+  r.wait();
+  return r.packet();
+}
+
+void Comm::barrier() const {
+  (void)run_collective(Kind::barrier, std::any(), 0);
+}
+
+std::shared_ptr<const std::vector<std::any>> Comm::run_collective(
+    Kind kind, std::any contribution, Offset bytes) const {
+  return state_->collective(rank_, kind, std::move(contribution), bytes);
+}
+
+Comm Comm::split(int color, int key) const {
+  int new_rank = -1;
+  auto child = state_->split_child(rank_, color, key, &new_rank);
+  if (child == nullptr) return Comm();  // undefined color (MPI_UNDEFINED)
+  return Comm(std::move(child), new_rank);
+}
+
+Comm Comm::dup() const {
+  auto child = state_->dup_child(rank_);
+  return Comm(std::move(child), rank_);
+}
+
+// ---------------------------------------------------------------------------
+// CommState
+// ---------------------------------------------------------------------------
+
+CommState::CommState(sim::Engine& engine, net::Fabric& fabric,
+                     std::vector<std::size_t> rank_nodes, MpiParams params,
+                     std::string name)
+    : engine_(engine),
+      fabric_(fabric),
+      rank_nodes_(std::move(rank_nodes)),
+      params_(params),
+      name_(std::move(name)),
+      queues_(rank_nodes_.size()),
+      coll_seq_(rank_nodes_.size(), 0) {
+  if (rank_nodes_.empty()) {
+    throw std::logic_error("CommState with zero ranks");
+  }
+}
+
+std::size_t CommState::node_of(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw std::logic_error("CommState::node_of: rank out of range");
+  }
+  return rank_nodes_[static_cast<std::size_t>(rank)];
+}
+
+bool CommState::matches(const PendingRecv& recv, const Packet& packet) {
+  return (recv.src == kAnySource || recv.src == packet.src) &&
+         (recv.tag == kAnyTag || recv.tag == packet.tag);
+}
+
+Request CommState::isend(int src, int dst, int tag, std::any payload,
+                         Offset bytes) {
+  if (dst < 0 || dst >= size()) {
+    throw std::logic_error("isend: destination rank out of range");
+  }
+  if (bytes < 0) throw std::logic_error("isend: negative byte count");
+  ++p2p_messages_;
+
+  const Time now = engine_.now();
+  const net::Fabric::TransferTimes times = fabric_.transfer_times(
+      node_of(src), node_of(dst), kEnvelopeBytes + bytes, now);
+
+  Packet packet;
+  packet.src = src;
+  packet.tag = tag;
+  packet.bytes = bytes;
+  packet.payload = std::move(payload);
+
+  auto send_state = std::make_shared<Request::State>(engine_);
+  const bool eager = bytes <= params_.eager_threshold;
+
+  RankQueues& dst_queues = queues_[static_cast<std::size_t>(dst)];
+  // Look for an already-posted matching receive (FIFO post order).
+  for (auto it = dst_queues.posted.begin(); it != dst_queues.posted.end();
+       ++it) {
+    if (matches(*it, packet)) {
+      const Time completion = times.arrival;
+      it->state->packet = std::move(packet);
+      it->state->has_packet = true;
+      it->state->done.set_at(completion);
+      send_state->done.set_at(eager ? times.tx_done : completion);
+      dst_queues.posted.erase(it);
+      return Request(std::move(send_state));
+    }
+  }
+
+  // No receive posted yet: queue as unexpected. Eager sends complete at
+  // tx-done (buffered); rendezvous sends stay open until matched.
+  PendingMsg msg;
+  msg.packet = std::move(packet);
+  msg.arrival = times.arrival;
+  if (eager) {
+    send_state->done.set_at(times.tx_done);
+  } else {
+    msg.send_state = send_state;
+  }
+  dst_queues.unexpected.push_back(std::move(msg));
+  return Request(std::move(send_state));
+}
+
+Request CommState::irecv(int dst, int src, int tag) {
+  if (src != kAnySource && (src < 0 || src >= size())) {
+    throw std::logic_error("irecv: source rank out of range");
+  }
+  auto recv_state = std::make_shared<Request::State>(engine_);
+  PendingRecv pending{recv_state, src, tag};
+
+  RankQueues& my_queues = queues_[static_cast<std::size_t>(dst)];
+  for (auto it = my_queues.unexpected.begin();
+       it != my_queues.unexpected.end(); ++it) {
+    if (matches(pending, it->packet)) {
+      const Time completion = std::max(engine_.now(), it->arrival);
+      recv_state->packet = std::move(it->packet);
+      recv_state->has_packet = true;
+      recv_state->done.set_at(completion);
+      if (it->send_state != nullptr) {
+        // Rendezvous sender completes when the receiver drains the message.
+        it->send_state->done.set_at(completion);
+      }
+      my_queues.unexpected.erase(it);
+      return Request(std::move(recv_state));
+    }
+  }
+  my_queues.posted.push_back(std::move(pending));
+  return Request(std::move(recv_state));
+}
+
+Time CommState::collective_cost(Comm::Kind kind, Offset max_bytes) const {
+  const int stages = log2_stages(size());
+  const auto ser = [&](Offset bytes) -> Time {
+    return static_cast<Time>(
+        static_cast<double>(bytes) * 1e9 /
+        static_cast<double>(params_.coll_bytes_per_second));
+  };
+  switch (kind) {
+    case Comm::Kind::barrier:
+      return stages * params_.coll_alpha;
+    case Comm::Kind::allreduce:
+    case Comm::Kind::reduce:
+      return stages * (params_.coll_alpha + ser(max_bytes));
+    case Comm::Kind::bcast:
+      return stages * params_.coll_alpha + ser(max_bytes);
+    case Comm::Kind::allgather:
+    case Comm::Kind::gather:
+      return stages * params_.coll_alpha + ser(max_bytes * size());
+    case Comm::Kind::alltoall:
+      // max_bytes is already the per-rank total (bytes_each * p).
+      return stages * params_.coll_alpha + ser(max_bytes);
+  }
+  return 0;
+}
+
+std::shared_ptr<CommState::CollOp> CommState::join_collective(
+    int rank, Comm::Kind kind, std::any contribution, Offset bytes) {
+  const std::uint64_t gen = coll_seq_[static_cast<std::size_t>(rank)]++;
+  auto it = coll_ops_.find(gen);
+  if (it == coll_ops_.end()) {
+    auto op = std::make_shared<CollOp>(engine_);
+    op->contributions.resize(static_cast<std::size_t>(size()));
+    op->kind = kind;
+    ++coll_ops_started_;
+    it = coll_ops_.emplace(gen, std::move(op)).first;
+  }
+  const std::shared_ptr<CollOp> op = it->second;
+  if (op->kind != kind) {
+    throw std::logic_error(
+        "collective mismatch on comm '" + name_ +
+        "': ranks issued different collective operations at the same step");
+  }
+  op->contributions[static_cast<std::size_t>(rank)] = std::move(contribution);
+  op->max_arrival = std::max(op->max_arrival, engine_.now());
+  op->max_bytes = std::max(op->max_bytes, bytes);
+  ++op->arrived;
+  if (op->arrived == static_cast<std::size_t>(size())) {
+    // Last arriver: everyone leaves at max arrival + modeled tree cost.
+    const Time release = op->max_arrival + collective_cost(kind, op->max_bytes);
+    op->result = std::make_shared<std::vector<std::any>>(
+        std::move(op->contributions));
+    op->release.set_at(release);
+    coll_ops_.erase(gen);  // joined ranks hold shared_ptrs
+  }
+  return op;
+}
+
+std::shared_ptr<const std::vector<std::any>> CommState::collective(
+    int rank, Comm::Kind kind, std::any contribution, Offset bytes) {
+  const std::shared_ptr<CollOp> op =
+      join_collective(rank, kind, std::move(contribution), bytes);
+  op->release.wait();
+  return op->result;
+}
+
+std::shared_ptr<CommState> CommState::split_child(int caller_rank, int color,
+                                                  int key, int* new_rank) {
+  // The collective sequence number identifies this split so that all ranks
+  // agree on which child registry entry to use.
+  const std::uint64_t gen = coll_seq_[static_cast<std::size_t>(caller_rank)];
+  const auto contribs = collective(
+      caller_rank, Comm::Kind::allgather,
+      std::any(std::tuple<int, int>(color, key)), sizeof(int) * 2);
+
+  if (color < 0) {  // MPI_UNDEFINED-style: caller not in any child
+    *new_rank = -1;
+    return nullptr;
+  }
+
+  // Deterministic membership: ranks with my color, ordered by (key, rank).
+  std::vector<std::pair<int, int>> members;  // (key, old rank)
+  for (int r = 0; r < size(); ++r) {
+    const auto [c, k] =
+        std::any_cast<const std::tuple<int, int>&>((*contribs)[static_cast<std::size_t>(r)]);
+    if (c == color) members.emplace_back(k, r);
+  }
+  std::sort(members.begin(), members.end());
+
+  auto& registry = children_[gen];
+  auto it = registry.find(color);
+  if (it == registry.end()) {
+    std::vector<std::size_t> nodes;
+    nodes.reserve(members.size());
+    for (const auto& [k, r] : members) nodes.push_back(node_of(r));
+    auto child = std::make_shared<CommState>(
+        engine_, fabric_, std::move(nodes), params_,
+        name_ + ".split" + std::to_string(next_child_id_++) + ".c" +
+            std::to_string(color));
+    it = registry.emplace(color, std::move(child)).first;
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].second == caller_rank) {
+      *new_rank = static_cast<int>(i);
+      break;
+    }
+  }
+  return it->second;
+}
+
+std::shared_ptr<CommState> CommState::dup_child(int caller_rank) {
+  const std::uint64_t gen = coll_seq_[static_cast<std::size_t>(caller_rank)];
+  (void)collective(caller_rank, Comm::Kind::barrier, std::any(), 0);
+  auto& registry = children_[gen];
+  auto it = registry.find(0);
+  if (it == registry.end()) {
+    auto child = std::make_shared<CommState>(
+        engine_, fabric_, rank_nodes_, params_,
+        name_ + ".dup" + std::to_string(next_child_id_++));
+    it = registry.emplace(0, std::move(child)).first;
+  }
+  return it->second;
+}
+
+}  // namespace e10::mpi

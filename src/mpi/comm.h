@@ -1,0 +1,240 @@
+// Simulated MPI communicator.
+//
+// Point-to-point messages travel through the Fabric cost model with MPI
+// matching semantics (FIFO per (source, tag), wildcards supported) and an
+// eager/rendezvous protocol switch at `eager_threshold`. Collectives are
+// modeled as synchronizing rendezvous: all participants leave at
+// max(arrival) + an analytic tree cost — precisely the global-
+// synchronisation behaviour the paper identifies as collective I/O's
+// bottleneck (a slow rank delays everyone).
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "mpi/request.h"
+#include "mpi/topology.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace e10::mpi {
+
+inline constexpr int kAnySource = -2;
+inline constexpr int kAnyTag = -1;
+
+struct MpiParams {
+  /// Per-tree-stage latency of collective algorithms.
+  Time coll_alpha = units::microseconds(3);
+  /// Serialization bandwidth used by the collective cost model.
+  Offset coll_bytes_per_second = Offset{3400} * units::MiB;
+  /// Messages larger than this use the rendezvous protocol (sender completes
+  /// at delivery), smaller ones are eager (sender completes at tx-done).
+  Offset eager_threshold = 256 * units::KiB;
+};
+
+class CommState;
+
+/// Lightweight per-rank facade over a shared CommState; cheap to copy.
+class Comm {
+ public:
+  Comm() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  int rank() const { return rank_; }
+  int size() const;
+  std::size_t node() const;
+  std::size_t node_of(int rank) const;
+  sim::Engine& engine() const;
+  const std::string& name() const;
+
+  // ---- Point-to-point ----------------------------------------------------
+
+  /// Nonblocking send of a type-erased payload charged as `bytes` on the
+  /// wire. The payload is copied by value into the matching receive.
+  Request isend(int dst, int tag, std::any payload, Offset bytes) const;
+
+  /// Nonblocking receive from `src` (or kAnySource) with `tag` (or kAnyTag).
+  Request irecv(int src, int tag) const;
+
+  void send(int dst, int tag, std::any payload, Offset bytes) const;
+  Packet recv(int src, int tag) const;
+
+  // ---- Collectives (all synchronizing; see header comment) ---------------
+
+  void barrier() const;
+
+  template <typename T, typename BinaryOp>
+  T allreduce(const T& value, BinaryOp op, Offset bytes = sizeof(T)) const {
+    auto contribs = run_collective(Kind::allreduce, std::any(value), bytes);
+    T acc = std::any_cast<const T&>((*contribs)[0]);
+    for (std::size_t i = 1; i < contribs->size(); ++i) {
+      acc = op(acc, std::any_cast<const T&>((*contribs)[i]));
+    }
+    return acc;
+  }
+
+  template <typename T>
+  std::vector<T> allgather(const T& value, Offset bytes = sizeof(T)) const {
+    auto contribs = run_collective(Kind::allgather, std::any(value), bytes);
+    std::vector<T> out;
+    out.reserve(contribs->size());
+    for (const std::any& a : *contribs) out.push_back(std::any_cast<const T&>(a));
+    return out;
+  }
+
+  /// `send[i]` goes to rank i; returns the vector received from each rank.
+  /// `bytes_each` is the wire size of one element.
+  template <typename T>
+  std::vector<T> alltoall(const std::vector<T>& send,
+                          Offset bytes_each = sizeof(T)) const {
+    if (static_cast<int>(send.size()) != size()) {
+      throw std::logic_error("alltoall: sendbuf size != comm size");
+    }
+    auto contribs = run_collective(Kind::alltoall, std::any(send),
+                                   bytes_each * size());
+    std::vector<T> out;
+    out.reserve(contribs->size());
+    for (const std::any& a : *contribs) {
+      const auto& row = std::any_cast<const std::vector<T>&>(a);
+      out.push_back(row[static_cast<std::size_t>(rank_)]);
+    }
+    return out;
+  }
+
+  template <typename T>
+  T bcast(const T& value, int root, Offset bytes = sizeof(T)) const {
+    auto contribs = run_collective(Kind::bcast, std::any(value), bytes);
+    return std::any_cast<const T&>((*contribs)[static_cast<std::size_t>(root)]);
+  }
+
+  /// Root receives everyone's value (rank order); non-roots get empty.
+  template <typename T>
+  std::vector<T> gather(const T& value, int root,
+                        Offset bytes = sizeof(T)) const {
+    auto contribs = run_collective(Kind::gather, std::any(value), bytes);
+    if (rank_ != root) return {};
+    std::vector<T> out;
+    out.reserve(contribs->size());
+    for (const std::any& a : *contribs) out.push_back(std::any_cast<const T&>(a));
+    return out;
+  }
+
+  template <typename T, typename BinaryOp>
+  T reduce(const T& value, BinaryOp op, int root,
+           Offset bytes = sizeof(T)) const {
+    auto contribs = run_collective(Kind::reduce, std::any(value), bytes);
+    if (rank_ != root) return T{};
+    T acc = std::any_cast<const T&>((*contribs)[0]);
+    for (std::size_t i = 1; i < contribs->size(); ++i) {
+      acc = op(acc, std::any_cast<const T&>((*contribs)[i]));
+    }
+    return acc;
+  }
+
+  /// MPI_Comm_split: ranks with equal color form a new communicator, ordered
+  /// by (key, old rank).
+  Comm split(int color, int key) const;
+
+  /// MPI_Comm_dup: same group, fresh matching context.
+  Comm dup() const;
+
+ private:
+  friend class World;
+  friend class CommState;
+  enum class Kind { barrier, allreduce, allgather, alltoall, bcast, gather, reduce };
+
+  Comm(std::shared_ptr<CommState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  /// Deposits this rank's contribution and blocks until all ranks arrive;
+  /// returns the full contribution vector indexed by rank.
+  std::shared_ptr<const std::vector<std::any>> run_collective(
+      Kind kind, std::any contribution, Offset bytes) const;
+
+  std::shared_ptr<CommState> state_;
+  int rank_ = -1;
+};
+
+/// Shared implementation of one communicator.
+class CommState {
+ public:
+  CommState(sim::Engine& engine, net::Fabric& fabric,
+            std::vector<std::size_t> rank_nodes, MpiParams params,
+            std::string name);
+
+  int size() const { return static_cast<int>(rank_nodes_.size()); }
+  sim::Engine& engine() { return engine_; }
+  const std::string& name() const { return name_; }
+  std::size_t node_of(int rank) const;
+
+  Request isend(int src, int dst, int tag, std::any payload, Offset bytes);
+  Request irecv(int dst, int src, int tag);
+
+  std::shared_ptr<const std::vector<std::any>> collective(
+      int rank, Comm::Kind kind, std::any contribution, Offset bytes);
+
+  std::shared_ptr<CommState> split_child(int caller_rank, int color, int key,
+                                         int* new_rank);
+
+  std::shared_ptr<CommState> dup_child(int caller_rank);
+
+  /// Diagnostics.
+  std::uint64_t p2p_messages() const { return p2p_messages_; }
+  std::uint64_t collectives() const { return coll_ops_started_; }
+
+ private:
+  struct PendingMsg {
+    Packet packet;
+    Time arrival = 0;
+    std::shared_ptr<Request::State> send_state;  // open rendezvous send
+  };
+  struct PendingRecv {
+    std::shared_ptr<Request::State> state;
+    int src = kAnySource;
+    int tag = kAnyTag;
+  };
+  struct RankQueues {
+    std::deque<PendingMsg> unexpected;
+    std::deque<PendingRecv> posted;
+  };
+  struct CollOp {
+    explicit CollOp(sim::Engine& engine) : release(engine) {}
+    std::vector<std::any> contributions;
+    std::size_t arrived = 0;
+    Time max_arrival = 0;
+    Offset max_bytes = 0;
+    Comm::Kind kind = Comm::Kind::barrier;
+    sim::SimEvent release;
+    std::shared_ptr<std::vector<std::any>> result;
+  };
+
+  static bool matches(const PendingRecv& recv, const Packet& packet);
+  Time collective_cost(Comm::Kind kind, Offset max_bytes) const;
+  std::shared_ptr<CollOp> join_collective(int rank, Comm::Kind kind,
+                                          std::any contribution, Offset bytes);
+
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  std::vector<std::size_t> rank_nodes_;
+  MpiParams params_;
+  std::string name_;
+  std::vector<RankQueues> queues_;
+  // Per-rank collective sequence numbers and in-flight ops by sequence.
+  std::vector<std::uint64_t> coll_seq_;
+  std::map<std::uint64_t, std::shared_ptr<CollOp>> coll_ops_;
+  // Children created by split/dup at a given collective sequence.
+  std::map<std::uint64_t, std::map<int, std::shared_ptr<CommState>>> children_;
+  std::uint64_t p2p_messages_ = 0;
+  std::uint64_t coll_ops_started_ = 0;
+  int next_child_id_ = 0;
+};
+
+}  // namespace e10::mpi

@@ -1,0 +1,157 @@
+#include "mpi/datatype.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace e10::mpi {
+
+FlatType::FlatType(std::vector<Extent> blocks, Offset extent)
+    : blocks_(std::move(blocks)), extent_(extent) {
+  std::erase_if(blocks_, [](const Extent& e) { return e.empty(); });
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset < b.offset;
+            });
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].offset < 0 || blocks_[i].end() > extent_) {
+      throw std::logic_error("FlatType: block outside extent");
+    }
+    if (i > 0 && blocks_[i].offset < blocks_[i - 1].end()) {
+      throw std::logic_error("FlatType: overlapping blocks");
+    }
+    size_ += blocks_[i].length;
+  }
+  if (blocks_.empty() || size_ == 0) {
+    throw std::logic_error("FlatType: empty type");
+  }
+}
+
+FlatType FlatType::contiguous(Offset bytes) {
+  if (bytes <= 0) throw std::logic_error("FlatType::contiguous: bytes <= 0");
+  return FlatType({Extent{0, bytes}}, bytes);
+}
+
+FlatType FlatType::vector(Offset count, Offset block_bytes,
+                          Offset stride_bytes) {
+  if (count <= 0 || block_bytes <= 0 || stride_bytes < block_bytes) {
+    throw std::logic_error("FlatType::vector: invalid shape");
+  }
+  std::vector<Extent> blocks;
+  blocks.reserve(static_cast<std::size_t>(count));
+  for (Offset i = 0; i < count; ++i) {
+    blocks.push_back(Extent{i * stride_bytes, block_bytes});
+  }
+  // MPI_Type_vector extent: from the first byte to the last byte touched.
+  const Offset extent = (count - 1) * stride_bytes + block_bytes;
+  return FlatType(std::move(blocks), extent);
+}
+
+FlatType FlatType::indexed(std::vector<Extent> blocks, Offset extent) {
+  return FlatType(std::move(blocks), extent);
+}
+
+FlatType FlatType::subarray(const std::vector<Offset>& sizes,
+                            const std::vector<Offset>& subsizes,
+                            const std::vector<Offset>& starts,
+                            Offset elem_bytes) {
+  const std::size_t dims = sizes.size();
+  if (dims == 0 || subsizes.size() != dims || starts.size() != dims ||
+      elem_bytes <= 0) {
+    throw std::logic_error("FlatType::subarray: inconsistent dims");
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (subsizes[d] <= 0 || starts[d] < 0 ||
+        starts[d] + subsizes[d] > sizes[d]) {
+      throw std::logic_error("FlatType::subarray: box out of bounds");
+    }
+  }
+  // Row-major (C order): the last dimension is contiguous. One block per
+  // run of the last dimension.
+  std::vector<Offset> stride(dims);  // bytes per step in each dimension
+  Offset acc = elem_bytes;
+  for (std::size_t d = dims; d-- > 0;) {
+    stride[d] = acc;
+    acc *= sizes[d];
+  }
+  const Offset total_extent = acc;  // whole array in bytes
+  const Offset run_bytes = subsizes[dims - 1] * elem_bytes;
+
+  std::vector<Extent> blocks;
+  std::vector<Offset> idx(dims, 0);  // index within the sub-box, last dim 0
+  while (true) {
+    Offset off = 0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      off += (starts[d] + idx[d]) * stride[d];
+    }
+    blocks.push_back(Extent{off, run_bytes});
+    // Advance the multi-index over all dims except the last.
+    std::size_t d = dims - 1;
+    bool carried = true;
+    while (carried && d-- > 0) {
+      if (++idx[d] < subsizes[d]) {
+        carried = false;
+      } else {
+        idx[d] = 0;
+      }
+    }
+    if (carried) break;  // wrapped the most significant dimension
+    if (dims == 1) break;
+  }
+  return FlatType(std::move(blocks), total_extent);
+}
+
+std::vector<Extent> FlatType::file_extents(Offset disp, Offset stream_offset,
+                                           Offset nbytes) const {
+  if (stream_offset < 0 || nbytes < 0) {
+    throw std::logic_error("FlatType::file_extents: negative range");
+  }
+  std::vector<Extent> out;
+  if (nbytes == 0) return out;
+
+  Offset instance = stream_offset / size_;
+  Offset within = stream_offset % size_;
+  Offset remaining = nbytes;
+  // Find the block containing `within` in the data stream of an instance.
+  std::size_t b = 0;
+  Offset consumed = 0;
+  while (b < blocks_.size() && consumed + blocks_[b].length <= within) {
+    consumed += blocks_[b].length;
+    ++b;
+  }
+  Offset block_skip = within - consumed;
+
+  while (remaining > 0) {
+    const Extent& blk = blocks_[b];
+    const Offset take = std::min(remaining, blk.length - block_skip);
+    const Offset file_off =
+        disp + instance * extent_ + blk.offset + block_skip;
+    if (!out.empty() && out.back().end() == file_off) {
+      out.back().length += take;  // merge adjacent
+    } else {
+      out.push_back(Extent{file_off, take});
+    }
+    remaining -= take;
+    block_skip = 0;
+    if (++b == blocks_.size()) {
+      b = 0;
+      ++instance;
+    }
+  }
+  return out;
+}
+
+std::vector<IoPiece> FlatType::map_data(Offset disp, Offset stream_offset,
+                                        const DataView& data) const {
+  const std::vector<Extent> extents =
+      file_extents(disp, stream_offset, data.size());
+  std::vector<IoPiece> out;
+  out.reserve(extents.size());
+  Offset cursor = 0;
+  for (const Extent& e : extents) {
+    out.push_back(IoPiece{e, data.slice(cursor, e.length)});
+    cursor += e.length;
+  }
+  return out;
+}
+
+}  // namespace e10::mpi

@@ -1,0 +1,81 @@
+// Flattened MPI datatypes for file views.
+//
+// ROMIO flattens every filetype into an (offset, length) block list; this
+// class is that flattened representation directly. A FlatType describes one
+// "instance" of the type: `blocks()` are the bytes it touches within a span
+// of `extent()` bytes; writing more than size() bytes tiles instances one
+// extent apart (MPI file view semantics with etype = byte).
+#pragma once
+
+#include <vector>
+
+#include "common/dataview.h"
+#include "common/extent.h"
+#include "common/units.h"
+
+namespace e10::mpi {
+
+/// One piece of an I/O operation: these file bytes get this data.
+struct IoPiece {
+  Extent file;
+  DataView data;
+};
+
+class FlatType {
+ public:
+  /// A contiguous run of `bytes`.
+  static FlatType contiguous(Offset bytes);
+
+  /// `count` blocks of `block_bytes`, strides of `stride_bytes` apart
+  /// (MPI_Type_vector with byte units).
+  static FlatType vector(Offset count, Offset block_bytes,
+                         Offset stride_bytes);
+
+  /// Explicit block list within an instance of span `extent`
+  /// (MPI_Type_indexed). Blocks must be non-overlapping; they are sorted.
+  static FlatType indexed(std::vector<Extent> blocks, Offset extent);
+
+  /// C-order N-dimensional subarray: the file bytes of the
+  /// `subsizes`-shaped box at `starts` inside a `sizes`-shaped array of
+  /// `elem_bytes`-byte elements (MPI_Type_create_subarray). This is the view
+  /// coll_perf and Flash-IO build.
+  static FlatType subarray(const std::vector<Offset>& sizes,
+                           const std::vector<Offset>& subsizes,
+                           const std::vector<Offset>& starts,
+                           Offset elem_bytes);
+
+  /// Bytes of data one instance holds (sum of block lengths).
+  Offset size() const { return size_; }
+
+  /// File span of one instance.
+  Offset extent() const { return extent_; }
+
+  const std::vector<Extent>& blocks() const { return blocks_; }
+
+  bool is_contiguous() const {
+    return blocks_.size() == 1 && blocks_[0].offset == 0 &&
+           blocks_[0].length == extent_;
+  }
+
+  /// File extents touched by the data-stream range
+  /// [stream_offset, stream_offset + nbytes) of a view anchored at file
+  /// displacement `disp`. The data stream is the concatenation of instance
+  /// blocks in file order (how MPI maps a contiguous user buffer through a
+  /// view). Returned extents are in file order.
+  std::vector<Extent> file_extents(Offset disp, Offset stream_offset,
+                                   Offset nbytes) const;
+
+  /// Zips file_extents() with slices of `data`: piece i carries the bytes of
+  /// the data stream that land in extent i.
+  std::vector<IoPiece> map_data(Offset disp, Offset stream_offset,
+                                const DataView& data) const;
+
+ private:
+  FlatType(std::vector<Extent> blocks, Offset extent);
+
+  std::vector<Extent> blocks_;  // sorted, non-overlapping, within extent
+  Offset extent_ = 0;
+  Offset size_ = 0;
+};
+
+}  // namespace e10::mpi

@@ -1,0 +1,46 @@
+#include "mpi/request.h"
+
+#include <stdexcept>
+
+namespace e10::mpi {
+
+void Request::wait() {
+  if (!valid()) throw std::logic_error("wait on invalid Request");
+  state_->done.wait();
+}
+
+bool Request::test() const {
+  if (!valid()) throw std::logic_error("test on invalid Request");
+  return state_->done.is_set();
+}
+
+const Packet& Request::packet() const {
+  if (!valid() || !state_->has_packet) {
+    throw std::logic_error("Request::packet: no delivered packet");
+  }
+  return state_->packet;
+}
+
+Request Request::grequest(sim::Engine& engine) {
+  return Request(std::make_shared<State>(engine));
+}
+
+void Request::complete() {
+  if (!valid()) throw std::logic_error("complete on invalid Request");
+  state_->done.set();
+}
+
+void Request::complete_at(Time at) {
+  if (!valid()) throw std::logic_error("complete on invalid Request");
+  state_->done.set_at(at);
+}
+
+void Request::wait_all(std::vector<Request>& requests) {
+  // Waiting in order is correct: each wait() only moves the clock forward,
+  // so the caller ends at the max completion time.
+  for (Request& r : requests) {
+    if (r.valid()) r.wait();
+  }
+}
+
+}  // namespace e10::mpi

@@ -1,0 +1,72 @@
+// MPI request objects: handles for nonblocking point-to-point operations and
+// user-completed generalized requests (MPI_Grequest — the mechanism the E10
+// cache layer uses to track in-flight cache-to-PFS synchronisation, paper
+// §III-A).
+#pragma once
+
+#include <any>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace e10::mpi {
+
+/// Envelope + payload of a point-to-point message. The payload is type-
+/// erased; `bytes` is what the cost model charges.
+struct Packet {
+  int src = -1;
+  int tag = 0;
+  Offset bytes = 0;
+  std::any payload;
+};
+
+class Request {
+ public:
+  Request() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the operation completes; advances the caller's clock to
+  /// the completion time. (MPI_Wait)
+  void wait();
+
+  /// Nonblocking completion check. (MPI_Test without status)
+  bool test() const;
+
+  /// For completed receive requests: the delivered packet.
+  const Packet& packet() const;
+
+  /// Creates a generalized request (MPI_Grequest_start): completed later by
+  /// complete() / complete_at().
+  static Request grequest(sim::Engine& engine);
+
+  /// Completes a generalized request now (MPI_Grequest_complete).
+  void complete();
+
+  /// Completes a generalized request at virtual time `at` — how an
+  /// asynchronous agent (the cache sync thread) publishes its completion
+  /// time without blocking.
+  void complete_at(Time at);
+
+  /// Waits on all requests; the caller's clock ends at the max completion.
+  static void wait_all(std::vector<Request>& requests);
+
+ private:
+  friend class CommState;
+
+  struct State {
+    explicit State(sim::Engine& engine) : done(engine) {}
+    sim::SimEvent done;
+    Packet packet;
+    bool has_packet = false;
+  };
+
+  explicit Request(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace e10::mpi

@@ -1,0 +1,34 @@
+#include "mpi/world.h"
+
+#include <string>
+
+namespace e10::mpi {
+
+World::World(sim::Engine& engine, net::Fabric& fabric, Topology topology,
+             MpiParams params)
+    : engine_(engine), topology_(topology) {
+  std::vector<std::size_t> rank_nodes;
+  rank_nodes.reserve(topology_.ranks());
+  for (std::size_t r = 0; r < topology_.ranks(); ++r) {
+    rank_nodes.push_back(topology_.node_of(static_cast<int>(r)));
+  }
+  world_state_ = std::make_shared<CommState>(
+      engine, fabric, std::move(rank_nodes), params, "world");
+}
+
+void World::launch(std::function<void(Comm)> rank_main) {
+  for (int r = 0; r < size(); ++r) {
+    const Comm comm = this->comm(r);
+    engine_.spawn("rank-" + std::to_string(r),
+                  [rank_main, comm] { rank_main(comm); });
+  }
+}
+
+Comm World::comm(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw std::logic_error("World::comm: rank out of range");
+  }
+  return Comm(world_state_, rank);
+}
+
+}  // namespace e10::mpi

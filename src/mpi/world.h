@@ -1,0 +1,37 @@
+// MPI world: creates COMM_WORLD over a topology and launches one simulated
+// process per rank.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/topology.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+
+namespace e10::mpi {
+
+class World {
+ public:
+  World(sim::Engine& engine, net::Fabric& fabric, Topology topology,
+        MpiParams params = {});
+
+  /// Spawns one simulated process per rank running `rank_main(comm)`.
+  /// Call Engine::run() afterwards to execute them.
+  void launch(std::function<void(Comm)> rank_main);
+
+  /// COMM_WORLD facade for a specific rank (for hand-wired tests).
+  Comm comm(int rank) const;
+
+  const Topology& topology() const { return topology_; }
+  int size() const { return static_cast<int>(topology_.ranks()); }
+
+ private:
+  sim::Engine& engine_;
+  Topology topology_;
+  std::shared_ptr<CommState> world_state_;
+};
+
+}  // namespace e10::mpi

@@ -1,0 +1,182 @@
+#include "mpiio/file.h"
+
+#include <stdexcept>
+
+namespace e10::mpiio {
+
+namespace {
+
+DataView concat_in_order(const std::vector<DataView>& parts) {
+  if (parts.size() == 1) return parts[0];
+  return DataView::concat(parts);
+}
+
+}  // namespace
+
+Result<File> File::open(adio::IoContext& ctx, mpi::Comm comm,
+                        const std::string& path, int amode,
+                        const mpi::Info& info) {
+  auto fd = adio::open_coll(ctx, comm, path, amode, info);
+  if (!fd.is_ok()) return fd.status();
+  return File(std::shared_ptr<adio::AdioFile>(std::move(fd).value()));
+}
+
+Status File::delete_file(adio::IoContext& ctx, const std::string& path) {
+  const auto [driver, bare] = adio::parse_driver_path(path);
+  return ctx.pfs.unlink(bare);
+}
+
+Status File::close() {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  const Status s = adio::close(*fd_);
+  fd_.reset();
+  return s;
+}
+
+Status File::sync() {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  return adio::flush(*fd_);
+}
+
+Status File::set_view(Offset disp, mpi::FlatType filetype) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  return adio::set_view(*fd_, disp, std::move(filetype));
+}
+
+Status File::set_view(Offset disp) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  return adio::set_view(*fd_, disp, std::nullopt);
+}
+
+Status File::set_atomicity(bool atomic) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  fd_->atomic_mode = atomic;
+  fd_->comm.barrier();  // collective
+  return Status::ok();
+}
+
+bool File::atomicity() const { return valid() && fd_->atomic_mode; }
+
+mpi::Info File::get_info() const {
+  if (!valid()) return mpi::Info();
+  mpi::Info info = fd_->hints.to_info();
+  // ROMIO resolves cb_nodes to the actual aggregator count.
+  info.set("cb_nodes", std::to_string(fd_->aggregators.size()));
+  return info;
+}
+
+Result<Offset> File::get_size() const {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  const auto stat = fd_->ctx->pfs.stat(fd_->handle);
+  if (!stat.is_ok()) return stat.status();
+  return stat.value().size;
+}
+
+std::vector<Extent> File::view_extents(Offset offset, Offset length) const {
+  if (fd_->filetype.has_value()) {
+    return fd_->filetype->file_extents(fd_->disp, offset, length);
+  }
+  if (length == 0) return {};
+  return {Extent{fd_->disp + offset, length}};
+}
+
+std::vector<mpi::IoPiece> File::view_pieces(Offset offset,
+                                            const DataView& data) const {
+  if (fd_->filetype.has_value()) {
+    return fd_->filetype->map_data(fd_->disp, offset, data);
+  }
+  if (data.empty()) return {};
+  mpi::IoPiece piece;
+  piece.file = Extent{fd_->disp + offset, data.size()};
+  piece.data = data;
+  return {piece};
+}
+
+Status File::write_at(Offset offset, const DataView& data) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  if (offset < 0) {
+    return Status::error(Errc::invalid_argument, "write_at: offset < 0");
+  }
+  return adio::write_strided(*fd_, view_pieces(offset, data));
+}
+
+Status File::write_at_all(Offset offset, const DataView& data) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  if (offset < 0) {
+    return Status::error(Errc::invalid_argument, "write_at_all: offset < 0");
+  }
+  return adio::write_strided_coll(*fd_, view_pieces(offset, data));
+}
+
+Result<DataView> File::read_at(Offset offset, Offset length) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  if (offset < 0 || length < 0) {
+    return Status::error(Errc::invalid_argument, "read_at: bad range");
+  }
+  const std::vector<Extent> extents = view_extents(offset, length);
+  auto parts = adio::read_strided(*fd_, extents);
+  if (!parts.is_ok()) return parts.status();
+  return concat_in_order(parts.value());
+}
+
+Result<DataView> File::read_at_all(Offset offset, Offset length) {
+  if (!valid()) return Status::error(Errc::invalid_argument, "closed file");
+  if (offset < 0 || length < 0) {
+    return Status::error(Errc::invalid_argument, "read_at_all: bad range");
+  }
+  const std::vector<Extent> extents = view_extents(offset, length);
+  auto parts = adio::read_strided_coll(*fd_, extents);
+  if (!parts.is_ok()) return parts.status();
+  return concat_in_order(parts.value());
+}
+
+Status File::write(const DataView& data) {
+  const Offset at = tell();
+  const Status s = write_at(at, data);
+  if (s.is_ok()) fd_->fp_ind = at + data.size();
+  return s;
+}
+
+Status File::write_all(const DataView& data) {
+  const Offset at = tell();
+  const Status s = write_at_all(at, data);
+  if (s.is_ok()) fd_->fp_ind = at + data.size();
+  return s;
+}
+
+Result<DataView> File::read(Offset length) {
+  const Offset at = tell();
+  auto r = read_at(at, length);
+  if (r.is_ok()) fd_->fp_ind = at + r.value().size();
+  return r;
+}
+
+Result<DataView> File::read_all(Offset length) {
+  const Offset at = tell();
+  auto r = read_at_all(at, length);
+  if (r.is_ok()) fd_->fp_ind = at + r.value().size();
+  return r;
+}
+
+Offset File::tell() const {
+  if (!valid()) throw std::logic_error("tell on closed file");
+  return fd_->fp_ind;
+}
+
+void File::seek(Offset offset) {
+  if (!valid()) throw std::logic_error("seek on closed file");
+  if (offset < 0) throw std::logic_error("seek to negative offset");
+  fd_->fp_ind = offset;
+}
+
+mpi::Comm File::comm() const {
+  if (!valid()) throw std::logic_error("comm on closed file");
+  return fd_->comm;
+}
+
+const std::vector<int>& File::aggregators() const {
+  if (!valid()) throw std::logic_error("aggregators on closed file");
+  return fd_->aggregators;
+}
+
+}  // namespace e10::mpiio

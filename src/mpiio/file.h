@@ -1,0 +1,96 @@
+// MPI-IO public API (the MPI_File_* surface the benchmarks and examples
+// program against). Each rank holds its own File object, opened collectively
+// over a communicator — mirroring how every MPI process holds its own
+// MPI_File handle backed by ROMIO's ADIO file.
+//
+// Offsets are expressed in view-stream bytes (etype = MPI_BYTE): after
+// set_view(disp, type), offset k addresses the k-th data byte that the view
+// maps into the file — standard MPI file-view semantics for byte etypes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adio/adio_file.h"
+#include "common/dataview.h"
+#include "common/status.h"
+#include "mpi/comm.h"
+#include "mpi/datatype.h"
+#include "mpi/info.h"
+
+namespace e10::mpiio {
+
+class File {
+ public:
+  File() = default;
+
+  /// MPI_File_open (collective over `comm`). `path` may carry a driver
+  /// prefix ("beegfs:/..."). Hints ride in `info` (Tables I and II).
+  static Result<File> open(adio::IoContext& ctx, mpi::Comm comm,
+                           const std::string& path, int amode,
+                           const mpi::Info& info = {});
+
+  /// MPI_File_delete.
+  static Status delete_file(adio::IoContext& ctx, const std::string& path);
+
+  bool valid() const { return fd_ != nullptr; }
+
+  /// MPI_File_close (collective). After it returns, all data — including
+  /// data cached on node-local NVM — is visible cluster-wide (§III-B).
+  Status close();
+
+  /// MPI_File_sync (collective): drains the cache synchronisation.
+  Status sync();
+
+  /// MPI_File_set_view (collective); resets the individual file pointer.
+  Status set_view(Offset disp, mpi::FlatType filetype);
+  Status set_view(Offset disp);  // contiguous byte view
+
+  /// MPI_File_set_atomicity / get_atomicity.
+  Status set_atomicity(bool atomic);
+  bool atomicity() const;
+
+  /// MPI_File_get_info: hint echo.
+  mpi::Info get_info() const;
+
+  /// MPI_File_get_size (bytes in the global file).
+  Result<Offset> get_size() const;
+
+  // ---- Explicit offset ----------------------------------------------------
+  Status write_at(Offset offset, const DataView& data);        // independent
+  Status write_at_all(Offset offset, const DataView& data);    // collective
+  Result<DataView> read_at(Offset offset, Offset length);
+  Result<DataView> read_at_all(Offset offset, Offset length);
+
+  // ---- Individual file pointer --------------------------------------------
+  Status write(const DataView& data);
+  Status write_all(const DataView& data);
+  Result<DataView> read(Offset length);
+  Result<DataView> read_all(Offset length);
+
+  Offset tell() const;
+  void seek(Offset offset);
+
+  /// The communicator the file was opened on.
+  mpi::Comm comm() const;
+
+  /// Aggregator ranks resolved at open (diagnostics / tests).
+  const std::vector<int>& aggregators() const;
+
+  /// Direct access to the ADIO file (tests and the MPIWRAP layer).
+  adio::AdioFile* raw() { return fd_.get(); }
+  const adio::AdioFile* raw() const { return fd_.get(); }
+
+ private:
+  explicit File(std::shared_ptr<adio::AdioFile> fd) : fd_(std::move(fd)) {}
+
+  /// Maps a view-stream byte range onto file extents.
+  std::vector<Extent> view_extents(Offset offset, Offset length) const;
+  std::vector<mpi::IoPiece> view_pieces(Offset offset,
+                                        const DataView& data) const;
+
+  std::shared_ptr<adio::AdioFile> fd_;
+};
+
+}  // namespace e10::mpiio

@@ -1,0 +1,68 @@
+#include "net/fabric.h"
+
+#include <stdexcept>
+
+namespace e10::net {
+
+Fabric::Fabric(std::size_t nodes, const FabricParams& params)
+    : params_(params), tx_(nodes), rx_(nodes), mem_(nodes) {
+  if (nodes == 0) throw std::logic_error("Fabric with zero nodes");
+  if (params.nic_bytes_per_second <= 0 || params.mem_bytes_per_second <= 0) {
+    throw std::logic_error("Fabric bandwidth must be positive");
+  }
+}
+
+Time Fabric::serialization_time(Offset size, Offset bytes_per_second) const {
+  // ceil(size * 1e9 / bw) in integer arithmetic, avoiding overflow by
+  // splitting into whole seconds and remainder.
+  if (size <= 0) return 0;
+  const Offset whole = size / bytes_per_second;
+  const Offset rem = size % bytes_per_second;
+  return units::seconds(whole) +
+         static_cast<Time>((static_cast<double>(rem) * 1e9) /
+                           static_cast<double>(bytes_per_second));
+}
+
+Time Fabric::delivery_estimate(std::size_t src_node, std::size_t dst_node,
+                               Offset size, Time when) const {
+  if (src_node >= tx_.size() || dst_node >= rx_.size()) {
+    throw std::logic_error("Fabric::delivery_estimate: node out of range");
+  }
+  if (size < 0) {
+    throw std::logic_error("Fabric::delivery_estimate: negative size");
+  }
+  if (src_node == dst_node) {
+    return when + params_.intra_node_overhead +
+           serialization_time(size, params_.mem_bytes_per_second);
+  }
+  return when + params_.per_message_overhead + params_.link_latency +
+         serialization_time(size, params_.nic_bytes_per_second);
+}
+
+Fabric::TransferTimes Fabric::transfer_times(std::size_t src_node,
+                                             std::size_t dst_node, Offset size,
+                                             Time now) {
+  if (src_node >= tx_.size() || dst_node >= rx_.size()) {
+    throw std::logic_error("Fabric::transfer: node out of range");
+  }
+  if (size < 0) throw std::logic_error("Fabric::transfer: negative size");
+
+  if (src_node == dst_node) {
+    intra_node_bytes_ += size;
+    const Time copy = serialization_time(size, params_.mem_bytes_per_second);
+    const Time done =
+        mem_[src_node].reserve(now, params_.intra_node_overhead + copy);
+    return TransferTimes{done, done};
+  }
+
+  inter_node_bytes_ += size;
+  const Time wire = serialization_time(size, params_.nic_bytes_per_second);
+  const Time tx_done =
+      tx_[src_node].reserve(now, params_.per_message_overhead + wire);
+  // The receive NIC drains the same number of bytes; under incast the
+  // receiver side is the bottleneck and this timeline serializes the flows.
+  const Time arrival = rx_[dst_node].reserve(tx_done + params_.link_latency, wire);
+  return TransferTimes{tx_done, arrival};
+}
+
+}  // namespace e10::net

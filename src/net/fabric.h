@@ -1,0 +1,81 @@
+// Interconnect model (InfiniBand-QDR-like).
+//
+// A message from node A to node B is charged: per-message software overhead
+// and serialization time on A's transmit NIC, link latency, and drain time on
+// B's receive NIC. NIC timelines create the incast contention an aggregator
+// sees when many processes shuffle data to it at once. Messages between
+// ranks on the same node bypass the NICs and pay a memory-copy cost instead
+// (the paper's point (e): shuffle pressure on memory bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/resource.h"
+
+namespace e10::net {
+
+struct FabricParams {
+  /// One-way wire latency between any two nodes.
+  Time link_latency = units::microseconds(2);
+  /// Per-message software/protocol overhead charged at the sender.
+  Time per_message_overhead = units::microseconds(1);
+  /// NIC serialization bandwidth, bytes per simulated second.
+  Offset nic_bytes_per_second = Offset{3400} * units::MiB;  // ~QDR 4x
+  /// Intra-node copy bandwidth (shared-memory transport).
+  Offset mem_bytes_per_second = Offset{6} * units::GiB;
+  /// Intra-node per-message overhead.
+  Time intra_node_overhead = units::nanoseconds(400);
+};
+
+class Fabric {
+ public:
+  Fabric(std::size_t nodes, const FabricParams& params);
+
+  struct TransferTimes {
+    /// When the sender's NIC finished serializing (send buffer reusable).
+    Time tx_done;
+    /// When the message is fully delivered at the receiver.
+    Time arrival;
+  };
+
+  /// Computes the timing of a `size`-byte message sent from `src_node` at
+  /// time `now` to `dst_node`, reserving NIC capacity on both ends. Pure
+  /// cost model: never blocks.
+  TransferTimes transfer_times(std::size_t src_node, std::size_t dst_node,
+                               Offset size, Time now);
+
+  /// Arrival time only (convenience).
+  Time transfer(std::size_t src_node, std::size_t dst_node, Offset size,
+                Time now) {
+    return transfer_times(src_node, dst_node, size, now).arrival;
+  }
+
+  /// Delivery time of a message WITHOUT reserving NIC capacity: pure
+  /// latency + serialization cost. For small control messages (RPC
+  /// requests, acknowledgements) whose bandwidth is negligible — and whose
+  /// send time may lie in the issuing model's future, where a FIFO timeline
+  /// reservation would wrongly stall later traffic.
+  Time delivery_estimate(std::size_t src_node, std::size_t dst_node,
+                         Offset size, Time when) const;
+
+  std::size_t nodes() const { return tx_.size(); }
+  const FabricParams& params() const { return params_; }
+
+  /// Cumulative bytes moved across node boundaries (diagnostics).
+  Offset inter_node_bytes() const { return inter_node_bytes_; }
+  Offset intra_node_bytes() const { return intra_node_bytes_; }
+
+ private:
+  Time serialization_time(Offset size, Offset bytes_per_second) const;
+
+  FabricParams params_;
+  std::vector<sim::ResourceTimeline> tx_;
+  std::vector<sim::ResourceTimeline> rx_;
+  std::vector<sim::ResourceTimeline> mem_;  // intra-node copy engines
+  Offset inter_node_bytes_ = 0;
+  Offset intra_node_bytes_ = 0;
+};
+
+}  // namespace e10::net

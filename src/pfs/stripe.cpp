@@ -1,0 +1,45 @@
+#include "pfs/stripe.h"
+
+#include <stdexcept>
+
+namespace e10::pfs {
+
+StripeLayout::StripeLayout(Offset stripe_unit, std::size_t stripe_count,
+                           std::size_t first_target)
+    : stripe_unit_(stripe_unit),
+      stripe_count_(stripe_count),
+      first_target_(first_target) {
+  if (stripe_unit <= 0) throw std::logic_error("stripe_unit must be > 0");
+  if (stripe_count == 0) throw std::logic_error("stripe_count must be > 0");
+}
+
+std::size_t StripeLayout::target_of(Offset offset) const {
+  const Offset idx = stripe_index_of(offset);
+  return (static_cast<std::size_t>(idx) + first_target_) % stripe_count_;
+}
+
+std::vector<StripeChunk> StripeLayout::chunks(const Extent& extent) const {
+  std::vector<StripeChunk> out;
+  if (extent.empty()) return out;
+  Offset cursor = extent.offset;
+  const Offset end = extent.end();
+  while (cursor < end) {
+    const Offset stripe_end = stripe_start(cursor) + stripe_unit_;
+    const Offset piece_end = std::min(end, stripe_end);
+    StripeChunk chunk;
+    chunk.target = target_of(cursor);
+    chunk.stripe_index = stripe_index_of(cursor);
+    chunk.extent = Extent{cursor, piece_end - cursor};
+    // Round-robin layout: the target object holds every stripe_count-th
+    // stripe contiguously.
+    chunk.target_offset =
+        (chunk.stripe_index / static_cast<Offset>(stripe_count_)) *
+            stripe_unit_ +
+        (cursor - stripe_start(cursor));
+    out.push_back(chunk);
+    cursor = piece_end;
+  }
+  return out;
+}
+
+}  // namespace e10::pfs

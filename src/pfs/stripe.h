@@ -1,0 +1,64 @@
+// File striping: mapping byte extents of a logical file onto storage
+// targets, BeeGFS/Lustre style. `striping_unit` is the chunk size (and the
+// lock granularity of the file, per paper §II-B); `striping_factor` is how
+// many targets the file spans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/extent.h"
+#include "common/units.h"
+
+namespace e10::pfs {
+
+struct StripeChunk {
+  /// Index of the target within the file's stripe set [0, stripe_count).
+  std::size_t target = 0;
+  /// Global stripe index: offset / stripe_unit (the lock unit).
+  Offset stripe_index = 0;
+  /// The piece of the file covered by this chunk.
+  Extent extent;
+  /// Byte offset inside the target's backing object (for sequential-access
+  /// detection on the device).
+  Offset target_offset = 0;
+};
+
+class StripeLayout {
+ public:
+  StripeLayout(Offset stripe_unit, std::size_t stripe_count,
+               std::size_t first_target = 0);
+
+  Offset stripe_unit() const { return stripe_unit_; }
+  std::size_t stripe_count() const { return stripe_count_; }
+  std::size_t first_target() const { return first_target_; }
+
+  /// Target (within the stripe set) storing the stripe containing `offset`.
+  std::size_t target_of(Offset offset) const;
+
+  /// Global stripe index containing `offset`.
+  Offset stripe_index_of(Offset offset) const {
+    return offset / stripe_unit_;
+  }
+
+  /// Start offset of the stripe containing `offset`.
+  Offset stripe_start(Offset offset) const {
+    return stripe_index_of(offset) * stripe_unit_;
+  }
+
+  /// Rounds `offset` down/up to a stripe boundary.
+  Offset align_down(Offset offset) const { return stripe_start(offset); }
+  Offset align_up(Offset offset) const {
+    return ((offset + stripe_unit_ - 1) / stripe_unit_) * stripe_unit_;
+  }
+
+  /// Splits `extent` into per-stripe chunks in file order.
+  std::vector<StripeChunk> chunks(const Extent& extent) const;
+
+ private:
+  Offset stripe_unit_;
+  std::size_t stripe_count_;
+  std::size_t first_target_;
+};
+
+}  // namespace e10::pfs

@@ -1,0 +1,81 @@
+#include "prof/profiler.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace e10::prof {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::open: return "open";
+    case Phase::offset_exchange: return "offset_exchange";
+    case Phase::calc: return "calc";
+    case Phase::shuffle_all2all: return "shuffle_all2all";
+    case Phase::exchange: return "exchange";
+    case Phase::write_contig: return "write_contig";
+    case Phase::post_write: return "post_write";
+    case Phase::flush_wait: return "flush_wait";
+    case Phase::not_hidden_sync: return "not_hidden_sync";
+    case Phase::read_contig: return "read_contig";
+    case Phase::close: return "close";
+    case Phase::count: break;
+  }
+  return "?";
+}
+
+Profiler::Profiler(sim::Engine& engine, int ranks) : engine_(engine) {
+  if (ranks <= 0) throw std::logic_error("Profiler: ranks must be > 0");
+  totals_.resize(static_cast<std::size_t>(ranks));
+  reset();
+}
+
+void Profiler::record(int rank, Phase phase, Time duration) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= totals_.size()) {
+    throw std::logic_error("Profiler::record: rank out of range");
+  }
+  if (duration < 0) throw std::logic_error("Profiler::record: negative time");
+  totals_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(phase)] +=
+      duration;
+}
+
+Time Profiler::rank_total(int rank, Phase phase) const {
+  return totals_.at(static_cast<std::size_t>(rank))[static_cast<std::size_t>(
+      phase)];
+}
+
+Time Profiler::max_over_ranks(Phase phase) const {
+  Time best = 0;
+  for (const auto& row : totals_) {
+    best = std::max(best, row[static_cast<std::size_t>(phase)]);
+  }
+  return best;
+}
+
+Time Profiler::avg_over_ranks(Phase phase) const {
+  Time sum = 0;
+  for (const auto& row : totals_) sum += row[static_cast<std::size_t>(phase)];
+  return sum / static_cast<Time>(totals_.size());
+}
+
+Time Profiler::max_over(const std::vector<int>& ranks, Phase phase) const {
+  Time best = 0;
+  for (const int r : ranks) best = std::max(best, rank_total(r, phase));
+  return best;
+}
+
+void Profiler::reset() {
+  for (auto& row : totals_) row.fill(0);
+}
+
+std::string Profiler::summary() const {
+  std::ostringstream os;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    os << phase_name(phase) << " max=" << format_time(max_over_ranks(phase))
+       << " avg=" << format_time(avg_over_ranks(phase)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace e10::prof

@@ -1,0 +1,242 @@
+#include "sim/engine.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace e10::sim {
+
+namespace {
+
+/// The engine whose fiber is currently being started (trampoline target).
+thread_local Engine* g_active_engine = nullptr;
+
+/// Written at the low end of every fiber stack; checked when the fiber
+/// finishes to catch stack overflows (fiber stacks have no guard page).
+constexpr std::uint64_t kStackCanary = 0xE10CAFEBABE5EEDULL;
+
+}  // namespace
+
+void ProcessHandle::join() const {
+  if (!valid()) throw std::logic_error("join on invalid ProcessHandle");
+  Engine& eng = *engine_;
+  Engine::Process& target = eng.proc(id_);
+  if (target.state == Engine::Process::State::finished) {
+    eng.advance_to(target.clock);
+    return;
+  }
+  target.joiners.push_back(eng.current());
+  eng.block("join");
+}
+
+bool ProcessHandle::finished() const {
+  if (!valid()) return false;
+  return engine_->proc(id_).state == Engine::Process::State::finished;
+}
+
+Engine::Engine() = default;
+
+Engine::~Engine() { cancel_all(); }
+
+Engine::Process& Engine::proc(ProcessId pid) const {
+  if (pid >= processes_.size()) {
+    throw std::logic_error("unknown ProcessId");
+  }
+  return *processes_[pid];
+}
+
+ProcessHandle Engine::spawn(std::string name, std::function<void()> body) {
+  auto process = std::make_unique<Process>();
+  Process& p = *process;
+  p.name = std::move(name);
+  p.id = processes_.size();
+  p.clock = current_ != nullptr ? current_->clock : sim_time_;
+  p.body = std::move(body);
+  p.state = Process::State::ready;
+  // Default-initialized (not zeroed) so pages are only touched when used.
+  p.stack.reset(new char[kStackBytes]);
+  std::memcpy(p.stack.get(), &kStackCanary, sizeof(kStackCanary));
+  if (getcontext(&p.context) != 0) {
+    throw std::runtime_error("getcontext failed");
+  }
+  p.context.uc_stack.ss_sp = p.stack.get();
+  p.context.uc_stack.ss_size = kStackBytes;
+  p.context.uc_link = &engine_context_;
+  makecontext(&p.context, &Engine::trampoline, 0);
+  processes_.push_back(std::move(process));
+  ++live_;
+  insert_ready(p);
+  return ProcessHandle(this, p.id);
+}
+
+void Engine::insert_ready(Process& p) {
+  ready_.emplace(std::make_pair(p.clock, next_seq_++), &p);
+}
+
+void Engine::resume(Process& p) {
+  current_ = &p;
+  sim_time_ = p.clock;
+  p.state = Process::State::running;
+  ++switches_;
+  g_active_engine = this;
+  swapcontext(&engine_context_, &p.context);
+  current_ = nullptr;
+}
+
+void Engine::switch_to_engine() {
+  Process* self = current_;
+  swapcontext(&self->context, &engine_context_);
+  // Resumed: the scheduler restored current_/sim_time_ for us.
+  if (self->cancelled) throw ProcessCancelled{};
+}
+
+void Engine::trampoline() {
+  Engine& eng = *g_active_engine;
+  Process& p = *eng.current_;
+  try {
+    if (p.cancelled) throw ProcessCancelled{};
+    p.body();
+  } catch (const ProcessCancelled&) {
+    // Engine teardown: unwind silently.
+  } catch (...) {
+    p.error = std::current_exception();
+  }
+  eng.finish_current();
+}
+
+void Engine::finish_current() {
+  Process& p = *current_;
+  std::uint64_t canary = 0;
+  std::memcpy(&canary, p.stack.get(), sizeof(canary));
+  if (canary != kStackCanary) {
+    // The fiber ran off its stack; the process is in an undefined state.
+    std::abort();
+  }
+  p.state = Process::State::finished;
+  if (!p.cancelled) {
+    for (const ProcessId j : p.joiners) make_ready(j, p.clock);
+    p.joiners.clear();
+  }
+  p.body = nullptr;  // release captured state eagerly
+  swapcontext(&p.context, &engine_context_);
+  // Never reached: finished fibers are not resumed.
+  std::abort();
+}
+
+void Engine::run() {
+  if (running_) throw std::logic_error("Engine::run is not reentrant");
+  if (current_ != nullptr) {
+    throw std::logic_error("Engine::run from inside a simulated process");
+  }
+  running_ = true;
+  std::exception_ptr error;
+  while (!ready_.empty()) {
+    auto it = ready_.begin();
+    Process* p = it->second;
+    ready_.erase(it);
+    resume(*p);
+    if (p->state == Process::State::finished) {
+      --live_;
+      p->stack.reset();
+      if (p->error != nullptr) {
+        error = p->error;
+        p->error = nullptr;
+        break;
+      }
+    }
+  }
+  running_ = false;
+  if (error != nullptr) {
+    cancel_all();
+    std::rethrow_exception(error);
+  }
+  if (live_ > 0) {
+    std::ostringstream os;
+    os << "deadlock: " << live_ << " live process(es), none runnable:";
+    for (const auto& p : processes_) {
+      if (p->state == Process::State::blocked) {
+        os << " [" << p->name << " blocked on "
+           << (p->block_reason != nullptr ? p->block_reason : "?") << "]";
+      }
+    }
+    cancel_all();
+    throw DeadlockError(os.str());
+  }
+}
+
+void Engine::delay(Time d) {
+  if (current_ == nullptr) {
+    throw std::logic_error("Engine::delay outside process context");
+  }
+  if (d < 0) throw std::logic_error("Engine::delay with negative duration");
+  Process& p = *current_;
+  p.clock += d;
+  // Fast path: nobody else is due strictly before our new time, so keep
+  // running without a scheduler round trip. Ties still yield (FIFO).
+  if (ready_.empty() || ready_.begin()->first.first > p.clock) {
+    sim_time_ = p.clock;
+    return;
+  }
+  p.state = Process::State::ready;
+  insert_ready(p);
+  switch_to_engine();
+}
+
+void Engine::advance_to(Time t) {
+  if (current_ == nullptr) {
+    throw std::logic_error("Engine::advance_to outside process context");
+  }
+  if (t <= current_->clock) return;
+  delay(t - current_->clock);
+}
+
+void Engine::yield() { delay(0); }
+
+ProcessId Engine::current() const {
+  if (current_ == nullptr) {
+    throw std::logic_error("Engine::current outside process context");
+  }
+  return current_->id;
+}
+
+const std::string& Engine::name_of(ProcessId pid) const {
+  return proc(pid).name;
+}
+
+void Engine::block(const char* why) {
+  if (current_ == nullptr) {
+    throw std::logic_error("Engine::block outside process context");
+  }
+  Process& p = *current_;
+  p.state = Process::State::blocked;
+  p.block_reason = why;
+  switch_to_engine();
+}
+
+void Engine::make_ready(ProcessId pid, Time not_before) {
+  Process& target = proc(pid);
+  if (target.state != Process::State::blocked) {
+    throw std::logic_error("make_ready on process '" + target.name +
+                           "' that is not blocked");
+  }
+  target.clock = std::max(target.clock, not_before);
+  target.state = Process::State::ready;
+  target.block_reason = nullptr;
+  insert_ready(target);
+}
+
+void Engine::cancel_all() {
+  if (current_ != nullptr) {
+    throw std::logic_error("Engine::cancel_all from a simulated process");
+  }
+  for (const auto& process : processes_) {
+    Process& p = *process;
+    if (p.state == Process::State::finished) continue;
+    p.cancelled = true;
+    resume(p);  // unwinds via ProcessCancelled, returns finished
+    p.stack.reset();
+  }
+  ready_.clear();
+  live_ = 0;
+}
+
+}  // namespace e10::sim

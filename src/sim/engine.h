@@ -1,0 +1,167 @@
+// Deterministic discrete-event simulation (DES) engine.
+//
+// Simulated processes (MPI ranks, cache sync threads) are ucontext fibers
+// scheduled cooperatively on the caller's thread: the engine always resumes
+// the runnable process with the smallest (virtual time, sequence) key, so a
+// run is a deterministic function of the inputs and seeds. All blocking
+// primitives in sync.h / mailbox.h park the calling fiber through the same
+// switch. Fibers make a context switch a userspace register swap instead of
+// an OS thread handoff — the difference between simulating 512 ranks in
+// seconds versus minutes.
+//
+// Virtual time only moves forward through explicit costs: Engine::delay()
+// (compute phases, modeled service times) and wake-up times passed to
+// make_ready() (message arrival, I/O completion).
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10::sim {
+
+class Engine;
+
+using ProcessId = std::uint64_t;
+inline constexpr ProcessId kNoProcess = ~ProcessId{0};
+
+/// Thrown out of Engine::run() when every live process is blocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown inside a simulated process when the engine tears it down
+/// (destructor / error propagation). Process bodies must not swallow it.
+class ProcessCancelled {};
+
+/// Handle to a spawned process; join() blocks the calling process until the
+/// target finishes and advances the caller's clock to the finish time.
+class ProcessHandle {
+ public:
+  ProcessHandle() = default;
+
+  ProcessId id() const { return id_; }
+  bool valid() const { return engine_ != nullptr; }
+
+  /// Callable only from inside another simulated process.
+  void join() const;
+
+  /// True once the target's body has returned.
+  bool finished() const;
+
+ private:
+  friend class Engine;
+  ProcessHandle(Engine* engine, ProcessId id) : engine_(engine), id_(id) {}
+  Engine* engine_ = nullptr;
+  ProcessId id_ = kNoProcess;
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Creates a process whose body starts at the spawner's current time
+  /// (or at time 0 when spawned from outside run()).
+  ProcessHandle spawn(std::string name, std::function<void()> body);
+
+  /// Runs until no process is runnable. Rethrows the first exception a
+  /// process body threw; throws DeadlockError if live processes remain
+  /// blocked. Must be called from outside any simulated process.
+  void run();
+
+  /// Virtual time of the running process (or the last scheduled time when
+  /// called from outside).
+  Time now() const { return sim_time_; }
+
+  // ---- Process-context operations (must run inside a simulated process) --
+
+  /// Advances the caller's clock by d (>= 0); yields only if another
+  /// process becomes due first.
+  void delay(Time d);
+
+  /// Advances the caller's clock to at least t; no-op if t is in the past.
+  void advance_to(Time t);
+
+  /// Reschedules the caller at its current time, behind peers at that time.
+  void yield();
+
+  /// Identity of the running process.
+  ProcessId current() const;
+
+  /// Name of a live process (for diagnostics).
+  const std::string& name_of(ProcessId pid) const;
+
+  // ---- Low-level hooks for synchronization primitives --------------------
+
+  /// Parks the running process until make_ready() is called for it. `why`
+  /// appears in deadlock reports.
+  void block(const char* why);
+
+  /// Makes a blocked process runnable at max(its clock, not_before).
+  /// Callable from any process context (and, for completion events computed
+  /// by resource models, with not_before in the future).
+  void make_ready(ProcessId pid, Time not_before);
+
+  /// Number of processes whose body has not yet returned.
+  std::size_t live_processes() const { return live_; }
+
+  /// Total processes ever spawned (diagnostics / tests).
+  std::size_t spawned_processes() const { return processes_.size(); }
+
+  /// Count of fiber switches performed (diagnostics / micro-bench).
+  std::uint64_t switch_count() const { return switches_; }
+
+  /// Fiber stack size; processes must stay within it.
+  static constexpr std::size_t kStackBytes = 512 * 1024;
+
+ private:
+  struct Process {
+    std::string name;
+    ProcessId id = kNoProcess;
+    Time clock = 0;
+    enum class State { ready, running, blocked, finished } state = State::ready;
+    const char* block_reason = nullptr;
+    std::function<void()> body;
+    ucontext_t context{};
+    std::unique_ptr<char[]> stack;
+    bool cancelled = false;
+    std::exception_ptr error;
+    std::vector<ProcessId> joiners;
+  };
+
+  friend class ProcessHandle;
+
+  Process& proc(ProcessId pid) const;
+  void insert_ready(Process& p);
+  void resume(Process& p);         // engine context -> fiber
+  void switch_to_engine();         // fiber -> engine context; rethrows cancel
+  void finish_current();           // fiber epilogue; never returns
+  void cancel_all();
+  static void trampoline();        // fiber entry (uses current_run_target)
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  // Ready queue keyed by (virtual time, admission sequence).
+  std::map<std::pair<Time, std::uint64_t>, Process*> ready_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t switches_ = 0;
+  Time sim_time_ = 0;
+  Process* current_ = nullptr;
+  ucontext_t engine_context_{};
+  bool running_ = false;
+  std::size_t live_ = 0;
+};
+
+}  // namespace e10::sim

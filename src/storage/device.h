@@ -1,0 +1,95 @@
+// Storage device service-time models.
+//
+// A Device is pipelined: the media (spindles/flash) is a serial bandwidth
+// resource, while per-request latency (controller, RAID parity, queueing
+// software) overlaps across outstanding requests. A request's completion is
+//
+//   media_done = media_timeline.reserve(now, [seek +] size/bandwidth * jitter)
+//   completion = media_done + base_latency
+//
+// Sequentiality is tracked per *stream*, not globally: the device keeps a
+// bounded LRU set of stream cursors (modelling server write-back caches and
+// NCQ, which keep concurrent per-file sequential streams sequential on the
+// media); a request extends a cursor or pays the seek penalty.
+//
+// The lognormal jitter's heavy right tail produces the variable per-server
+// response times that make the slowest aggregator dominate collective I/O
+// (paper §I, point (a)).
+//
+// Two presets match the paper's testbed: an HDD-RAID parallel-file-system
+// target and a node-local SATA SSD.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/resource.h"
+
+namespace e10::storage {
+
+enum class IoKind { read, write };
+
+struct DeviceParams {
+  /// Fixed per-request latency; overlaps across requests (pipelined).
+  Time base_latency = units::microseconds(100);
+  /// Media-time cost when the request does not extend a tracked stream.
+  Time seek_penalty = 0;
+  /// Streaming bandwidth for writes, bytes per simulated second.
+  Offset write_bytes_per_second = Offset{350} * units::MiB;
+  /// Streaming bandwidth for reads.
+  Offset read_bytes_per_second = Offset{480} * units::MiB;
+  /// Lognormal sigma of the media-time multiplier (0 disables jitter).
+  double jitter_sigma = 0.0;
+  /// Persistent per-device speed factor (1.0 = nominal); models a slow
+  /// server in a load-imbalanced storage system.
+  double speed_factor = 1.0;
+  /// How many concurrent sequential streams the device can track.
+  std::size_t stream_cursors = 128;
+};
+
+/// DEEP-ER-like PFS data-server target: RAID6 of SAS drives behind one
+/// BeeGFS storage server.
+DeviceParams pfs_target_params();
+
+/// DEEP-ER-like node-local SATA SSD scratch partition.
+DeviceParams local_ssd_params();
+
+class Device {
+ public:
+  Device(std::string name, const DeviceParams& params, std::uint64_t seed);
+
+  /// Reserves media time for a request of `size` bytes at device offset
+  /// `offset`, issued at time `now`. Returns the completion time.
+  Time submit(Time now, IoKind kind, Offset offset, Offset size);
+
+  /// Idle-device service duration (deterministic part, no jitter draw):
+  /// base latency + media time [+ seek when !sequential].
+  Time expected_service(IoKind kind, Offset size, bool sequential) const;
+
+  const std::string& name() const { return name_; }
+  const DeviceParams& params() const { return params_; }
+  Time next_free() const { return media_.next_free(); }
+  std::uint64_t requests() const { return media_.reservations(); }
+  Time busy_time() const { return media_.busy_time(); }
+  Offset bytes_written() const { return bytes_written_; }
+  Offset bytes_read() const { return bytes_read_; }
+  std::uint64_t stream_misses() const { return stream_misses_; }
+
+ private:
+  /// True (and cursor updated) if `offset` extends a tracked stream.
+  bool extends_stream(Offset offset, Offset size);
+
+  std::string name_;
+  DeviceParams params_;
+  Rng jitter_;
+  sim::ResourceTimeline media_;
+  std::deque<Offset> cursors_;  // LRU of stream end offsets
+  Offset bytes_written_ = 0;
+  Offset bytes_read_ = 0;
+  std::uint64_t stream_misses_ = 0;
+};
+
+}  // namespace e10::storage

@@ -1,0 +1,60 @@
+// Experiment harness for the paper's evaluation sweeps (§IV): one run =
+// (testbed, aggregator count, collective buffer size, cache case) x a
+// workload, producing the perceived bandwidth (Fig. 4/7/9 series) and the
+// collective I/O time breakdown (Fig. 5/6/8/10 stacks).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prof/profiler.h"
+#include "workloads/workflow.h"
+
+namespace e10::workloads {
+
+/// The three measurement cases of Fig. 4/7/9.
+enum class CacheCase {
+  disabled,     // "BW Cache Disable": write directly to the PFS
+  enabled,      // "BW Cache Enable": cache + async flush
+  theoretical,  // "TBW Cache Enable": cache, never flushed
+};
+
+const char* to_string(CacheCase c);
+
+struct ExperimentSpec {
+  TestbedParams testbed = deep_er_testbed();
+  int aggregators = 64;          // cb_nodes
+  Offset cb_buffer_size = 4 * units::MiB;
+  CacheCase cache_case = CacheCase::disabled;
+  WorkflowParams workflow;       // hints field is filled by the harness
+};
+
+/// "<aggregators>_<cb size>" label, e.g. "64_4m", as the paper's x axes.
+std::string combo_label(const ExperimentSpec& spec);
+
+/// The MPI-IO hints the spec translates to.
+mpi::Info experiment_hints(const ExperimentSpec& spec);
+
+struct ExperimentResult {
+  std::string combo;
+  CacheCase cache_case = CacheCase::disabled;
+  WorkflowResult workflow;
+  double bandwidth_gib = 0.0;
+  /// Max-over-ranks time per collective I/O phase (the stacked figures).
+  std::map<prof::Phase, Time> breakdown;
+};
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(const TestbedParams&)>;
+
+/// Builds a fresh platform, runs the workflow, collects results.
+ExperimentResult run_experiment(const ExperimentSpec& spec,
+                                const WorkloadFactory& factory);
+
+/// The paper's sweep: aggregators {8,16,32,64} x cb {4,16,64 MiB}.
+std::vector<std::pair<int, Offset>> paper_sweep();
+
+}  // namespace e10::workloads

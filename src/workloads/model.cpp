@@ -1,0 +1,55 @@
+#include "workloads/model.h"
+
+#include <algorithm>
+
+namespace e10::workloads {
+
+Time not_hidden_sync(Time sync, Time compute) {
+  return std::max<Time>(0, sync - compute);
+}
+
+double eq1_bandwidth(const PhaseModel& phase) {
+  const Time denom =
+      phase.write + not_hidden_sync(phase.sync, phase.compute);
+  return bandwidth_gib(phase.bytes, denom);
+}
+
+double eq2_bandwidth(const std::vector<PhaseModel>& phases) {
+  Offset bytes = 0;
+  Time denom = 0;
+  for (const PhaseModel& phase : phases) {
+    bytes += phase.bytes;
+    denom += phase.write + not_hidden_sync(phase.sync, phase.compute);
+  }
+  return bandwidth_gib(bytes, denom);
+}
+
+Time estimate_sync_time(Offset bytes_per_aggregator, std::size_t aggregators,
+                        const TestbedParams& testbed) {
+  if (bytes_per_aggregator <= 0 || aggregators == 0) return 0;
+  // The sync thread stages chunk by chunk, synchronously: read the chunk
+  // from the SSD, write it to the PFS, wait for the acknowledgement. The
+  // per-aggregator throughput is one chunk per round trip; the PFS media
+  // bandwidth shared across aggregators caps the aggregate.
+  const double chunk = 512.0 * 1024.0;  // ind_wr_buffer_size (paper §IV)
+  const double ssd_leg =
+      static_cast<double>(testbed.lfs.device.base_latency) * 1e-9 +
+      chunk / static_cast<double>(testbed.lfs.device.read_bytes_per_second);
+  const double net_leg =
+      static_cast<double>(testbed.fabric.link_latency) * 1e-9 +
+      chunk / static_cast<double>(testbed.fabric.nic_bytes_per_second);
+  const double pfs_leg =
+      static_cast<double>(testbed.pfs.server_rpc_overhead +
+                          testbed.pfs.target.base_latency) *
+          1e-9 +
+      chunk / static_cast<double>(testbed.pfs.target.write_bytes_per_second);
+  const double per_agg_bps = chunk / (ssd_leg + net_leg + pfs_leg);
+  const double pfs_total_bps =
+      static_cast<double>(testbed.pfs.target.write_bytes_per_second) *
+      static_cast<double>(testbed.pfs.data_servers);
+  const double share_bps = pfs_total_bps / static_cast<double>(aggregators);
+  const double bps = std::min(per_agg_bps, share_bps);
+  return units::seconds_f(static_cast<double>(bytes_per_aggregator) / bps);
+}
+
+}  // namespace e10::workloads

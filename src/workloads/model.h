@@ -1,0 +1,40 @@
+// The paper's analytic bandwidth model (§III-D, Equations 1 and 2).
+//
+//   bw(k) = S(k) / (Tc(k) + max(0, Ts(k) - C(k+1)))            (Eq. 1)
+//   BW    = sum S(k) / sum (Tc(k) + max(0, Ts(k) - C(k+1)))    (Eq. 2)
+//
+// S: bytes written in phase k; Tc: collective write time (into the cache);
+// Ts: background synchronisation time; C: the next compute phase. Maximum
+// performance needs C >= Ts (sync fully hidden).
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "workloads/testbed.h"
+
+namespace e10::workloads {
+
+struct PhaseModel {
+  Offset bytes = 0;   // S(k)
+  Time write = 0;     // Tc(k)
+  Time sync = 0;      // Ts(k)
+  Time compute = 0;   // C(k+1)
+};
+
+/// max(0, Ts - C): the synchronisation time the application perceives.
+Time not_hidden_sync(Time sync, Time compute);
+
+/// Equation 1 (GiB/s).
+double eq1_bandwidth(const PhaseModel& phase);
+
+/// Equation 2 (GiB/s).
+double eq2_bandwidth(const std::vector<PhaseModel>& phases);
+
+/// Analytic estimate of Ts for one phase: every aggregator independently
+/// drains bytes_per_aggregator through its SSD (read) and its share of the
+/// PFS (write); the slower of the two pipelines dominates.
+Time estimate_sync_time(Offset bytes_per_aggregator, std::size_t aggregators,
+                        const TestbedParams& testbed);
+
+}  // namespace e10::workloads

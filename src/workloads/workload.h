@@ -1,0 +1,122 @@
+// The paper's three I/O benchmarks as library workloads (§IV):
+//
+//   coll_perf — MPICH's collective I/O benchmark: every process writes one
+//     contiguous memory block of a 3-D block-distributed array, producing a
+//     strided file pattern (one subarray write_all per file).
+//   Flash-IO — the I/O kernel of the FLASH AMR hydrodynamics code: a
+//     HDF5-like checkpoint of 24 variables; each variable is a dataset to
+//     which every process contributes its blocks (one write_all per
+//     variable, 24 per file), plus a small metadata header.
+//   IOR — segmented sequential writes: each process writes one block per
+//     segment at segment * P * B + rank * B.
+//
+// Scale substitution (documented in DESIGN.md): coll_perf's 3-D
+// decomposition is chosen so each rank's 64 MiB block flattens to ~64
+// strided pieces of 1 MiB instead of the tens of thousands of tiny rows a
+// 256^3-element block would produce — same interleaved access structure at
+// a piece granularity the DES can execute.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "mpi/comm.h"
+#include "mpiio/file.h"
+
+namespace e10::workloads {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Bytes this rank contributes to each file.
+  virtual Offset bytes_per_rank(const mpi::Comm& comm) const = 0;
+
+  /// Performs all collective writes for one (already open) file.
+  /// `file_index` seeds the synthetic payload so files differ.
+  virtual Status write_file(mpiio::File& file, const mpi::Comm& comm,
+                            int file_index) const = 0;
+};
+
+/// coll_perf: 3-D block-distributed array, one subarray write_all.
+class CollPerfWorkload final : public Workload {
+ public:
+  struct Params {
+    /// Process grid (product must equal comm size).
+    std::array<Offset, 3> grid = {8, 8, 8};
+    /// Per-process sub-block in elements; the last dimension is contiguous.
+    std::array<Offset, 3> block = {4, 16, 131072};
+    Offset elem_bytes = 8;  // doubles
+  };
+
+  explicit CollPerfWorkload(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "coll_perf"; }
+  Offset bytes_per_rank(const mpi::Comm& comm) const override;
+  Status write_file(mpiio::File& file, const mpi::Comm& comm,
+                    int file_index) const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// coll_perf configured for the paper: 64 MiB per process.
+CollPerfWorkload::Params collperf_paper_params(int ranks);
+
+/// Flash-IO checkpoint: 24 variable datasets + metadata header.
+class FlashIoWorkload final : public Workload {
+ public:
+  struct Params {
+    int blocks_per_proc = 80;
+    int variables = 24;
+    /// Bytes of one (block, variable) chunk: 16^3 zones x 8 B / 24 vars
+    /// rounded to the paper's 768 KiB per block across 24 variables.
+    Offset chunk_bytes = 32 * units::KiB;
+    /// HDF5-ish metadata header written collectively (rank 0 contributes).
+    Offset header_bytes = 1 * units::MiB;
+  };
+
+  FlashIoWorkload() : params_(Params{}) {}
+  explicit FlashIoWorkload(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "flash_io"; }
+  Offset bytes_per_rank(const mpi::Comm& comm) const override;
+  Status write_file(mpiio::File& file, const mpi::Comm& comm,
+                    int file_index) const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// IOR: `segments` x one `block_bytes` block per process per segment.
+class IorWorkload final : public Workload {
+ public:
+  struct Params {
+    Offset block_bytes = 8 * units::MiB;
+    int segments = 8;
+  };
+
+  IorWorkload() : params_(Params{}) {}
+  explicit IorWorkload(const Params& params) : params_(params) {}
+
+  std::string name() const override { return "ior"; }
+  Offset bytes_per_rank(const mpi::Comm& comm) const override;
+  Status write_file(mpiio::File& file, const mpi::Comm& comm,
+                    int file_index) const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace e10::workloads

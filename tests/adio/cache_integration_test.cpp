@@ -1,0 +1,355 @@
+// The E10 cache layer exercised through the full MPI-IO stack: content
+// correctness, consistency semantics (§III-B), flush policies, fallback
+// behaviour, and the overlap of background sync with compute (§III-C/D).
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mpiio/file.h"
+#include "workloads/testbed.h"
+
+namespace e10::adio {
+namespace {
+
+using namespace e10::units;
+using mpiio::File;
+using workloads::Platform;
+using workloads::small_testbed;
+
+mpi::Info cache_disabled_info() {
+  mpi::Info info;
+  info.set("romio_cb_write", "enable");
+  info.set("cb_buffer_size", "262144");
+  return info;
+}
+
+mpi::Info cached_info(const std::string& flush = "flush_immediate") {
+  mpi::Info info;
+  info.set("romio_cb_write", "enable");
+  info.set("cb_buffer_size", "262144");
+  info.set("e10_cache", "enable");
+  info.set("e10_cache_path", "/scratch");
+  info.set("e10_cache_flush_flag", flush);
+  info.set("e10_cache_discard_flag", "enable");
+  info.set("ind_wr_buffer_size", "524288");
+  return info;
+}
+
+void interleaved_write(Platform& p, File& file, Offset block) {
+  const mpi::Comm comm = file.comm();
+  std::vector<mpi::IoPiece> pieces;
+  for (int b = 0; b < 4; ++b) {
+    const Offset off = (b * comm.size() + comm.rank()) * block;
+    pieces.push_back(mpi::IoPiece{
+        Extent{off, block},
+        DataView::synthetic(42, off, block)});  // pattern == file offset
+  }
+  ASSERT_TRUE(write_strided_coll(*file.raw(), pieces));
+  (void)p;
+}
+
+void expect_full_pattern(const pfs::Pfs& pfs, const std::string& path,
+                         Offset size) {
+  const ByteStore* store = pfs.peek(path);
+  ASSERT_NE(store, nullptr);
+  ASSERT_EQ(store->extent_end(), size);
+  for (Offset pos = 0; pos < size; pos += 4099) {
+    ASSERT_EQ(store->byte_at(pos), DataView::pattern_byte(42, pos))
+        << "pos " << pos;
+  }
+}
+
+TEST(CacheIntegration, DataVisibleAfterCloseImmediate) {
+  Platform p(small_testbed());
+  constexpr Offset kBlock = 32 * KiB;
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/cached",
+                           amode::create | amode::rdwr, cached_info());
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), kBlock);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  expect_full_pattern(p.pfs, "/pfs/cached", kBlock * 4 * 8);
+}
+
+TEST(CacheIntegration, DataVisibleAfterCloseOnclose) {
+  Platform p(small_testbed());
+  constexpr Offset kBlock = 32 * KiB;
+  p.launch([&](mpi::Comm comm) {
+    auto file =
+        File::open(p.ctx, comm, "/pfs/cached_oc", amode::create | amode::rdwr,
+                   cached_info("flush_onclose"));
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), kBlock);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  expect_full_pattern(p.pfs, "/pfs/cached_oc", kBlock * 4 * 8);
+}
+
+TEST(CacheIntegration, DataVisibleAfterExplicitSync) {
+  Platform p(small_testbed());
+  constexpr Offset kBlock = 32 * KiB;
+  std::vector<int> verified(static_cast<std::size_t>(8), 0);
+  p.launch([&](mpi::Comm comm) {
+    auto file =
+        File::open(p.ctx, comm, "/pfs/synced", amode::create | amode::rdwr,
+                   cached_info("flush_onclose"));
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), kBlock);
+    ASSERT_TRUE(file.value().sync());  // MPI_File_sync
+    // After sync returns, data is globally visible: read a peer's block
+    // directly from the global file.
+    const int peer = (comm.rank() + 3) % comm.size();
+    const Offset peer_off = peer * kBlock;
+    const auto got = file.value().read_at(peer_off, kBlock);
+    ASSERT_TRUE(got.is_ok());
+    ASSERT_EQ(got.value().size(), kBlock);
+    for (Offset i = 0; i < kBlock; i += 1009) {
+      ASSERT_EQ(got.value().byte_at(i),
+                DataView::pattern_byte(42, peer_off + i));
+    }
+    verified[static_cast<std::size_t>(comm.rank())] = 1;
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  for (const int v : verified) EXPECT_EQ(v, 1);
+}
+
+TEST(CacheIntegration, OncloseLeavesGlobalFileStaleBeforeClose) {
+  Platform p(small_testbed());
+  constexpr Offset kBlock = 32 * KiB;
+  Offset global_bytes_during = -1;
+  p.launch([&](mpi::Comm comm) {
+    auto file =
+        File::open(p.ctx, comm, "/pfs/stale", amode::create | amode::rdwr,
+                   cached_info("flush_onclose"));
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), kBlock);
+    comm.barrier();
+    p.engine.delay(seconds(5));  // plenty of time: still nothing may sync
+    if (comm.rank() == 0) {
+      const ByteStore* store = p.pfs.peek("/pfs/stale");
+      global_bytes_during = store == nullptr ? 0 : store->extent_end();
+    }
+    comm.barrier();
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  EXPECT_EQ(global_bytes_during, 0);  // nothing reached the PFS before close
+  expect_full_pattern(p.pfs, "/pfs/stale", kBlock * 4 * 8);
+}
+
+TEST(CacheIntegration, CacheFilesDiscardedAfterClose) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/d",
+                           amode::create | amode::rdwr, cached_info());
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), 16 * KiB);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  for (std::size_t node = 0; node < p.params().compute_nodes; ++node) {
+    EXPECT_EQ(p.lfs.at(node).used_bytes(), 0) << "node " << node;
+  }
+}
+
+TEST(CacheIntegration, RetainedCacheFilesSurviveClose) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    mpi::Info info = cached_info();
+    info.set("e10_cache_discard_flag", "disable");
+    auto file = File::open(p.ctx, comm, "/pfs/keep",
+                           amode::create | amode::rdwr, info);
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), 16 * KiB);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  // Aggregator nodes still hold their cache files.
+  Offset total = 0;
+  for (std::size_t node = 0; node < p.params().compute_nodes; ++node) {
+    total += p.lfs.at(node).used_bytes();
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(CacheIntegration, OnlyAggregatorsWriteToCache) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    mpi::Info info = cached_info();
+    info.set("cb_nodes", "2");
+    info.set("e10_cache_discard_flag", "disable");
+    auto file = File::open(p.ctx, comm, "/pfs/agg_only",
+                           amode::create | amode::rdwr, info);
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), 16 * KiB);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  // Aggregators are the leaders of nodes 0 and 1: only those nodes' local
+  // file systems saw writes.
+  EXPECT_GT(p.lfs.at(0).stats().bytes_written, 0);
+  EXPECT_GT(p.lfs.at(1).stats().bytes_written, 0);
+  EXPECT_EQ(p.lfs.at(2).stats().bytes_written, 0);
+  EXPECT_EQ(p.lfs.at(3).stats().bytes_written, 0);
+}
+
+TEST(CacheIntegration, TheoreticalModeNeverTouchesGlobalFile) {
+  Platform p(small_testbed());
+  const Offset before = p.pfs.stats().bytes_written;
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/tbw",
+                           amode::create | amode::rdwr, cached_info("none"));
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), 32 * KiB);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  EXPECT_EQ(p.pfs.stats().bytes_written, before);
+}
+
+TEST(CacheIntegration, FallsBackWhenCacheDeviceFull) {
+  workloads::TestbedParams params = small_testbed();
+  params.lfs.capacity = 64 * KiB;  // tiny scratch: cache fills instantly
+  Platform p(params);
+  constexpr Offset kBlock = 32 * KiB;
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/fallback",
+                           amode::create | amode::rdwr, cached_info());
+    ASSERT_TRUE(file.is_ok());
+    interleaved_write(p, file.value(), kBlock);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  // Despite the cache being unusable, no data was lost.
+  expect_full_pattern(p.pfs, "/pfs/fallback", kBlock * 4 * 8);
+}
+
+TEST(CacheIntegration, ComputeDelayHidesSyncCost) {
+  // The paper's Eq. 1: with enough compute after the write, the deferred
+  // close is (nearly) free; without it, close pays the remaining sync time.
+  auto close_time_with_delay = [](Time compute_delay) {
+    Platform p(small_testbed());
+    Time close_elapsed = 0;
+    p.launch([&, compute_delay](mpi::Comm comm) {
+      auto file = File::open(p.ctx, comm, "/pfs/hide",
+                             amode::create | amode::rdwr, cached_info());
+      ASSERT_TRUE(file.is_ok());
+      std::vector<mpi::IoPiece> pieces;
+      const Offset block = 1 * MiB;
+      const Offset off = comm.rank() * block;
+      pieces.push_back(
+          mpi::IoPiece{Extent{off, block}, DataView::synthetic(42, off, block)});
+      ASSERT_TRUE(write_strided_coll(*file.value().raw(), pieces));
+      p.engine.delay(compute_delay);  // compute phase C(k+1)
+      const Time t0 = p.engine.now();
+      ASSERT_TRUE(file.value().close());
+      if (comm.rank() == 0) close_elapsed = p.engine.now() - t0;
+    });
+    p.run();
+    return close_elapsed;
+  };
+  const Time eager_close = close_time_with_delay(0);
+  const Time hidden_close = close_time_with_delay(seconds(30));
+  EXPECT_GT(eager_close, 5 * hidden_close);
+  EXPECT_LT(hidden_close, milliseconds(50));
+}
+
+TEST(CacheIntegration, CoherentReadBlocksUntilSynced) {
+  Platform p(small_testbed());
+  constexpr Offset kBlock = 256 * KiB;
+  std::vector<int> ok(static_cast<std::size_t>(8), 0);
+  p.launch([&](mpi::Comm comm) {
+    mpi::Info info = cached_info("flush_onclose");
+    info.set("e10_cache", "coherent");
+    auto file = File::open(p.ctx, comm, "/pfs/coh",
+                           amode::create | amode::rdwr, info);
+    ASSERT_TRUE(file.is_ok());
+    const Offset off = comm.rank() * kBlock;
+    ASSERT_TRUE(write_strided_coll(
+        *file.value().raw(),
+        {mpi::IoPiece{Extent{off, kBlock},
+                      DataView::synthetic(42, off, kBlock)}}));
+    comm.barrier();
+    // With flush_onclose nothing has synced yet; coherent extents are
+    // locked. Reading a peer's extent must wait for the sync at close...
+    // so do the read *after* sync() instead — but verify the lock exists.
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(p.locks.is_locked("/pfs/coh", Extent{0, kBlock}));
+    }
+    comm.barrier();
+    ASSERT_TRUE(file.value().sync());
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(p.locks.is_locked("/pfs/coh", Extent{0, kBlock}));
+    }
+    const int peer = (comm.rank() + 1) % comm.size();
+    const auto got = file.value().read_at(peer * kBlock, kBlock);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value().byte_at(0),
+              DataView::pattern_byte(42, peer * kBlock));
+    ok[static_cast<std::size_t>(comm.rank())] = 1;
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  for (const int v : ok) EXPECT_EQ(v, 1);
+}
+
+TEST(CacheIntegration, CacheWriteFasterThanDirectWrite) {
+  // The headline effect at test scale: collective write latency (excluding
+  // sync) is much lower with the cache than against the PFS.
+  auto write_time = [](bool cached) {
+    workloads::TestbedParams params = small_testbed();
+    // Synchronous servers (no write-back): sustained-rate comparison, as if
+    // the server RAM window were already full.
+    params.pfs.server_writeback_bytes = 0;
+    Platform p(params);
+    Time elapsed = 0;
+    p.launch([&, cached](mpi::Comm comm) {
+      mpi::Info info = cached ? cached_info("none") : cache_disabled_info();
+      auto file = File::open(p.ctx, comm, "/pfs/speed",
+                             amode::create | amode::rdwr, info);
+      ASSERT_TRUE(file.is_ok());
+      const Offset block = 2 * MiB;
+      std::vector<mpi::IoPiece> pieces;
+      for (int b = 0; b < 2; ++b) {
+        const Offset off = (b * comm.size() + comm.rank()) * block;
+        pieces.push_back(mpi::IoPiece{Extent{off, block},
+                                      DataView::synthetic(42, off, block)});
+      }
+      const Time t0 = p.engine.now();
+      ASSERT_TRUE(write_strided_coll(*file.value().raw(), pieces));
+      comm.barrier();
+      if (comm.rank() == 0) elapsed = p.engine.now() - t0;
+      ASSERT_TRUE(file.value().close());
+    });
+    p.run();
+    return elapsed;
+  };
+  EXPECT_LT(write_time(true), write_time(false));
+}
+
+TEST(CacheIntegration, ReadOnlyOpenSkipsCache) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    {
+      auto file = File::open(p.ctx, comm, "/pfs/ro",
+                             amode::create | amode::rdwr, cache_disabled_info());
+      ASSERT_TRUE(file.is_ok());
+      ASSERT_TRUE(file.value().write_at_all(
+          comm.rank() * 4 * KiB,
+          DataView::synthetic(42, comm.rank() * 4 * KiB, 4 * KiB)));
+      ASSERT_TRUE(file.value().close());
+    }
+    auto file = File::open(p.ctx, comm, "/pfs/ro", amode::rdonly,
+                           cached_info());
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().raw()->cache, nullptr);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+}
+
+}  // namespace
+}  // namespace e10::adio

@@ -1,0 +1,221 @@
+// Property-based tests: for randomized access patterns and every
+// (aggregators x collective-buffer x cache-mode) configuration, a
+// collective write through the full stack must produce a byte-exact file.
+//
+// The reference model applies each rank's pieces to a plain ByteStore; the
+// system under test routes them through view flattening, the extended
+// two-phase exchange, the cache layer, the sync thread, and the PFS.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mpiio/file.h"
+#include "workloads/testbed.h"
+
+namespace e10::adio {
+namespace {
+
+using namespace e10::units;
+using mpiio::File;
+using workloads::Platform;
+using workloads::small_testbed;
+
+// (pattern seed, aggregators, cb_buffer_size, cache hint value)
+using PropertyParam = std::tuple<std::uint64_t, int, Offset, const char*>;
+
+class RandomPatternWrite : public ::testing::TestWithParam<PropertyParam> {};
+
+/// Generates a random, per-rank-disjoint set of pieces: the file is cut
+/// into random-size blocks which are dealt to ranks round-robin with a
+/// shuffled order, yielding interleaved, irregular, hole-free coverage;
+/// a few blocks are dropped to create holes.
+std::vector<std::vector<mpi::IoPiece>> random_pattern(std::uint64_t seed,
+                                                      int ranks,
+                                                      Offset file_bytes) {
+  Rng rng(seed);
+  std::vector<Extent> blocks;
+  Offset cursor = 0;
+  while (cursor < file_bytes) {
+    const Offset len = std::min<Offset>(
+        file_bytes - cursor, rng.uniform_int(1, 96) * KiB + rng.uniform_int(0, 4095));
+    blocks.push_back(Extent{cursor, len});
+    cursor += len;
+  }
+  std::shuffle(blocks.begin(), blocks.end(), rng.engine());
+  std::vector<std::vector<mpi::IoPiece>> per_rank(
+      static_cast<std::size_t>(ranks));
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (rng.bernoulli(0.05)) continue;  // leave a hole
+    mpi::IoPiece piece;
+    piece.file = blocks[i];
+    piece.data = DataView::synthetic(seed ^ 0xF00D, blocks[i].offset,
+                                     blocks[i].length);
+    per_rank[i % static_cast<std::size_t>(ranks)].push_back(std::move(piece));
+  }
+  return per_rank;
+}
+
+TEST_P(RandomPatternWrite, FileMatchesReferenceModel) {
+  const auto [seed, aggregators, cb, cache] = GetParam();
+  constexpr Offset kFileBytes = 3 * MiB + 12345;  // deliberately unaligned
+
+  Platform p(small_testbed());
+  const auto pattern = random_pattern(seed, p.ranks(), kFileBytes);
+
+  ByteStore reference;
+  for (const auto& pieces : pattern) {
+    for (const mpi::IoPiece& piece : pieces) {
+      reference.write(piece.file.offset, piece.data);
+    }
+  }
+
+  mpi::Info info;
+  info.set("romio_cb_write", "enable");
+  info.set("cb_nodes", std::to_string(aggregators));
+  info.set("cb_buffer_size", std::to_string(cb));
+  info.set("e10_cache", cache);
+  if (std::string(cache) != "disable") {
+    info.set("e10_cache_path", "/scratch");
+    info.set("e10_cache_flush_flag",
+             seed % 2 == 0 ? "flush_immediate" : "flush_onclose");
+    info.set("e10_cache_discard_flag", "enable");
+  }
+
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/prop",
+                           amode::create | amode::rdwr, info);
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_TRUE(write_strided_coll(
+        *file.value().raw(),
+        pattern[static_cast<std::size_t>(comm.rank())]));
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+
+  const ByteStore* actual = p.pfs.peek("/pfs/prop");
+  ASSERT_NE(actual, nullptr);
+  ASSERT_EQ(actual->extent_end(), reference.extent_end());
+  const Offset end = reference.extent_end();
+  for (Offset pos = 0; pos < end; pos += 769) {
+    ASSERT_EQ(actual->byte_at(pos), reference.byte_at(pos)) << "pos " << pos;
+  }
+  // Cache space fully reclaimed (discard flag).
+  for (std::size_t node = 0; node < p.params().compute_nodes; ++node) {
+    EXPECT_EQ(p.lfs.at(node).used_bytes(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomPatternWrite,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Values(1, 3, 4),          // aggregators
+                       ::testing::Values(128 * KiB, 1 * MiB),  // cb size
+                       ::testing::Values("disable", "enable")),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_aggs" +
+             std::to_string(std::get<1>(info.param)) + "_cb" +
+             std::to_string(std::get<2>(info.param) / KiB) + "k_" +
+             std::get<3>(info.param);
+    });
+
+// Determinism property: identical configurations produce identical virtual
+// timelines, bit for bit.
+class DeterministicRuns : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeterministicRuns, SameSeedSameTimeline) {
+  auto run_once = [&]() -> std::pair<Time, Offset> {
+    Platform p(small_testbed());
+    mpi::Info info;
+    info.set("romio_cb_write", "enable");
+    info.set("cb_buffer_size", "262144");
+    info.set("e10_cache", GetParam());
+    if (std::string(GetParam()) != "disable") {
+      info.set("e10_cache_path", "/scratch");
+      info.set("e10_cache_flush_flag", "flush_immediate");
+    }
+    p.launch([&](mpi::Comm comm) {
+      auto file = File::open(p.ctx, comm, "/pfs/det",
+                             amode::create | amode::rdwr, info);
+      ASSERT_TRUE(file.is_ok());
+      for (int b = 0; b < 3; ++b) {
+        const Offset off = (b * comm.size() + comm.rank()) * 64 * KiB;
+        ASSERT_TRUE(file.value().write_at_all(
+            off, DataView::synthetic(9, off, 64 * KiB)));
+      }
+      ASSERT_TRUE(file.value().close());
+    });
+    p.run();
+    return {p.engine.now(), p.pfs.stats().bytes_written};
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);    // identical final virtual time
+  EXPECT_EQ(first.second, second.second);  // identical I/O volume
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheModes, DeterministicRuns,
+                         ::testing::Values("disable", "enable", "coherent"));
+
+// Read-after-write property across view shapes: what a rank writes through
+// any view, every rank can read back through the same view.
+class ViewRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ViewRoundTrip, WriteAllThenReadAllMatches) {
+  const int shape = GetParam();
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    mpi::Info info;
+    info.set("romio_cb_write", "enable");
+    info.set("romio_cb_read", "enable");
+    info.set("cb_buffer_size", "131072");
+    auto file = File::open(p.ctx, comm, "/pfs/view",
+                           amode::create | amode::rdwr, info);
+    ASSERT_TRUE(file.is_ok());
+    const Offset chunk = 8 * KiB;
+    mpi::FlatType type = [&] {
+      switch (shape) {
+        case 0:  // block-contiguous partition
+          return mpi::FlatType::contiguous(chunk);
+        case 1:  // strided vector: round-robin chunks
+          return mpi::FlatType::vector(16, chunk, chunk * comm.size());
+        default:  // 2-D column band
+          return mpi::FlatType::subarray({16, 8 * comm.size()},
+                                         {16, 8}, {0, comm.rank() * 8}, 1024);
+      }
+    }();
+    const Offset disp =
+        shape == 0 ? comm.rank() * chunk * 16
+        : shape == 1 ? comm.rank() * chunk
+                     : 0;
+    ASSERT_TRUE(file.value().set_view(disp, type));
+    const Offset bytes = shape == 0 ? chunk * 16 : type.size();
+    const DataView mine = DataView::synthetic(
+        static_cast<std::uint64_t>(comm.rank() + 100), 0, bytes);
+    ASSERT_TRUE(file.value().write_all(mine));
+    ASSERT_TRUE(file.value().sync());
+
+    file.value().seek(0);
+    const auto back = file.value().read_all(bytes);
+    ASSERT_TRUE(back.is_ok());
+    ASSERT_EQ(back.value().size(), bytes);
+    for (Offset i = 0; i < bytes; i += 411) {
+      ASSERT_EQ(back.value().byte_at(i), mine.byte_at(i)) << "i=" << i;
+    }
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ViewRoundTrip, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           switch (info.param) {
+                             case 0: return "contiguous";
+                             case 1: return "vector";
+                             default: return "subarray2d";
+                           }
+                         });
+
+}  // namespace
+}  // namespace e10::adio

@@ -1,0 +1,155 @@
+#include "cache/lock_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::cache {
+namespace {
+
+using namespace e10::units;
+
+TEST(LockTable, NonOverlappingLocksDoNotBlock) {
+  sim::Engine engine;
+  LockTable table(engine);
+  Time done = -1;
+  engine.spawn("a", [&] {
+    table.lock("/f", {0, 100});
+    engine.delay(seconds(10));
+    table.unlock("/f", {0, 100});
+  });
+  engine.spawn("b", [&] {
+    table.lock("/f", {100, 100});  // adjacent, not overlapping
+    done = engine.now();
+    table.unlock("/f", {100, 100});
+  });
+  engine.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(LockTable, OverlappingLockWaits) {
+  sim::Engine engine;
+  LockTable table(engine);
+  Time done = -1;
+  engine.spawn("holder", [&] {
+    table.lock("/f", {0, 100});
+    engine.delay(seconds(5));
+    table.unlock("/f", {0, 100});
+  });
+  engine.spawn("waiter", [&] {
+    engine.delay(milliseconds(1));
+    table.lock("/f", {50, 100});
+    done = engine.now();
+    table.unlock("/f", {50, 100});
+  });
+  engine.run();
+  EXPECT_EQ(done, seconds(5));
+}
+
+TEST(LockTable, DifferentFilesIndependent) {
+  sim::Engine engine;
+  LockTable table(engine);
+  Time done = -1;
+  engine.spawn("holder", [&] {
+    table.lock("/f", {0, 100});
+    engine.delay(seconds(5));
+    table.unlock("/f", {0, 100});
+  });
+  engine.spawn("other", [&] {
+    table.lock("/g", {0, 100});
+    done = engine.now();
+    table.unlock("/g", {0, 100});
+  });
+  engine.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(LockTable, WaitUnlockedBlocksReaders) {
+  sim::Engine engine;
+  LockTable table(engine);
+  Time read_at = -1;
+  engine.spawn("writer", [&] {
+    table.lock("/f", {0, 4 * KiB});
+    engine.delay(seconds(2));
+    table.unlock("/f", {0, 4 * KiB});
+  });
+  engine.spawn("reader", [&] {
+    engine.delay(milliseconds(1));
+    table.wait_unlocked("/f", {1 * KiB, 1 * KiB});
+    read_at = engine.now();
+  });
+  engine.run();
+  EXPECT_EQ(read_at, seconds(2));
+}
+
+TEST(LockTable, WaitUnlockedOnUnknownFileReturnsImmediately) {
+  sim::Engine engine;
+  LockTable table(engine);
+  engine.spawn("reader", [&] {
+    table.wait_unlocked("/nope", {0, 100});
+    EXPECT_EQ(engine.now(), 0);
+  });
+  engine.run();
+}
+
+TEST(LockTable, IsLockedQueries) {
+  sim::Engine engine;
+  LockTable table(engine);
+  engine.spawn("p", [&] {
+    EXPECT_FALSE(table.is_locked("/f", {0, 10}));
+    table.lock("/f", {0, 10});
+    EXPECT_TRUE(table.is_locked("/f", {5, 10}));
+    EXPECT_FALSE(table.is_locked("/f", {10, 10}));
+    EXPECT_EQ(table.held_count("/f"), 1u);
+    table.unlock("/f", {0, 10});
+    EXPECT_EQ(table.held_count("/f"), 0u);
+  });
+  engine.run();
+}
+
+TEST(LockTable, UnlockUnknownExtentThrows) {
+  sim::Engine engine;
+  LockTable table(engine);
+  engine.spawn("p", [&] {
+    table.lock("/f", {0, 10});
+    table.unlock("/f", {0, 11});  // not the held extent
+  });
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(LockTable, EmptyExtentIsNoop) {
+  sim::Engine engine;
+  LockTable table(engine);
+  engine.spawn("p", [&] {
+    table.lock("/f", {100, 0});
+    table.unlock("/f", {100, 0});
+    table.wait_unlocked("/f", {0, 0});
+  });
+  engine.run();  // must not throw or deadlock
+}
+
+TEST(LockTable, ManyWaitersAllProceedAfterUnlock) {
+  sim::Engine engine;
+  LockTable table(engine);
+  int proceeded = 0;
+  engine.spawn("holder", [&] {
+    table.lock("/f", {0, 1000});
+    engine.delay(seconds(1));
+    table.unlock("/f", {0, 1000});
+  });
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn("w" + std::to_string(i), [&, i] {
+      engine.delay(milliseconds(1));
+      // Disjoint extents: all can hold simultaneously once the big one
+      // is released.
+      table.lock("/f", {i * 100, 100});
+      ++proceeded;
+      table.unlock("/f", {i * 100, 100});
+    });
+  }
+  engine.run();
+  EXPECT_EQ(proceeded, 5);
+}
+
+}  // namespace
+}  // namespace e10::cache

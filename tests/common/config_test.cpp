@@ -1,0 +1,91 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace e10 {
+namespace {
+
+TEST(Config, ParsesGlobalAndSections) {
+  const auto result = Config::parse(R"(
+# MPIWRAP configuration
+log = info
+
+[file:/pfs/ckpt*]
+e10_cache = enable
+cb_buffer_size = 16m
+
+[file:/pfs/plot*]
+e10_cache = disable
+)");
+  ASSERT_TRUE(result.is_ok());
+  const Config& cfg = result.value();
+  EXPECT_EQ(cfg.global().get_or("log", ""), "info");
+  ASSERT_EQ(cfg.sections().size(), 2u);
+  const ConfigSection* ckpt = cfg.find("file:/pfs/ckpt*");
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_EQ(ckpt->get_or("e10_cache", ""), "enable");
+}
+
+TEST(Config, SyntaxErrors) {
+  EXPECT_FALSE(Config::parse("[unterminated").is_ok());
+  EXPECT_FALSE(Config::parse("novalue").is_ok());
+  EXPECT_FALSE(Config::parse("= value").is_ok());
+  EXPECT_TRUE(Config::parse("").is_ok());
+  EXPECT_TRUE(Config::parse("# only a comment\n; and another").is_ok());
+}
+
+TEST(Config, GetBool) {
+  const auto cfg = Config::parse("a = enable\nb = off\nc = maybe").value();
+  EXPECT_TRUE(cfg.global().get_bool("a", false).value());
+  EXPECT_FALSE(cfg.global().get_bool("b", true).value());
+  EXPECT_FALSE(cfg.global().get_bool("c", true).is_ok());
+  EXPECT_TRUE(cfg.global().get_bool("missing", true).value());
+}
+
+TEST(Config, ParseSize) {
+  using namespace e10::units;
+  EXPECT_EQ(Config::parse_size("512").value(), 512);
+  EXPECT_EQ(Config::parse_size("4k").value(), 4 * KiB);
+  EXPECT_EQ(Config::parse_size("16M").value(), 16 * MiB);
+  EXPECT_EQ(Config::parse_size("2g").value(), 2 * GiB);
+  EXPECT_EQ(Config::parse_size(" 8m ").value(), 8 * MiB);
+  EXPECT_FALSE(Config::parse_size("").is_ok());
+  EXPECT_FALSE(Config::parse_size("4q").is_ok());
+  EXPECT_FALSE(Config::parse_size("m").is_ok());
+  EXPECT_FALSE(Config::parse_size("4.5m").is_ok());
+}
+
+TEST(Config, GetSize) {
+  using namespace e10::units;
+  const auto cfg = Config::parse("cb_buffer_size = 16m").value();
+  EXPECT_EQ(cfg.global().get_size("cb_buffer_size", 0).value(), 16 * MiB);
+  EXPECT_EQ(cfg.global().get_size("missing", 4 * MiB).value(), 4 * MiB);
+}
+
+TEST(Config, GlobMatch) {
+  EXPECT_TRUE(Config::glob_match("file:/pfs/ckpt*", "file:/pfs/ckpt_0001"));
+  EXPECT_TRUE(Config::glob_match("*", "anything"));
+  EXPECT_TRUE(Config::glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(Config::glob_match("a*b*c", "aXXbYY"));
+  EXPECT_TRUE(Config::glob_match("exact", "exact"));
+  EXPECT_FALSE(Config::glob_match("exact", "exact1"));
+  EXPECT_TRUE(Config::glob_match("*.h5", "checkpoint_0042.h5"));
+}
+
+TEST(Config, MatchFindsFirstGlobSection) {
+  const auto cfg = Config::parse(R"(
+[file:/pfs/ckpt*]
+x = 1
+[file:*]
+x = 2
+)").value();
+  const ConfigSection* s = cfg.match("file:/pfs/ckpt_7");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->get_or("x", ""), "1");
+  const ConfigSection* other = cfg.match("file:/pfs/other");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->get_or("x", ""), "2");
+}
+
+}  // namespace
+}  // namespace e10

@@ -1,0 +1,129 @@
+#include "common/dataview.h"
+
+#include <gtest/gtest.h>
+
+namespace e10 {
+namespace {
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(DataView, RealBasics) {
+  const DataView v = DataView::real(bytes_of({1, 2, 3, 4}));
+  EXPECT_TRUE(v.is_real());
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v.byte_at(0), std::byte{1});
+  EXPECT_EQ(v.byte_at(3), std::byte{4});
+  EXPECT_THROW(v.byte_at(4), std::out_of_range);
+}
+
+TEST(DataView, RealSliceSharesBuffer) {
+  const DataView v = DataView::real(bytes_of({10, 11, 12, 13, 14}));
+  const DataView s = v.slice(1, 3);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.byte_at(0), std::byte{11});
+  EXPECT_EQ(s.byte_at(2), std::byte{13});
+  EXPECT_EQ(s.data(), v.data() + 1);
+  EXPECT_THROW(v.slice(3, 3), std::out_of_range);
+}
+
+TEST(DataView, SyntheticDeterministicPattern) {
+  const DataView v = DataView::synthetic(42, 1000, 16);
+  EXPECT_FALSE(v.is_real());
+  EXPECT_EQ(v.data(), nullptr);
+  // Pattern depends only on (seed, absolute position).
+  EXPECT_EQ(v.byte_at(3), DataView::pattern_byte(42, 1003));
+  const DataView again = DataView::synthetic(42, 1000, 16);
+  for (Offset i = 0; i < 16; ++i) EXPECT_EQ(v.byte_at(i), again.byte_at(i));
+}
+
+TEST(DataView, SyntheticSlicePreservesOrigin) {
+  const DataView v = DataView::synthetic(7, 500, 100);
+  const DataView s = v.slice(10, 20);
+  EXPECT_EQ(s.origin(), 510);
+  for (Offset i = 0; i < 20; ++i) {
+    EXPECT_EQ(s.byte_at(i), v.byte_at(10 + i));
+  }
+}
+
+TEST(DataView, MaterializeMatchesByteAt) {
+  const DataView v = DataView::synthetic(9, 0, 64);
+  const std::vector<std::byte> m = v.materialize();
+  ASSERT_EQ(m.size(), 64u);
+  for (Offset i = 0; i < 64; ++i) {
+    EXPECT_EQ(m[static_cast<std::size_t>(i)], v.byte_at(i));
+  }
+}
+
+TEST(DataView, PatternDiffersBySeed) {
+  int diff = 0;
+  for (Offset i = 0; i < 256; ++i) {
+    if (DataView::pattern_byte(1, i) != DataView::pattern_byte(2, i)) ++diff;
+  }
+  EXPECT_GT(diff, 200);  // seeds decorrelate almost every byte
+}
+
+TEST(ByteStore, WriteAndReadBack) {
+  ByteStore store;
+  store.write(100, DataView::real(bytes_of({1, 2, 3})));
+  EXPECT_EQ(store.byte_at(100), std::byte{1});
+  EXPECT_EQ(store.byte_at(102), std::byte{3});
+  EXPECT_EQ(store.byte_at(103), std::byte{0});  // unwritten
+  EXPECT_EQ(store.extent_end(), 103);
+}
+
+TEST(ByteStore, OverwriteSplitsSegments) {
+  ByteStore store;
+  store.write(0, DataView::real(bytes_of({1, 1, 1, 1, 1, 1, 1, 1})));
+  store.write(2, DataView::real(bytes_of({9, 9, 9})));
+  EXPECT_EQ(store.byte_at(1), std::byte{1});
+  EXPECT_EQ(store.byte_at(2), std::byte{9});
+  EXPECT_EQ(store.byte_at(4), std::byte{9});
+  EXPECT_EQ(store.byte_at(5), std::byte{1});
+  EXPECT_EQ(store.segment_count(), 3u);
+}
+
+TEST(ByteStore, ReadAcrossGapZeroFills) {
+  ByteStore store;
+  store.write(0, DataView::real(bytes_of({5, 5})));
+  store.write(4, DataView::real(bytes_of({7, 7})));
+  const DataView r = store.read(0, 6);
+  EXPECT_EQ(r.size(), 6);
+  EXPECT_EQ(r.byte_at(0), std::byte{5});
+  EXPECT_EQ(r.byte_at(2), std::byte{0});
+  EXPECT_EQ(r.byte_at(3), std::byte{0});
+  EXPECT_EQ(r.byte_at(4), std::byte{7});
+}
+
+TEST(ByteStore, SyntheticFastPathPreservesRepresentation) {
+  ByteStore store;
+  store.write(1000, DataView::synthetic(3, 0, 4096));
+  const DataView r = store.read(1100, 100);
+  EXPECT_FALSE(r.is_real());  // stays synthetic: no materialization
+  EXPECT_EQ(r.byte_at(0), DataView::pattern_byte(3, 100));
+}
+
+TEST(ByteStore, MixedRealSyntheticRead) {
+  ByteStore store;
+  store.write(0, DataView::synthetic(3, 0, 100));
+  store.write(50, DataView::real(bytes_of({42})));
+  const DataView r = store.read(49, 3);
+  EXPECT_EQ(r.byte_at(0), DataView::pattern_byte(3, 49));
+  EXPECT_EQ(r.byte_at(1), std::byte{42});
+  EXPECT_EQ(r.byte_at(2), DataView::pattern_byte(3, 51));
+}
+
+TEST(ByteStore, OverwriteIdenticalRange) {
+  ByteStore store;
+  store.write(10, DataView::real(bytes_of({1, 2})));
+  store.write(10, DataView::real(bytes_of({3, 4})));
+  EXPECT_EQ(store.byte_at(10), std::byte{3});
+  EXPECT_EQ(store.byte_at(11), std::byte{4});
+  EXPECT_EQ(store.segment_count(), 1u);
+}
+
+}  // namespace
+}  // namespace e10

@@ -1,0 +1,101 @@
+#include "common/extent.h"
+
+#include <gtest/gtest.h>
+
+namespace e10 {
+namespace {
+
+TEST(Extent, Basics) {
+  const Extent e{100, 50};
+  EXPECT_EQ(e.end(), 150);
+  EXPECT_FALSE(e.empty());
+  EXPECT_TRUE(e.contains(100));
+  EXPECT_TRUE(e.contains(149));
+  EXPECT_FALSE(e.contains(150));
+  EXPECT_TRUE((Extent{0, 0}).empty());
+}
+
+TEST(Extent, Overlaps) {
+  EXPECT_TRUE((Extent{0, 10}).overlaps(Extent{5, 10}));
+  EXPECT_FALSE((Extent{0, 10}).overlaps(Extent{10, 10}));  // adjacent
+  EXPECT_TRUE((Extent{5, 1}).overlaps(Extent{0, 10}));     // contained
+  EXPECT_FALSE((Extent{0, 5}).overlaps(Extent{100, 5}));
+}
+
+TEST(Extent, Intersect) {
+  EXPECT_EQ(intersect(Extent{0, 10}, Extent{5, 10}), (Extent{5, 5}));
+  EXPECT_TRUE(intersect(Extent{0, 5}, Extent{5, 5}).empty());
+  EXPECT_EQ(intersect(Extent{0, 100}, Extent{20, 30}), (Extent{20, 30}));
+}
+
+TEST(ExtentList, NormalizeMergesOverlapsAndAdjacency) {
+  ExtentList list;
+  list.add({10, 10});
+  list.add({0, 10});   // adjacent to the first
+  list.add({15, 10});  // overlapping
+  list.add({100, 5});
+  list.add({40, 0});   // empty: dropped
+  list.normalize();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (Extent{0, 25}));
+  EXPECT_EQ(list[1], (Extent{100, 5}));
+  EXPECT_EQ(list.total_bytes(), 30);
+}
+
+TEST(ExtentList, Bounding) {
+  ExtentList list;
+  EXPECT_TRUE(list.bounding().empty());
+  list.add({50, 10});
+  list.add({10, 5});
+  EXPECT_EQ(list.bounding(), (Extent{10, 50}));
+}
+
+TEST(ExtentList, ClippedTo) {
+  ExtentList list({{0, 10}, {20, 10}, {40, 10}});
+  // Window [5, 35): first extent clipped, second kept, third dropped.
+  const ExtentList clipped = list.clipped_to(Extent{5, 30});
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_EQ(clipped[0], (Extent{5, 5}));
+  EXPECT_EQ(clipped[1], (Extent{20, 10}));
+}
+
+TEST(ExtentList, ClippedToDropsDisjoint) {
+  ExtentList list({{0, 10}, {100, 10}});
+  const ExtentList clipped = list.clipped_to(Extent{20, 30});
+  EXPECT_TRUE(clipped.empty());
+}
+
+TEST(ExtentList, Subtract) {
+  ExtentList base({{0, 100}});
+  base.normalize();
+  ExtentList holes({{10, 10}, {50, 20}});
+  holes.normalize();
+  const ExtentList rest = base.subtract(holes);
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], (Extent{0, 10}));
+  EXPECT_EQ(rest[1], (Extent{20, 30}));
+  EXPECT_EQ(rest[2], (Extent{70, 30}));
+}
+
+TEST(ExtentList, SubtractEverything) {
+  ExtentList base({{10, 20}});
+  base.normalize();
+  ExtentList cover({{0, 100}});
+  cover.normalize();
+  EXPECT_TRUE(base.subtract(cover).empty());
+}
+
+TEST(ExtentList, Covers) {
+  ExtentList big({{0, 100}, {200, 100}});
+  big.normalize();
+  ExtentList small({{10, 20}, {250, 10}});
+  small.normalize();
+  EXPECT_TRUE(big.covers(small));
+  ExtentList crossing({{90, 20}});
+  crossing.normalize();
+  EXPECT_FALSE(big.covers(crossing));
+  EXPECT_TRUE(big.covers(ExtentList{}));
+}
+
+}  // namespace
+}  // namespace e10

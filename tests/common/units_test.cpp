@@ -1,0 +1,48 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace e10 {
+namespace {
+
+using namespace e10::units;
+
+TEST(Units, TimeConversions) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds_f(0.5), 500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+}
+
+TEST(Units, ByteConversions) {
+  EXPECT_EQ(kibibytes(1), 1024);
+  EXPECT_EQ(mebibytes(1), 1024 * 1024);
+  EXPECT_EQ(gibibytes(2), 2LL * 1024 * 1024 * 1024);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(4 * KiB), "4.00 KiB");
+  EXPECT_EQ(format_bytes(3 * MiB / 2), "1.50 MiB");
+  EXPECT_EQ(format_bytes(32 * GiB), "32.00 GiB");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(nanoseconds(12)), "12.00 ns");
+  EXPECT_EQ(format_time(microseconds(3)), "3.00 us");
+  EXPECT_EQ(format_time(milliseconds(250)), "250.00 ms");
+  EXPECT_EQ(format_time(seconds(30)), "30.00 s");
+}
+
+TEST(Units, Bandwidth) {
+  // 2 GiB written in 1 second -> 2 GiB/s.
+  EXPECT_DOUBLE_EQ(bandwidth_gib(2 * GiB, seconds(1)), 2.0);
+  EXPECT_DOUBLE_EQ(bandwidth_gib(GiB, seconds(2)), 0.5);
+  EXPECT_DOUBLE_EQ(bandwidth_gib(GiB, 0), 0.0);
+  EXPECT_EQ(format_bandwidth(2 * GiB, seconds(1)), "2.00 GiB/s");
+}
+
+}  // namespace
+}  // namespace e10

@@ -1,0 +1,190 @@
+#include "lfs/local_fs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::lfs {
+namespace {
+
+using namespace e10::units;
+
+struct Fixture {
+  explicit Fixture(LfsParams params = LfsParams{})
+      : fs(engine, /*node=*/0, params, /*seed=*/99) {}
+
+  void run(std::function<void()> body) {
+    engine.spawn("client", std::move(body));
+    engine.run();
+  }
+
+  sim::Engine engine;
+  LocalFs fs;
+};
+
+TEST(LocalFs, CreateWriteRead) {
+  Fixture f;
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/cache", /*create=*/true);
+    ASSERT_TRUE(h.is_ok());
+    std::vector<std::byte> data{std::byte{7}, std::byte{8}, std::byte{9}};
+    ASSERT_TRUE(f.fs.write(h.value(), 10, DataView::real(data)));
+    const auto r = f.fs.read(h.value(), 10, 3);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().byte_at(0), std::byte{7});
+    EXPECT_EQ(r.value().byte_at(2), std::byte{9});
+    EXPECT_EQ(f.fs.file_size(h.value()).value(), 13);
+    ASSERT_TRUE(f.fs.close(h.value()));
+  });
+}
+
+TEST(LocalFs, OpenMissingWithoutCreateFails) {
+  Fixture f;
+  f.run([&] {
+    EXPECT_EQ(f.fs.open("/scratch/x", false).code(), Errc::no_such_file);
+  });
+}
+
+TEST(LocalFs, TruncateResetsSizeAndCharge) {
+  Fixture f;
+  f.run([&] {
+    const auto h1 = f.fs.open("/scratch/t", true);
+    ASSERT_TRUE(f.fs.write(h1.value(), 0, DataView::synthetic(1, 0, MiB)));
+    EXPECT_EQ(f.fs.used_bytes(), MiB);
+    const auto h2 = f.fs.open("/scratch/t", true, /*truncate=*/true);
+    EXPECT_EQ(f.fs.used_bytes(), 0);
+    EXPECT_EQ(f.fs.file_size(h2.value()).value(), 0);
+  });
+}
+
+TEST(LocalFs, FallocateReservesCapacity) {
+  LfsParams params;
+  params.capacity = 10 * MiB;
+  Fixture f(params);
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/alloc", true);
+    ASSERT_TRUE(f.fs.fallocate(h.value(), 8 * MiB));
+    EXPECT_EQ(f.fs.used_bytes(), 8 * MiB);
+    // Second file cannot reserve beyond remaining capacity.
+    const auto h2 = f.fs.open("/scratch/alloc2", true);
+    EXPECT_EQ(f.fs.fallocate(h2.value(), 4 * MiB).code(), Errc::no_space);
+  });
+  EXPECT_EQ(f.fs.stats().fallocates, 2u);
+}
+
+TEST(LocalFs, FallocateWithSupportIsMetadataFast) {
+  LfsParams fast;
+  fast.supports_fallocate = true;
+  LfsParams slow;
+  slow.supports_fallocate = false;
+  auto timed = [](LfsParams params) {
+    Fixture f(params);
+    Time elapsed = 0;
+    f.run([&] {
+      const auto h = f.fs.open("/scratch/a", true);
+      const Time t0 = f.engine.now();
+      EXPECT_TRUE(f.fs.fallocate(h.value(), 256 * MiB));
+      elapsed = f.engine.now() - t0;
+    });
+    return elapsed;
+  };
+  // Without fallocate support the fallback physically writes zeros
+  // (paper §III-A footnote 2) — orders of magnitude slower.
+  EXPECT_GT(timed(slow), 100 * timed(fast));
+}
+
+TEST(LocalFs, WriteBeyondCapacityFails) {
+  LfsParams params;
+  params.capacity = 1 * MiB;
+  Fixture f(params);
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/full", true);
+    ASSERT_TRUE(f.fs.write(h.value(), 0, DataView::synthetic(1, 0, MiB)));
+    EXPECT_EQ(
+        f.fs.write(h.value(), MiB, DataView::synthetic(1, 0, 1)).code(),
+        Errc::no_space);
+  });
+}
+
+TEST(LocalFs, WriteInsideFallocatedRegionNotDoubleCharged) {
+  LfsParams params;
+  params.capacity = 10 * MiB;
+  Fixture f(params);
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/pre", true);
+    ASSERT_TRUE(f.fs.fallocate(h.value(), 8 * MiB));
+    ASSERT_TRUE(f.fs.write(h.value(), 0, DataView::synthetic(1, 0, 8 * MiB)));
+    EXPECT_EQ(f.fs.used_bytes(), 8 * MiB);
+  });
+}
+
+TEST(LocalFs, UnlinkFreesCapacity) {
+  LfsParams params;
+  params.capacity = 2 * MiB;
+  Fixture f(params);
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/u", true);
+    ASSERT_TRUE(f.fs.write(h.value(), 0, DataView::synthetic(1, 0, 2 * MiB)));
+    ASSERT_TRUE(f.fs.close(h.value()));
+    ASSERT_TRUE(f.fs.unlink("/scratch/u"));
+    EXPECT_EQ(f.fs.used_bytes(), 0);
+    EXPECT_FALSE(f.fs.exists("/scratch/u"));
+    // Capacity is reusable.
+    const auto h2 = f.fs.open("/scratch/v", true);
+    EXPECT_TRUE(f.fs.write(h2.value(), 0, DataView::synthetic(1, 0, 2 * MiB)));
+  });
+}
+
+TEST(LocalFs, SsdWriteFasterThanPfsTargetLatency) {
+  // Local SSD write of 4 MiB should complete in low single-digit
+  // milliseconds range given ~340 MiB/s — sanity-check the preset.
+  Fixture f;
+  Time elapsed = 0;
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/ssd", true);
+    const Time t0 = f.engine.now();
+    ASSERT_TRUE(f.fs.write(h.value(), 0, DataView::synthetic(1, 0, 4 * MiB)));
+    elapsed = f.engine.now() - t0;
+  });
+  EXPECT_GT(elapsed, milliseconds(5));
+  EXPECT_LT(elapsed, milliseconds(30));
+}
+
+TEST(LocalFs, ReadClampsAtEof) {
+  Fixture f;
+  f.run([&] {
+    const auto h = f.fs.open("/scratch/r", true);
+    ASSERT_TRUE(f.fs.write(h.value(), 0, DataView::synthetic(3, 0, 100)));
+    EXPECT_EQ(f.fs.read(h.value(), 60, 100).value().size(), 40);
+    EXPECT_EQ(f.fs.read(h.value(), 200, 10).value().size(), 0);
+  });
+}
+
+TEST(LocalFsSet, IndependentPerNodeNamespaces) {
+  sim::Engine engine;
+  LocalFsSet set(engine, /*nodes=*/3, LfsParams{}, /*seed=*/5);
+  engine.spawn("client", [&] {
+    const auto h = set.at(0).open("/scratch/f", true);
+    ASSERT_TRUE(
+        set.at(0).write(h.value(), 0, DataView::synthetic(1, 0, 64)));
+    EXPECT_TRUE(set.at(0).exists("/scratch/f"));
+    EXPECT_FALSE(set.at(1).exists("/scratch/f"));
+    EXPECT_FALSE(set.at(2).exists("/scratch/f"));
+  });
+  engine.run();
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(LocalFs, BadHandleRejected) {
+  Fixture f;
+  f.run([&] {
+    EXPECT_EQ(f.fs.write(42, 0, DataView::synthetic(1, 0, 1)).code(),
+              Errc::invalid_argument);
+    EXPECT_EQ(f.fs.read(42, 0, 1).code(), Errc::invalid_argument);
+    EXPECT_EQ(f.fs.close(42).code(), Errc::invalid_argument);
+    EXPECT_EQ(f.fs.fallocate(42, 1).code(), Errc::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace e10::lfs

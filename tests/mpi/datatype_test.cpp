@@ -1,0 +1,133 @@
+#include "mpi/datatype.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::mpi {
+namespace {
+
+using namespace e10::units;
+
+TEST(FlatType, Contiguous) {
+  const FlatType t = FlatType::contiguous(100);
+  EXPECT_EQ(t.size(), 100);
+  EXPECT_EQ(t.extent(), 100);
+  EXPECT_TRUE(t.is_contiguous());
+  const auto extents = t.file_extents(/*disp=*/1000, 0, 250);
+  ASSERT_EQ(extents.size(), 1u);  // instances tile contiguously and merge
+  EXPECT_EQ(extents[0], (Extent{1000, 250}));
+}
+
+TEST(FlatType, VectorShape) {
+  // 3 blocks of 10 bytes every 50 bytes.
+  const FlatType t = FlatType::vector(3, 10, 50);
+  EXPECT_EQ(t.size(), 30);
+  EXPECT_EQ(t.extent(), 110);
+  EXPECT_FALSE(t.is_contiguous());
+  ASSERT_EQ(t.blocks().size(), 3u);
+  EXPECT_EQ(t.blocks()[1], (Extent{50, 10}));
+}
+
+TEST(FlatType, FileExtentsWithinOneInstance) {
+  const FlatType t = FlatType::vector(3, 10, 50);
+  // Stream bytes [5, 25) -> tail of block 0, all of block 1, head of block 2.
+  const auto extents = t.file_extents(0, 5, 20);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0], (Extent{5, 5}));
+  EXPECT_EQ(extents[1], (Extent{50, 10}));
+  EXPECT_EQ(extents[2], (Extent{100, 5}));
+}
+
+TEST(FlatType, FileExtentsAcrossInstances) {
+  const FlatType t = FlatType::vector(2, 4, 8);  // size 8, extent 12
+  // Stream bytes [6, 14): block 1 tail of instance 0 (file 8..10) then
+  // instance 1 starts at file 12.
+  const auto extents = t.file_extents(0, 6, 8);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0], (Extent{10, 2}));  // rest of instance 0 block 1
+  EXPECT_EQ(extents[1], (Extent{12, 4}));  // instance 1 block 0
+  EXPECT_EQ(extents[2], (Extent{20, 2}));  // instance 1 block 1 head
+}
+
+TEST(FlatType, DispShiftsEverything) {
+  const FlatType t = FlatType::vector(2, 4, 8);
+  const auto base = t.file_extents(0, 0, 8);
+  const auto shifted = t.file_extents(1 * MiB, 0, 8);
+  ASSERT_EQ(base.size(), shifted.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(shifted[i].offset - base[i].offset, 1 * MiB);
+  }
+}
+
+TEST(FlatType, Subarray1D) {
+  const FlatType t = FlatType::subarray({100}, {20}, {30}, 8);
+  ASSERT_EQ(t.blocks().size(), 1u);
+  EXPECT_EQ(t.blocks()[0], (Extent{240, 160}));
+  EXPECT_EQ(t.extent(), 800);
+}
+
+TEST(FlatType, Subarray2D) {
+  // 4x6 array of 1-byte elems; sub-box 2x3 at (1, 2).
+  const FlatType t = FlatType::subarray({4, 6}, {2, 3}, {1, 2}, 1);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  EXPECT_EQ(t.blocks()[0], (Extent{8, 3}));   // row 1, cols 2..4
+  EXPECT_EQ(t.blocks()[1], (Extent{14, 3}));  // row 2, cols 2..4
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.extent(), 24);
+}
+
+TEST(FlatType, Subarray3D) {
+  // 2x2x4 array, sub-box 1x2x2 at (1, 0, 1), elem 2 bytes.
+  const FlatType t = FlatType::subarray({2, 2, 4}, {1, 2, 2}, {1, 0, 1}, 2);
+  ASSERT_EQ(t.blocks().size(), 2u);
+  // plane 1 starts at byte 16; row 0 col 1 -> 16+2=18; row 1 col 1 -> 24+2=26
+  EXPECT_EQ(t.blocks()[0], (Extent{18, 4}));
+  EXPECT_EQ(t.blocks()[1], (Extent{26, 4}));
+}
+
+TEST(FlatType, SubarrayFullBoxIsContiguous) {
+  const FlatType t = FlatType::subarray({8}, {8}, {0}, 4);
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_EQ(t.size(), 32);
+}
+
+TEST(FlatType, MapDataSlicesAlignWithExtents) {
+  const FlatType t = FlatType::vector(2, 4, 8);
+  const DataView data = DataView::synthetic(9, 0, 16);  // two instances
+  const auto pieces = t.map_data(100, 0, data);
+  ASSERT_EQ(pieces.size(), 4u);
+  Offset stream = 0;
+  for (const auto& piece : pieces) {
+    EXPECT_EQ(piece.data.size(), piece.file.length);
+    // Data provenance: piece bytes come from the right stream position.
+    EXPECT_EQ(piece.data.byte_at(0), data.byte_at(stream));
+    stream += piece.file.length;
+  }
+  EXPECT_EQ(pieces[0].file, (Extent{100, 4}));
+  EXPECT_EQ(pieces[1].file, (Extent{104, 4}));   // adjacent but distinct block
+  EXPECT_EQ(pieces[2].file, (Extent{112, 4}));
+}
+
+TEST(FlatType, InvalidShapesThrow) {
+  EXPECT_THROW(FlatType::contiguous(0), std::logic_error);
+  EXPECT_THROW(FlatType::vector(0, 4, 8), std::logic_error);
+  EXPECT_THROW(FlatType::vector(2, 8, 4), std::logic_error);  // overlap
+  EXPECT_THROW(FlatType::indexed({{0, 4}, {2, 4}}, 10), std::logic_error);
+  EXPECT_THROW(FlatType::indexed({{0, 20}}, 10), std::logic_error);
+  EXPECT_THROW(FlatType::subarray({4}, {5}, {0}, 1), std::logic_error);
+  EXPECT_THROW(FlatType::subarray({4}, {2}, {3}, 1), std::logic_error);
+  EXPECT_THROW(FlatType::subarray({4, 4}, {2}, {0}, 1), std::logic_error);
+}
+
+TEST(FlatType, IndexedMergesAdjacentStreamRuns) {
+  const FlatType t = FlatType::indexed({{0, 4}, {4, 4}, {16, 4}}, 24);
+  // First two blocks are adjacent in the file: file_extents merges them.
+  const auto extents = t.file_extents(0, 0, 12);
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0], (Extent{0, 8}));
+  EXPECT_EQ(extents[1], (Extent{16, 4}));
+}
+
+}  // namespace
+}  // namespace e10::mpi

@@ -1,0 +1,162 @@
+// MPI_File_* API surface: lifecycle rules, views, pointers, info echo.
+#include "mpiio/file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "workloads/testbed.h"
+
+namespace e10::mpiio {
+namespace {
+
+using namespace e10::units;
+using adio::amode::create;
+using adio::amode::rdonly;
+using adio::amode::rdwr;
+using workloads::Platform;
+using workloads::small_testbed;
+
+TEST(MpiioFile, InvalidAfterClose) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/f", create | rdwr, {});
+    ASSERT_TRUE(file.is_ok());
+    File handle = std::move(file).value();
+    ASSERT_TRUE(handle.close());
+    EXPECT_FALSE(handle.valid());
+    EXPECT_FALSE(handle.close().is_ok());
+    EXPECT_FALSE(handle.sync().is_ok());
+    EXPECT_FALSE(handle.write_at(0, DataView::synthetic(1, 0, 8)).is_ok());
+    EXPECT_FALSE(handle.read_at(0, 8).is_ok());
+    EXPECT_THROW((void)handle.tell(), std::logic_error);
+  });
+  p.run();
+}
+
+TEST(MpiioFile, NegativeArgumentsRejected) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/neg", create | rdwr, {});
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_FALSE(
+        file.value().write_at(-1, DataView::synthetic(1, 0, 8)).is_ok());
+    EXPECT_FALSE(file.value().read_at(-1, 8).is_ok());
+    EXPECT_FALSE(file.value().read_at(0, -8).is_ok());
+    EXPECT_FALSE(file.value().set_view(-8).is_ok());
+    EXPECT_THROW(file.value().seek(-1), std::logic_error);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+}
+
+TEST(MpiioFile, GetInfoEchoesResolvedHints) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    mpi::Info info;
+    info.set("cb_buffer_size", "1048576");
+    info.set("e10_cache", "enable");
+    info.set("e10_cache_path", "/scratch");
+    auto file = File::open(p.ctx, comm, "/pfs/info", create | rdwr, info);
+    ASSERT_TRUE(file.is_ok());
+    const mpi::Info echo = file.value().get_info();
+    EXPECT_EQ(echo.get_or("cb_buffer_size", ""), "1048576");
+    EXPECT_EQ(echo.get_or("e10_cache", ""), "enable");
+    EXPECT_EQ(echo.get_or("cb_nodes", ""), "4");  // resolved: 1 per node
+    EXPECT_EQ(echo.get_or("ind_wr_buffer_size", ""), "524288");
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+}
+
+TEST(MpiioFile, GetSizeTracksWrites) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/sz", create | rdwr, {});
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().get_size().value(), 0);
+    ASSERT_TRUE(file.value().write_at_all(
+        comm.rank() * 4 * KiB, DataView::synthetic(1, 0, 4 * KiB)));
+    comm.barrier();
+    EXPECT_EQ(file.value().get_size().value(),
+              static_cast<Offset>(comm.size()) * 4 * KiB);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+}
+
+TEST(MpiioFile, DeleteFile) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    {
+      auto file = File::open(p.ctx, comm, "/pfs/del", create | rdwr, {});
+      ASSERT_TRUE(file.is_ok());
+      ASSERT_TRUE(file.value().close());
+    }
+    comm.barrier();
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(File::delete_file(p.ctx, "/pfs/del"));
+      EXPECT_FALSE(File::delete_file(p.ctx, "/pfs/del").is_ok());
+    }
+  });
+  p.run();
+  EXPECT_FALSE(p.pfs.exists("/pfs/del"));
+}
+
+TEST(MpiioFile, SetViewResetsPointer) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/vp", create | rdwr, {});
+    ASSERT_TRUE(file.is_ok());
+    file.value().seek(1000);
+    ASSERT_TRUE(file.value().set_view(4 * KiB));
+    EXPECT_EQ(file.value().tell(), 0);
+    // Writes through the displaced view land at disp + offset.
+    ASSERT_TRUE(file.value().write_at_all(
+        comm.rank() * 64, DataView::synthetic(2, comm.rank() * 64, 64)));
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+  // Rank 0's bytes live at 4 KiB (the displacement).
+  EXPECT_EQ(p.pfs.peek("/pfs/vp")->byte_at(4 * KiB),
+            DataView::pattern_byte(2, 0));
+}
+
+TEST(MpiioFile, ReadOnlyReopenSeesData) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    {
+      auto file = File::open(p.ctx, comm, "/pfs/ro2", create | rdwr, {});
+      ASSERT_TRUE(file.is_ok());
+      ASSERT_TRUE(file.value().write_at_all(
+          comm.rank() * 1024, DataView::synthetic(4, comm.rank() * 1024, 1024)));
+      ASSERT_TRUE(file.value().close());
+    }
+    auto reader = File::open(p.ctx, comm, "/pfs/ro2", rdonly, {});
+    ASSERT_TRUE(reader.is_ok());
+    const auto got = reader.value().read_at(comm.rank() * 1024, 1024);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value().byte_at(5),
+              DataView::pattern_byte(4, comm.rank() * 1024 + 5));
+    // Writing through a read-only handle fails.
+    EXPECT_FALSE(
+        reader.value().write_at(0, DataView::synthetic(1, 0, 8)).is_ok());
+    ASSERT_TRUE(reader.value().close());
+  });
+  p.run();
+}
+
+TEST(MpiioFile, ZeroByteCollectiveWriteIsHarmless) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto file = File::open(p.ctx, comm, "/pfs/zero", create | rdwr, {});
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_TRUE(file.value().write_at_all(0, DataView()));
+    ASSERT_TRUE(file.value().write_all(DataView()));
+    EXPECT_EQ(file.value().get_size().value(), 0);
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+}
+
+}  // namespace
+}  // namespace e10::mpiio

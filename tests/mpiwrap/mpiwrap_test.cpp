@@ -1,0 +1,189 @@
+#include "mpiwrap/mpiwrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "workloads/testbed.h"
+
+namespace e10::mpiwrap {
+namespace {
+
+using namespace e10::units;
+using workloads::Platform;
+using workloads::small_testbed;
+
+constexpr const char* kConfig = R"(
+[file:/pfs/ckpt*]
+e10_cache = enable
+e10_cache_path = /scratch
+e10_cache_flush_flag = flush_immediate
+e10_cache_discard_flag = enable
+romio_cb_write = enable
+cb_buffer_size = 262144
+deferred_close = true
+
+[file:/pfs/plot*]
+e10_cache = disable
+romio_cb_write = enable
+)";
+
+TEST(Mpiwrap, RejectsBadConfig) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    if (comm.rank() != 0) return;
+    EXPECT_FALSE(Mpiwrap::create(p.ctx, "[broken").is_ok());
+  });
+  p.run();
+}
+
+TEST(Mpiwrap, InjectsHintsFromMatchingSection) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto wrap = Mpiwrap::create(p.ctx, kConfig);
+    ASSERT_TRUE(wrap.is_ok());
+    auto file = wrap.value().open(comm, "/pfs/ckpt_0001",
+                                  adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(file.is_ok());
+    // The cache hint reached the ADIO layer: a cache file exists.
+    EXPECT_NE(file.value().raw()->cache, nullptr);
+    EXPECT_EQ(file.value().get_info().get_or("e10_cache", ""), "enable");
+    ASSERT_TRUE(wrap.value().close(std::move(file).value()));
+    ASSERT_TRUE(wrap.value().finalize());
+  });
+  p.run();
+}
+
+TEST(Mpiwrap, UserHintsOverrideConfig) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto wrap = Mpiwrap::create(p.ctx, kConfig);
+    ASSERT_TRUE(wrap.is_ok());
+    mpi::Info user;
+    user.set("e10_cache", "disable");
+    auto file = wrap.value().open(
+        comm, "/pfs/ckpt_0002", adio::amode::create | adio::amode::rdwr, user);
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().raw()->cache, nullptr);
+    ASSERT_TRUE(wrap.value().close(std::move(file).value()));
+    ASSERT_TRUE(wrap.value().finalize());
+  });
+  p.run();
+}
+
+TEST(Mpiwrap, NonMatchingPathGetsNoHints) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto wrap = Mpiwrap::create(p.ctx, kConfig);
+    ASSERT_TRUE(wrap.is_ok());
+    auto file = wrap.value().open(comm, "/pfs/other",
+                                  adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(file.is_ok());
+    EXPECT_EQ(file.value().raw()->cache, nullptr);
+    ASSERT_TRUE(wrap.value().close(std::move(file).value()));
+    EXPECT_EQ(wrap.value().stats().immediate_closes, 1u);
+    EXPECT_EQ(wrap.value().outstanding(), 0u);
+  });
+  p.run();
+}
+
+TEST(Mpiwrap, DeferredCloseKeepsFileOpenUntilNextOpen) {
+  Platform p(small_testbed());
+  std::uint64_t pending_after_close = 0;
+  std::uint64_t pending_after_reopen = 0;
+  p.launch([&](mpi::Comm comm) {
+    auto wrap = Mpiwrap::create(p.ctx, kConfig);
+    ASSERT_TRUE(wrap.is_ok());
+    auto first = wrap.value().open(comm, "/pfs/ckpt_0001",
+                                   adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(first.is_ok());
+    ASSERT_TRUE(first.value().write_at_all(
+        comm.rank() * 64 * KiB,
+        DataView::synthetic(1, comm.rank() * 64 * KiB, 64 * KiB)));
+    ASSERT_TRUE(wrap.value().close(std::move(first).value()));
+    if (comm.rank() == 0) pending_after_close = wrap.value().outstanding();
+
+    // Opening the next checkpoint really closes the previous one.
+    auto second = wrap.value().open(comm, "/pfs/ckpt_0002",
+                                    adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(second.is_ok());
+    if (comm.rank() == 0) {
+      pending_after_reopen = wrap.value().stats().delayed_real_closes;
+    }
+    ASSERT_TRUE(wrap.value().close(std::move(second).value()));
+    ASSERT_TRUE(wrap.value().finalize());
+    EXPECT_EQ(wrap.value().outstanding(), 0u);
+  });
+  p.run();
+  EXPECT_EQ(pending_after_close, 1u);
+  EXPECT_EQ(pending_after_reopen, 1u);
+  // The deferred close completed: data of file 1 is fully visible.
+  EXPECT_EQ(p.pfs.stat_path("/pfs/ckpt_0001").value().size, 8 * 64 * KiB);
+}
+
+TEST(Mpiwrap, FinalizeClosesOutstandingFiles) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    auto wrap = Mpiwrap::create(p.ctx, kConfig);
+    ASSERT_TRUE(wrap.is_ok());
+    auto file = wrap.value().open(comm, "/pfs/ckpt_final",
+                                  adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(file.is_ok());
+    ASSERT_TRUE(file.value().write_at_all(
+        comm.rank() * 4 * KiB,
+        DataView::synthetic(9, comm.rank() * 4 * KiB, 4 * KiB)));
+    ASSERT_TRUE(wrap.value().close(std::move(file).value()));
+    EXPECT_EQ(wrap.value().outstanding(), 1u);
+    ASSERT_TRUE(wrap.value().finalize());
+    EXPECT_EQ(wrap.value().outstanding(), 0u);
+    EXPECT_EQ(wrap.value().stats().finalize_closes, 1u);
+  });
+  p.run();
+  EXPECT_EQ(p.pfs.stat_path("/pfs/ckpt_final").value().size, 8 * 4 * KiB);
+}
+
+TEST(Mpiwrap, DifferentPatternsDeferIndependently) {
+  Platform p(small_testbed());
+  const std::string config = R"(
+[file:/pfs/a*]
+deferred_close = true
+[file:/pfs/b*]
+deferred_close = true
+)";
+  p.launch([&](mpi::Comm comm) {
+    auto wrap = Mpiwrap::create(p.ctx, config);
+    ASSERT_TRUE(wrap.is_ok());
+    auto a = wrap.value().open(comm, "/pfs/a1",
+                               adio::amode::create | adio::amode::rdwr);
+    auto b = wrap.value().open(comm, "/pfs/b1",
+                               adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(a.is_ok());
+    ASSERT_TRUE(b.is_ok());
+    ASSERT_TRUE(wrap.value().close(std::move(a).value()));
+    ASSERT_TRUE(wrap.value().close(std::move(b).value()));
+    EXPECT_EQ(wrap.value().outstanding(), 2u);
+    // Opening a2 closes a1 but not b1.
+    auto a2 = wrap.value().open(comm, "/pfs/a2",
+                                adio::amode::create | adio::amode::rdwr);
+    ASSERT_TRUE(a2.is_ok());
+    EXPECT_EQ(wrap.value().outstanding(), 1u);
+    ASSERT_TRUE(wrap.value().close(std::move(a2).value()));
+    ASSERT_TRUE(wrap.value().finalize());
+  });
+  p.run();
+}
+
+TEST(Mpiwrap, SectionForUsesGlobMatching) {
+  Platform p(small_testbed());
+  p.launch([&](mpi::Comm comm) {
+    if (comm.rank() != 0) return;
+    auto wrap = Mpiwrap::create(p.ctx, kConfig);
+    ASSERT_TRUE(wrap.is_ok());
+    EXPECT_NE(wrap.value().section_for("/pfs/ckpt_0042"), nullptr);
+    EXPECT_NE(wrap.value().section_for("beegfs:/pfs/plot_12"), nullptr);
+    EXPECT_EQ(wrap.value().section_for("/other/file"), nullptr);
+  });
+  p.run();
+}
+
+}  // namespace
+}  // namespace e10::mpiwrap

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "net/fabric.h"
+
+namespace e10::net {
+namespace {
+
+using namespace e10::units;
+
+TEST(DeliveryEstimate, MatchesUncontendedTransfer) {
+  Fabric reserved(2, FabricParams{});
+  Fabric estimated(2, FabricParams{});
+  const Time t_reserved = reserved.transfer(0, 1, 64 * KiB, 0);
+  const Time t_estimate = estimated.delivery_estimate(0, 1, 64 * KiB, 0);
+  // On an idle fabric the estimate is close to the reserved path (the
+  // reserved path serializes at both NICs; the estimate charges the wire
+  // once).
+  EXPECT_LE(t_estimate, t_reserved);
+  EXPECT_GE(2 * t_estimate, t_reserved);
+}
+
+TEST(DeliveryEstimate, DoesNotReserveCapacity) {
+  Fabric fabric(2, FabricParams{});
+  // A large future-time estimate must not affect later transfers.
+  (void)fabric.delivery_estimate(0, 1, 64 * MiB, seconds(100));
+  const Time arrival = fabric.transfer(0, 1, 4 * KiB, 0);
+  EXPECT_LT(arrival, milliseconds(1));  // unaffected by the estimate
+}
+
+TEST(DeliveryEstimate, FutureBaseTimeJustShifts) {
+  Fabric fabric(2, FabricParams{});
+  const Time at_zero = fabric.delivery_estimate(0, 1, 1 * KiB, 0);
+  const Time at_five = fabric.delivery_estimate(0, 1, 1 * KiB, seconds(5));
+  EXPECT_EQ(at_five - seconds(5), at_zero);
+}
+
+TEST(DeliveryEstimate, IntraNodeCheaper) {
+  Fabric fabric(2, FabricParams{});
+  EXPECT_LT(fabric.delivery_estimate(0, 0, 1 * MiB, 0),
+            fabric.delivery_estimate(0, 1, 1 * MiB, 0));
+}
+
+TEST(DeliveryEstimate, InvalidArgumentsThrow) {
+  Fabric fabric(2, FabricParams{});
+  EXPECT_THROW((void)fabric.delivery_estimate(0, 9, 1, 0), std::logic_error);
+  EXPECT_THROW((void)fabric.delivery_estimate(0, 1, -1, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace e10::net

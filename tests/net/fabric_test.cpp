@@ -1,0 +1,81 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::net {
+namespace {
+
+using namespace e10::units;
+
+TEST(Fabric, SmallMessageDominatedByLatency) {
+  Fabric fabric(2, FabricParams{});
+  const Time arrival = fabric.transfer(0, 1, 8, 0);
+  // overhead (1us) + latency (2us) + tiny serialization
+  EXPECT_GE(arrival, microseconds(3));
+  EXPECT_LT(arrival, microseconds(5));
+}
+
+TEST(Fabric, LargeMessageDominatedByBandwidth) {
+  FabricParams params;
+  Fabric fabric(2, params);
+  const Offset size = 3400 * MiB;  // exactly 1 s at nominal NIC speed
+  const Time arrival = fabric.transfer(0, 1, size, 0);
+  // Serialized once at tx and once at rx: ~2 s total.
+  EXPECT_GT(arrival, seconds(1));
+  EXPECT_LT(arrival, seconds(3));
+}
+
+TEST(Fabric, TxDonePrecedesArrival) {
+  Fabric fabric(2, FabricParams{});
+  const auto times = fabric.transfer_times(0, 1, 1 * MiB, 0);
+  EXPECT_LT(times.tx_done, times.arrival);
+}
+
+TEST(Fabric, SenderNicSerializesBackToBackSends) {
+  Fabric fabric(3, FabricParams{});
+  const Time first = fabric.transfer(0, 1, 4 * MiB, 0);
+  const Time second = fabric.transfer(0, 2, 4 * MiB, 0);
+  EXPECT_GT(second, first);  // same tx NIC, distinct rx NICs
+}
+
+TEST(Fabric, ReceiverNicSerializesIncast) {
+  Fabric fabric(3, FabricParams{});
+  const Time first = fabric.transfer(1, 0, 4 * MiB, 0);
+  const Time second = fabric.transfer(2, 0, 4 * MiB, 0);
+  EXPECT_GT(second, first);  // distinct tx NICs, same rx NIC
+}
+
+TEST(Fabric, IntraNodeUsesMemoryPath) {
+  Fabric fabric(2, FabricParams{});
+  const Time local = fabric.transfer(0, 0, 4 * MiB, 0);
+  const Time remote = fabric.transfer(0, 1, 4 * MiB, 0);
+  EXPECT_LT(local, remote);
+  EXPECT_EQ(fabric.intra_node_bytes(), 4 * MiB);
+  EXPECT_EQ(fabric.inter_node_bytes(), 4 * MiB);
+}
+
+TEST(Fabric, ZeroByteMessageStillPaysOverhead) {
+  Fabric fabric(2, FabricParams{});
+  const Time arrival = fabric.transfer(0, 1, 0, 0);
+  EXPECT_GE(arrival, microseconds(3));
+}
+
+TEST(Fabric, InvalidArgumentsThrow) {
+  Fabric fabric(2, FabricParams{});
+  EXPECT_THROW(fabric.transfer(0, 5, 1, 0), std::logic_error);
+  EXPECT_THROW(fabric.transfer(5, 0, 1, 0), std::logic_error);
+  EXPECT_THROW(fabric.transfer(0, 1, -1, 0), std::logic_error);
+  EXPECT_THROW(Fabric(0, FabricParams{}), std::logic_error);
+}
+
+TEST(Fabric, DisjointPairsDoNotContend) {
+  Fabric fabric(4, FabricParams{});
+  const Time a = fabric.transfer(0, 1, 4 * MiB, 0);
+  const Time b = fabric.transfer(2, 3, 4 * MiB, 0);
+  EXPECT_EQ(a, b);  // independent NIC pairs, identical cost
+}
+
+}  // namespace
+}  // namespace e10::net

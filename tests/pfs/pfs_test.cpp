@@ -1,0 +1,321 @@
+#include "pfs/pfs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::pfs {
+namespace {
+
+using namespace e10::units;
+
+// 2 compute nodes (0..1) + 4 data servers (2..5) + metadata (6).
+struct Fixture {
+  explicit Fixture(PfsParams params = PfsParams{})
+      : fabric(7, net::FabricParams{}),
+        pfs(engine, fabric, {2, 3, 4, 5}, 6, params, /*seed=*/1234) {}
+
+  void run(std::function<void()> body) {
+    engine.spawn("client", std::move(body));
+    engine.run();
+  }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  Pfs pfs;
+};
+
+PfsParams quiet_params() {
+  PfsParams p;
+  p.target.jitter_sigma = 0.0;  // deterministic service for exact asserts
+  return p;
+}
+
+TEST(Pfs, CreateWriteReadBack) {
+  Fixture f(quiet_params());
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto handle = f.pfs.open("/pfs/data", 0, opts);
+    ASSERT_TRUE(handle.is_ok());
+    std::vector<std::byte> payload(1024);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::byte>(i & 0xFF);
+    }
+    ASSERT_TRUE(f.pfs.write(handle.value(), 100, DataView::real(payload)));
+    const auto read = f.pfs.read(handle.value(), 100, 1024);
+    ASSERT_TRUE(read.is_ok());
+    ASSERT_EQ(read.value().size(), 1024);
+    for (Offset i = 0; i < 1024; ++i) {
+      EXPECT_EQ(read.value().byte_at(i), payload[static_cast<std::size_t>(i)]);
+    }
+    ASSERT_TRUE(f.pfs.close(handle.value()));
+  });
+}
+
+TEST(Pfs, OpenMissingFileFails) {
+  Fixture f;
+  f.run([&] {
+    const auto handle = f.pfs.open("/pfs/nope", 0, OpenOptions{});
+    EXPECT_FALSE(handle.is_ok());
+    EXPECT_EQ(handle.code(), Errc::no_such_file);
+  });
+}
+
+TEST(Pfs, ExclusiveCreateFailsOnExisting) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    ASSERT_TRUE(f.pfs.open("/pfs/x", 0, opts).is_ok());
+    opts.exclusive = true;
+    const auto again = f.pfs.open("/pfs/x", 0, opts);
+    EXPECT_EQ(again.code(), Errc::file_exists);
+  });
+}
+
+TEST(Pfs, TruncateClearsContent) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h1 = f.pfs.open("/pfs/t", 0, opts);
+    ASSERT_TRUE(f.pfs.write(h1.value(), 0, DataView::synthetic(1, 0, 4096)));
+    opts.truncate = true;
+    const auto h2 = f.pfs.open("/pfs/t", 1, opts);
+    const auto info = f.pfs.stat(h2.value());
+    EXPECT_EQ(info.value().size, 0);
+  });
+}
+
+TEST(Pfs, StripingHintsHonoredAtCreate) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    opts.striping.stripe_unit = 1 * MiB;
+    opts.striping.stripe_count = 2;
+    const auto h = f.pfs.open("/pfs/striped", 0, opts);
+    const auto info = f.pfs.stat(h.value());
+    EXPECT_EQ(info.value().stripe_unit, 1 * MiB);
+    EXPECT_EQ(info.value().stripe_count, 2u);
+  });
+}
+
+TEST(Pfs, StripeCountClampedToServers) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    opts.striping.stripe_count = 99;
+    const auto h = f.pfs.open("/pfs/wide", 0, opts);
+    EXPECT_EQ(f.pfs.stat(h.value()).value().stripe_count, 4u);
+  });
+}
+
+TEST(Pfs, ReadOnlyHandleRejectsWrite) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    ASSERT_TRUE(f.pfs.open("/pfs/ro", 0, opts).is_ok());
+    OpenOptions ro;
+    ro.mode = OpenMode::read_only;
+    const auto h = f.pfs.open("/pfs/ro", 0, ro);
+    const Status s = f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 16));
+    EXPECT_EQ(s.code(), Errc::permission_denied);
+  });
+}
+
+TEST(Pfs, ReadPastEofClamps) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/eof", 0, opts);
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(2, 0, 100)));
+    const auto r = f.pfs.read(h.value(), 50, 1000);
+    EXPECT_EQ(r.value().size(), 50);
+    const auto beyond = f.pfs.read(h.value(), 500, 10);
+    EXPECT_EQ(beyond.value().size(), 0);
+  });
+}
+
+TEST(Pfs, UnlinkRemovesName) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    ASSERT_TRUE(f.pfs.open("/pfs/gone", 0, opts).is_ok());
+    EXPECT_TRUE(f.pfs.exists("/pfs/gone"));
+    ASSERT_TRUE(f.pfs.unlink("/pfs/gone"));
+    EXPECT_FALSE(f.pfs.exists("/pfs/gone"));
+    EXPECT_EQ(f.pfs.unlink("/pfs/gone").code(), Errc::no_such_file);
+  });
+}
+
+TEST(Pfs, WriteTimeScalesWithSize) {
+  Fixture f(quiet_params());
+  Time small_time = 0, large_time = 0;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/perf", 0, opts);
+    Time t0 = f.engine.now();
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 1 * MiB)));
+    small_time = f.engine.now() - t0;
+    t0 = f.engine.now();
+    ASSERT_TRUE(
+        f.pfs.write(h.value(), 64 * MiB, DataView::synthetic(1, 0, 64 * MiB)));
+    large_time = f.engine.now() - t0;
+  });
+  EXPECT_GT(large_time, 4 * small_time);
+}
+
+TEST(Pfs, StripedWriteUsesAllServers) {
+  Fixture f(quiet_params());
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/wide", 0, opts);
+    // 16 MiB spans 4 stripes of 4 MiB across 4 servers.
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 16 * MiB)));
+  });
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(f.pfs.server_device(s).bytes_written(), 0) << "server " << s;
+  }
+}
+
+TEST(Pfs, ParallelismAcrossServersBeatsSingleServer) {
+  // Writing 64 MiB striped over 4 servers should be much faster than
+  // writing 64 MiB to a 1-server file.
+  auto timed_write = [](std::size_t stripe_count) {
+    PfsParams params = quiet_params();
+    Fixture f(params);
+    Time elapsed = 0;
+    f.run([&] {
+      OpenOptions opts;
+      opts.create = true;
+      opts.striping.stripe_count = stripe_count;
+      const auto h = f.pfs.open("/pfs/p", 0, opts);
+      const Time t0 = f.engine.now();
+      // Durable write: completion reflects the media, not the write-back
+      // buffer, so striping parallelism is observable.
+      EXPECT_TRUE(f.pfs.write_durable(h.value(), 0,
+                                      DataView::synthetic(1, 0, 64 * MiB)));
+      elapsed = f.engine.now() - t0;
+    });
+    return elapsed;
+  };
+  const Time wide = timed_write(4);
+  const Time narrow = timed_write(1);
+  EXPECT_LT(wide, narrow);
+  EXPECT_GT(narrow, 2 * wide);
+}
+
+TEST(Pfs, LockHandoffPenalizesStripeFalseSharing) {
+  // Two clients writing inside the same 4 MiB stripe pay a lock handoff
+  // (revoke/regrant) when extent locking is on — the false-sharing cost of
+  // stripe-misaligned file domains (paper refs [19][20]).
+  auto timed_pair = [](bool locking) {
+    PfsParams params = quiet_params();
+    params.extent_locking = locking;
+    Fixture f(params);
+    Time done = 0;
+    f.engine.spawn("c1", [&] {
+      OpenOptions opts;
+      opts.create = true;
+      const auto h = f.pfs.open("/pfs/lock", 0, opts);
+      EXPECT_TRUE(
+          f.pfs.write_durable(h.value(), 0, DataView::synthetic(1, 0, MiB)));
+    });
+    f.engine.spawn("c2", [&] {
+      OpenOptions opts;
+      opts.create = true;
+      const auto h = f.pfs.open("/pfs/lock", 1, opts);
+      EXPECT_TRUE(f.pfs.write_durable(h.value(), 1 * MiB,
+                                      DataView::synthetic(2, 0, MiB)));
+      done = std::max(done, f.engine.now());
+    });
+    f.engine.run();
+    return std::pair(done, f.pfs.stats().lock_handoffs);
+  };
+  const auto [locked_time, locked_handoffs] = timed_pair(true);
+  const auto [lockless_time, lockless_handoffs] = timed_pair(false);
+  EXPECT_GT(locked_handoffs, 0u);
+  EXPECT_EQ(lockless_handoffs, 0u);
+  EXPECT_GE(locked_time, lockless_time + milliseconds(2));
+}
+
+TEST(Pfs, SameClientRetainsStripeLockWithoutHandoff) {
+  PfsParams params = quiet_params();
+  Fixture f(params);
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/own", 0, opts);
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, MiB)));
+    ASSERT_TRUE(f.pfs.write(h.value(), MiB, DataView::synthetic(1, 0, MiB)));
+  });
+  // The write-back ack lets the client issue the second write while the
+  // media still holds its own lock -- it may wait, but never pays the
+  // cross-client handoff penalty.
+  EXPECT_EQ(f.pfs.stats().lock_handoffs, 0u);
+}
+
+TEST(Pfs, StatsAccumulate) {
+  Fixture f;
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/stats", 0, opts);
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 1000)));
+    (void)f.pfs.read(h.value(), 0, 500);
+    ASSERT_TRUE(f.pfs.close(h.value()));
+  });
+  EXPECT_EQ(f.pfs.stats().writes, 1u);
+  EXPECT_EQ(f.pfs.stats().bytes_written, 1000);
+  EXPECT_EQ(f.pfs.stats().reads, 1u);
+  EXPECT_EQ(f.pfs.stats().bytes_read, 500);
+  EXPECT_GE(f.pfs.stats().metadata_ops, 2u);  // open + close
+  EXPECT_EQ(f.pfs.open_handles(), 0u);
+}
+
+TEST(Pfs, BadHandleRejected) {
+  Fixture f;
+  f.run([&] {
+    EXPECT_EQ(f.pfs.write(999, 0, DataView::synthetic(1, 0, 8)).code(),
+              Errc::invalid_argument);
+    EXPECT_EQ(f.pfs.read(999, 0, 8).code(), Errc::invalid_argument);
+    EXPECT_EQ(f.pfs.close(999).code(), Errc::invalid_argument);
+    EXPECT_EQ(f.pfs.sync(999).code(), Errc::invalid_argument);
+  });
+}
+
+TEST(Pfs, SlowServerSkewsCompletion) {
+  // With one server at 25% speed, a striped write takes much longer than
+  // with balanced servers — the slowest-server effect behind the paper's
+  // global synchronisation cost.
+  auto timed = [](std::vector<double> factors) {
+    PfsParams params = quiet_params();
+    params.speed_factors = std::move(factors);
+    Fixture f(params);
+    Time elapsed = 0;
+    f.run([&] {
+      OpenOptions opts;
+      opts.create = true;
+      const auto h = f.pfs.open("/pfs/slow", 0, opts);
+      const Time t0 = f.engine.now();
+      EXPECT_TRUE(f.pfs.write_durable(h.value(), 0,
+                                      DataView::synthetic(1, 0, 16 * MiB)));
+      elapsed = f.engine.now() - t0;
+    });
+    return elapsed;
+  };
+  const Time balanced = timed({1.0, 1.0, 1.0, 1.0});
+  const Time skewed = timed({1.0, 0.25, 1.0, 1.0});
+  EXPECT_GT(skewed, 2 * balanced);
+}
+
+}  // namespace
+}  // namespace e10::pfs

@@ -1,0 +1,80 @@
+#include "pfs/stripe.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::pfs {
+namespace {
+
+using namespace e10::units;
+
+TEST(StripeLayout, TargetRoundRobin) {
+  const StripeLayout layout(4 * MiB, 4);
+  EXPECT_EQ(layout.target_of(0), 0u);
+  EXPECT_EQ(layout.target_of(4 * MiB), 1u);
+  EXPECT_EQ(layout.target_of(8 * MiB), 2u);
+  EXPECT_EQ(layout.target_of(16 * MiB), 0u);  // wraps
+  EXPECT_EQ(layout.target_of(4 * MiB - 1), 0u);
+}
+
+TEST(StripeLayout, FirstTargetRotation) {
+  const StripeLayout layout(1 * MiB, 4, /*first_target=*/2);
+  EXPECT_EQ(layout.target_of(0), 2u);
+  EXPECT_EQ(layout.target_of(1 * MiB), 3u);
+  EXPECT_EQ(layout.target_of(2 * MiB), 0u);
+}
+
+TEST(StripeLayout, Alignment) {
+  const StripeLayout layout(4 * MiB, 4);
+  EXPECT_EQ(layout.align_down(5 * MiB), 4 * MiB);
+  EXPECT_EQ(layout.align_up(5 * MiB), 8 * MiB);
+  EXPECT_EQ(layout.align_up(8 * MiB), 8 * MiB);
+  EXPECT_EQ(layout.stripe_index_of(9 * MiB), 2);
+}
+
+TEST(StripeLayout, ChunksSplitAtStripeBoundaries) {
+  const StripeLayout layout(4 * MiB, 4);
+  // 10 MiB starting at 3 MiB: pieces of 1, 4, 4, 1 MiB.
+  const auto chunks = layout.chunks(Extent{3 * MiB, 10 * MiB});
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].extent, (Extent{3 * MiB, 1 * MiB}));
+  EXPECT_EQ(chunks[0].target, 0u);
+  EXPECT_EQ(chunks[1].extent, (Extent{4 * MiB, 4 * MiB}));
+  EXPECT_EQ(chunks[1].target, 1u);
+  EXPECT_EQ(chunks[2].extent, (Extent{8 * MiB, 4 * MiB}));
+  EXPECT_EQ(chunks[2].target, 2u);
+  EXPECT_EQ(chunks[3].extent, (Extent{12 * MiB, 1 * MiB}));
+  EXPECT_EQ(chunks[3].target, 3u);
+}
+
+TEST(StripeLayout, ChunkTargetOffsetsAreContiguousPerTarget) {
+  const StripeLayout layout(1 * MiB, 2);
+  // Stripes 0,2,4 land on target 0 at object offsets 0,1,2 MiB.
+  const auto chunks = layout.chunks(Extent{0, 6 * MiB});
+  ASSERT_EQ(chunks.size(), 6u);
+  EXPECT_EQ(chunks[0].target_offset, 0);
+  EXPECT_EQ(chunks[2].target_offset, 1 * MiB);  // stripe 2, target 0
+  EXPECT_EQ(chunks[4].target_offset, 2 * MiB);  // stripe 4, target 0
+  EXPECT_EQ(chunks[1].target_offset, 0);        // stripe 1, target 1
+}
+
+TEST(StripeLayout, ChunkOfPartialStripeHasInnerOffset) {
+  const StripeLayout layout(1 * MiB, 2);
+  const auto chunks = layout.chunks(Extent{512 * KiB, 256 * KiB});
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].target_offset, 512 * KiB);
+}
+
+TEST(StripeLayout, EmptyExtentNoChunks) {
+  const StripeLayout layout(1 * MiB, 2);
+  EXPECT_TRUE(layout.chunks(Extent{100, 0}).empty());
+}
+
+TEST(StripeLayout, InvalidParamsThrow) {
+  EXPECT_THROW(StripeLayout(0, 4), std::logic_error);
+  EXPECT_THROW(StripeLayout(1 * MiB, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace e10::pfs

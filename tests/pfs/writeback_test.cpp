@@ -1,0 +1,120 @@
+// Write-back vs durable write semantics of the PFS model.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "pfs/pfs.h"
+
+namespace e10::pfs {
+namespace {
+
+using namespace e10::units;
+
+struct Fixture {
+  explicit Fixture(PfsParams params)
+      : fabric(7, net::FabricParams{}),
+        pfs(engine, fabric, {2, 3, 4, 5}, 6, params, /*seed=*/1) {}
+
+  void run(std::function<void()> body) {
+    engine.spawn("client", std::move(body));
+    engine.run();
+  }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  Pfs pfs;
+};
+
+PfsParams quiet() {
+  PfsParams p;
+  p.target.jitter_sigma = 0.0;
+  return p;
+}
+
+TEST(WriteBack, OrdinaryWriteAcksAtMemorySpeed) {
+  Fixture f(quiet());
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/wb", 0, opts);
+    const Time t0 = f.engine.now();
+    // 64 MiB fits comfortably in the 1.5 GiB write-back window: the ack
+    // returns at network+CPU speed, not media speed.
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 64 * MiB)));
+    const Time buffered = f.engine.now() - t0;
+    EXPECT_LT(buffered, milliseconds(60));
+  });
+}
+
+TEST(WriteBack, DurableWriteWaitsForMedia) {
+  Fixture f(quiet());
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/d", 0, opts);
+    const Time t0 = f.engine.now();
+    ASSERT_TRUE(
+        f.pfs.write_durable(h.value(), 0, DataView::synthetic(1, 0, 64 * MiB)));
+    const Time durable = f.engine.now() - t0;
+    // 64 MiB over 4 targets at 560 MiB/s each: >= ~28 ms of media time.
+    EXPECT_GT(durable, milliseconds(25));
+  });
+}
+
+TEST(WriteBack, WindowFillsAndThrottles) {
+  PfsParams params = quiet();
+  params.server_writeback_bytes = 8 * MiB;  // small window
+  Fixture f(params);
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    opts.striping.stripe_count = 1;  // single target: easy arithmetic
+    const auto h = f.pfs.open("/pfs/t", 0, opts);
+    // First write fills the window cheaply...
+    const Time t0 = f.engine.now();
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 8 * MiB)));
+    const Time first = f.engine.now() - t0;
+    // ...sustained writes are throttled to media speed.
+    const Time t1 = f.engine.now();
+    for (int i = 1; i <= 8; ++i) {
+      ASSERT_TRUE(f.pfs.write(h.value(), i * 8 * MiB,
+                              DataView::synthetic(1, 0, 8 * MiB)));
+    }
+    const Time sustained = (f.engine.now() - t1) / 8;
+    // First write pays network transfer (~6.5 ms for 8 MiB) but no media.
+    EXPECT_LT(first, milliseconds(8));
+    EXPECT_GT(sustained, milliseconds(10));  // ~14 ms media per 8 MiB
+  });
+}
+
+TEST(WriteBack, ZeroWindowMakesOrdinaryWritesSynchronous) {
+  PfsParams params = quiet();
+  params.server_writeback_bytes = 0;
+  Fixture f(params);
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/sync", 0, opts);
+    const Time t0 = f.engine.now();
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(1, 0, 64 * MiB)));
+    const Time elapsed = f.engine.now() - t0;
+    EXPECT_GT(elapsed, milliseconds(25));  // media-bound, like durable
+  });
+}
+
+TEST(WriteBack, DurableContentIdenticalToOrdinary) {
+  Fixture f(quiet());
+  f.run([&] {
+    OpenOptions opts;
+    opts.create = true;
+    const auto h = f.pfs.open("/pfs/c", 0, opts);
+    ASSERT_TRUE(f.pfs.write(h.value(), 0, DataView::synthetic(7, 0, 1024)));
+    ASSERT_TRUE(
+        f.pfs.write_durable(h.value(), 1024, DataView::synthetic(7, 1024, 1024)));
+  });
+  const ByteStore* store = f.pfs.peek("/pfs/c");
+  EXPECT_EQ(store->byte_at(100), DataView::pattern_byte(7, 100));
+  EXPECT_EQ(store->byte_at(1500), DataView::pattern_byte(7, 1500));
+}
+
+}  // namespace
+}  // namespace e10::pfs

@@ -1,0 +1,101 @@
+#include "prof/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::prof {
+namespace {
+
+using namespace e10::units;
+
+TEST(Profiler, RecordsAndAggregates) {
+  sim::Engine engine;
+  Profiler profiler(engine, 4);
+  profiler.record(0, Phase::write_contig, seconds(2));
+  profiler.record(1, Phase::write_contig, seconds(5));
+  profiler.record(1, Phase::write_contig, seconds(1));  // accumulates
+  profiler.record(2, Phase::exchange, seconds(3));
+  EXPECT_EQ(profiler.rank_total(1, Phase::write_contig), seconds(6));
+  EXPECT_EQ(profiler.max_over_ranks(Phase::write_contig), seconds(6));
+  EXPECT_EQ(profiler.avg_over_ranks(Phase::write_contig), seconds(2));
+  EXPECT_EQ(profiler.max_over_ranks(Phase::exchange), seconds(3));
+  EXPECT_EQ(profiler.max_over_ranks(Phase::flush_wait), 0);
+}
+
+TEST(Profiler, MaxOverSubset) {
+  sim::Engine engine;
+  Profiler profiler(engine, 4);
+  profiler.record(0, Phase::exchange, seconds(9));
+  profiler.record(3, Phase::exchange, seconds(4));
+  EXPECT_EQ(profiler.max_over({1, 3}, Phase::exchange), seconds(4));
+  EXPECT_EQ(profiler.max_over({0, 3}, Phase::exchange), seconds(9));
+  EXPECT_EQ(profiler.max_over({}, Phase::exchange), 0);
+}
+
+TEST(Profiler, ScopeMeasuresVirtualTime) {
+  sim::Engine engine;
+  Profiler profiler(engine, 1);
+  engine.spawn("p", [&] {
+    const auto scope = profiler.scope(0, Phase::shuffle_all2all);
+    engine.delay(milliseconds(250));
+  });
+  engine.run();
+  EXPECT_EQ(profiler.rank_total(0, Phase::shuffle_all2all),
+            milliseconds(250));
+}
+
+TEST(Profiler, NestedScopesBothRecord) {
+  sim::Engine engine;
+  Profiler profiler(engine, 1);
+  engine.spawn("p", [&] {
+    const auto outer = profiler.scope(0, Phase::exchange);
+    engine.delay(milliseconds(10));
+    {
+      const auto inner = profiler.scope(0, Phase::write_contig);
+      engine.delay(milliseconds(5));
+    }
+    engine.delay(milliseconds(10));
+  });
+  engine.run();
+  EXPECT_EQ(profiler.rank_total(0, Phase::write_contig), milliseconds(5));
+  EXPECT_EQ(profiler.rank_total(0, Phase::exchange), milliseconds(25));
+}
+
+TEST(Profiler, ResetClearsEverything) {
+  sim::Engine engine;
+  Profiler profiler(engine, 2);
+  profiler.record(0, Phase::close, seconds(1));
+  profiler.reset();
+  EXPECT_EQ(profiler.max_over_ranks(Phase::close), 0);
+}
+
+TEST(Profiler, InvalidArgumentsThrow) {
+  sim::Engine engine;
+  EXPECT_THROW(Profiler(engine, 0), std::logic_error);
+  Profiler profiler(engine, 2);
+  EXPECT_THROW(profiler.record(2, Phase::close, 1), std::logic_error);
+  EXPECT_THROW(profiler.record(-1, Phase::close, 1), std::logic_error);
+  EXPECT_THROW(profiler.record(0, Phase::close, -1), std::logic_error);
+}
+
+TEST(Profiler, PhaseNamesAreStable) {
+  // The bench output parses/prints these; keep them fixed.
+  EXPECT_STREQ(phase_name(Phase::shuffle_all2all), "shuffle_all2all");
+  EXPECT_STREQ(phase_name(Phase::not_hidden_sync), "not_hidden_sync");
+  EXPECT_STREQ(phase_name(Phase::write_contig), "write_contig");
+  EXPECT_STREQ(phase_name(Phase::post_write), "post_write");
+}
+
+TEST(Profiler, SummaryMentionsEveryPhase) {
+  sim::Engine engine;
+  Profiler profiler(engine, 1);
+  const std::string summary = profiler.summary();
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    EXPECT_NE(summary.find(phase_name(static_cast<Phase>(p))),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace e10::prof

@@ -1,0 +1,215 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10::sim {
+namespace {
+
+using namespace e10::units;
+
+TEST(Engine, SingleProcessDelays) {
+  Engine eng;
+  Time observed = -1;
+  eng.spawn("p", [&] {
+    EXPECT_EQ(eng.now(), 0);
+    eng.delay(milliseconds(5));
+    EXPECT_EQ(eng.now(), milliseconds(5));
+    eng.delay(microseconds(3));
+    observed = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(observed, milliseconds(5) + microseconds(3));
+}
+
+TEST(Engine, LowestTimeRunsFirst) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn("late", [&] {
+    eng.delay(milliseconds(10));
+    order.push_back(2);
+  });
+  eng.spawn("early", [&] {
+    eng.delay(milliseconds(1));
+    order.push_back(1);
+  });
+  eng.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimes) {
+  Engine eng;
+  std::vector<std::string> order;
+  for (const char* name : {"a", "b", "c"}) {
+    eng.spawn(name, [&order, name] { order.push_back(name); });
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "c");
+}
+
+TEST(Engine, SpawnFromWithinProcessStartsAtSpawnerTime) {
+  Engine eng;
+  Time child_start = -1;
+  eng.spawn("parent", [&] {
+    eng.delay(seconds(1));
+    eng.spawn("child", [&] { child_start = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(child_start, seconds(1));
+}
+
+TEST(Engine, JoinAdvancesToFinishTime) {
+  Engine eng;
+  Time joined_at = -1;
+  auto worker = eng.spawn("worker", [&] { eng.delay(seconds(2)); });
+  eng.spawn("joiner", [&] {
+    worker.join();
+    joined_at = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(joined_at, seconds(2));
+  EXPECT_TRUE(worker.finished());
+}
+
+TEST(Engine, JoinAlreadyFinished) {
+  Engine eng;
+  Time joined_at = -1;
+  auto worker = eng.spawn("worker", [&] { eng.delay(seconds(1)); });
+  eng.spawn("joiner", [&] {
+    eng.delay(seconds(5));
+    worker.join();  // finished long ago: clock stays at 5 s
+    joined_at = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(joined_at, seconds(5));
+}
+
+TEST(Engine, AdvanceToPastIsNoop) {
+  Engine eng;
+  eng.spawn("p", [&] {
+    eng.delay(seconds(1));
+    eng.advance_to(milliseconds(1));  // in the past
+    EXPECT_EQ(eng.now(), seconds(1));
+    eng.advance_to(seconds(3));
+    EXPECT_EQ(eng.now(), seconds(3));
+  });
+  eng.run();
+}
+
+TEST(Engine, MakeReadyWithFutureTimeSchedulesWakeup) {
+  Engine eng;
+  Time woke_at = -1;
+  ProcessId sleeper_id = kNoProcess;
+  eng.spawn("sleeper", [&] {
+    sleeper_id = eng.current();
+    eng.block("test");
+    woke_at = eng.now();
+  });
+  eng.spawn("waker", [&] {
+    eng.delay(milliseconds(1));
+    eng.make_ready(sleeper_id, seconds(4));  // wake in the future
+  });
+  eng.run();
+  EXPECT_EQ(woke_at, seconds(4));
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  eng.spawn("stuck", [&] { eng.block("forever"); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(Engine, DeadlockReportNamesProcess) {
+  Engine eng;
+  eng.spawn("the-culprit", [&] { eng.block("a-reason"); });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the-culprit"), std::string::npos);
+    EXPECT_NE(what.find("a-reason"), std::string::npos);
+  }
+}
+
+TEST(Engine, ProcessExceptionPropagates) {
+  Engine eng;
+  eng.spawn("thrower", [] { throw std::runtime_error("boom"); });
+  eng.spawn("bystander", [&] { eng.delay(seconds(100)); });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, DestructorCleansUpWithoutRun) {
+  // Spawned but never run: destructor must cancel and join cleanly.
+  Engine eng;
+  eng.spawn("never-run", [&] { eng.delay(seconds(1)); });
+}
+
+TEST(Engine, DestructorCleansUpBlockedProcesses) {
+  auto eng = std::make_unique<Engine>();
+  eng->spawn("blocked-forever", [&e = *eng] { e.block("leak-check"); });
+  try {
+    eng->run();
+  } catch (const DeadlockError&) {
+    // expected
+  }
+  eng.reset();  // must not hang or crash
+}
+
+TEST(Engine, ManyProcessesDeterministicOrder) {
+  // Two identical runs produce identical completion sequences.
+  auto run_once = [] {
+    Engine eng;
+    std::vector<int> done;
+    for (int i = 0; i < 64; ++i) {
+      eng.spawn("p" + std::to_string(i), [&eng, &done, i] {
+        eng.delay(microseconds((i * 7) % 13));
+        eng.delay(microseconds((i * 3) % 5));
+        done.push_back(i);
+      });
+    }
+    eng.run();
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine eng;
+  eng.spawn("p", [&] { eng.delay(-1); });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, SwitchCountGrows) {
+  // Two interleaving processes force real fiber switches; a lone process
+  // delaying takes the no-switch fast path.
+  Engine eng;
+  for (int p = 0; p < 2; ++p) {
+    eng.spawn("p" + std::to_string(p), [&] {
+      for (int i = 0; i < 10; ++i) eng.delay(1);
+    });
+  }
+  eng.run();
+  EXPECT_GE(eng.switch_count(), 20u);
+}
+
+TEST(Engine, LoneProcessDelaysWithoutSwitching) {
+  Engine eng;
+  eng.spawn("solo", [&] {
+    for (int i = 0; i < 100; ++i) eng.delay(units::microseconds(1));
+    EXPECT_EQ(eng.now(), units::microseconds(100));
+  });
+  eng.run();
+  EXPECT_LE(eng.switch_count(), 2u);  // just the initial resume
+}
+
+}  // namespace
+}  // namespace e10::sim

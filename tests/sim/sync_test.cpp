@@ -1,0 +1,243 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10::sim {
+namespace {
+
+using namespace e10::units;
+
+TEST(SimMutex, MutualExclusionSerializesCriticalSections) {
+  Engine eng;
+  SimMutex mu(eng);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn("p" + std::to_string(i), [&] {
+      SimLock lock(mu);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      eng.delay(milliseconds(1));
+      --inside;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST(SimMutex, FifoHandoff) {
+  Engine eng;
+  SimMutex mu(eng);
+  std::vector<int> order;
+  eng.spawn("holder", [&] {
+    mu.lock();
+    eng.delay(milliseconds(10));
+    mu.unlock();
+  });
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("w" + std::to_string(i), [&, i] {
+      eng.delay(microseconds(i + 1));  // deterministic arrival order
+      SimLock lock(mu);
+      order.push_back(i);
+    });
+  }
+  eng.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimMutex, UnlockWhileUnlockedThrows) {
+  Engine eng;
+  SimMutex mu(eng);
+  eng.spawn("p", [&] { mu.unlock(); });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(SimCondVar, ProducerConsumer) {
+  Engine eng;
+  SimMutex mu(eng);
+  SimCondVar cv(eng);
+  bool flag = false;
+  Time consumer_woke = -1;
+  eng.spawn("consumer", [&] {
+    SimLock lock(mu);
+    while (!flag) cv.wait(mu);
+    consumer_woke = eng.now();
+  });
+  eng.spawn("producer", [&] {
+    eng.delay(seconds(1));
+    SimLock lock(mu);
+    flag = true;
+    cv.notify_one();
+  });
+  eng.run();
+  EXPECT_EQ(consumer_woke, seconds(1));
+}
+
+TEST(SimCondVar, NotifyAllWakesEveryone) {
+  Engine eng;
+  SimMutex mu(eng);
+  SimCondVar cv(eng);
+  bool go = false;
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    eng.spawn("w" + std::to_string(i), [&] {
+      SimLock lock(mu);
+      while (!go) cv.wait(mu);
+      ++woke;
+    });
+  }
+  eng.spawn("waker", [&] {
+    eng.delay(milliseconds(1));
+    SimLock lock(mu);
+    go = true;
+    cv.notify_all();
+  });
+  eng.run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(SimCondVar, NotifyWithNoWaitersIsNoop) {
+  Engine eng;
+  SimMutex mu(eng);
+  SimCondVar cv(eng);
+  eng.spawn("p", [&] {
+    cv.notify_one();
+    cv.notify_all();
+  });
+  eng.run();
+}
+
+TEST(SimSemaphore, LimitsConcurrency) {
+  Engine eng;
+  SimSemaphore sem(eng, 2);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 6; ++i) {
+    eng.spawn("p" + std::to_string(i), [&] {
+      sem.acquire();
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      eng.delay(milliseconds(1));
+      --inside;
+      sem.release();
+    });
+  }
+  eng.run();
+  EXPECT_EQ(max_inside, 2);
+}
+
+TEST(SimSemaphore, ReleaseManyWakesMany) {
+  Engine eng;
+  SimSemaphore sem(eng, 0);
+  int acquired = 0;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("a" + std::to_string(i), [&] {
+      sem.acquire();
+      ++acquired;
+    });
+  }
+  eng.spawn("releaser", [&] {
+    eng.delay(milliseconds(1));
+    sem.release(3);
+  });
+  eng.run();
+  EXPECT_EQ(acquired, 3);
+}
+
+TEST(SimEvent, WaitBeforeSet) {
+  Engine eng;
+  SimEvent ev(eng);
+  Time woke = -1;
+  eng.spawn("waiter", [&] {
+    ev.wait();
+    woke = eng.now();
+  });
+  eng.spawn("setter", [&] {
+    eng.delay(seconds(3));
+    ev.set();
+  });
+  eng.run();
+  EXPECT_EQ(woke, seconds(3));
+}
+
+TEST(SimEvent, WaitAfterSetAdvancesToCompletionTime) {
+  Engine eng;
+  SimEvent ev(eng);
+  Time woke = -1;
+  eng.spawn("setter", [&] { ev.set_at(seconds(10)); });  // async completion
+  eng.spawn("late-waiter", [&] {
+    eng.delay(seconds(1));
+    ev.wait();
+    woke = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(woke, seconds(10));
+}
+
+TEST(SimEvent, WaitAfterPastCompletionDoesNotRewind) {
+  Engine eng;
+  SimEvent ev(eng);
+  Time woke = -1;
+  eng.spawn("setter", [&] { ev.set(); });  // completes at t=0
+  eng.spawn("waiter", [&] {
+    eng.delay(seconds(5));
+    ev.wait();
+    woke = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(woke, seconds(5));
+}
+
+TEST(SimEvent, DoubleSetThrows) {
+  Engine eng;
+  SimEvent ev(eng);
+  eng.spawn("p", [&] {
+    ev.set();
+    ev.set();
+  });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(SimBarrier, AllLeaveAtMaxArrival) {
+  Engine eng;
+  SimBarrier barrier(eng, 3);
+  std::vector<Time> leave_times;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("p" + std::to_string(i), [&, i] {
+      eng.delay(seconds(i + 1));  // arrive at 1, 2, 3 s
+      barrier.arrive_and_wait();
+      leave_times.push_back(eng.now());
+    });
+  }
+  eng.run();
+  ASSERT_EQ(leave_times.size(), 3u);
+  for (const Time t : leave_times) EXPECT_EQ(t, seconds(3));
+}
+
+TEST(SimBarrier, CyclicReuse) {
+  Engine eng;
+  SimBarrier barrier(eng, 2);
+  std::vector<Time> checkpoints;
+  for (int i = 0; i < 2; ++i) {
+    eng.spawn("p" + std::to_string(i), [&, i] {
+      for (int round = 0; round < 3; ++round) {
+        eng.delay(milliseconds(i == 0 ? 1 : 5));
+        barrier.arrive_and_wait();
+        if (i == 0) checkpoints.push_back(eng.now());
+      }
+    });
+  }
+  eng.run();
+  ASSERT_EQ(checkpoints.size(), 3u);
+  EXPECT_EQ(checkpoints[0], milliseconds(5));
+  EXPECT_EQ(checkpoints[1], milliseconds(10));
+  EXPECT_EQ(checkpoints[2], milliseconds(15));
+}
+
+}  // namespace
+}  // namespace e10::sim

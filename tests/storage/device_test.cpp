@@ -1,0 +1,117 @@
+#include "storage/device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::storage {
+namespace {
+
+using namespace e10::units;
+
+DeviceParams no_jitter(DeviceParams p) {
+  p.jitter_sigma = 0.0;
+  return p;
+}
+
+TEST(Device, ServiceTimeScalesWithSize) {
+  Device dev("d", no_jitter(local_ssd_params()), 1);
+  const Time t1 = dev.expected_service(IoKind::write, 1 * MiB, true);
+  const Time t16 = dev.expected_service(IoKind::write, 16 * MiB, true);
+  EXPECT_GT(t16, 10 * t1);
+}
+
+TEST(Device, SeekPenaltyOnlyForNonSequential) {
+  DeviceParams p = no_jitter(pfs_target_params());
+  Device dev("d", p, 1);
+  const Time seq = dev.expected_service(IoKind::write, 4 * KiB, true);
+  const Time rnd = dev.expected_service(IoKind::write, 4 * KiB, false);
+  EXPECT_EQ(rnd - seq, p.seek_penalty);
+}
+
+TEST(Device, SsdHasNoSeekPenalty) {
+  Device dev("ssd", no_jitter(local_ssd_params()), 1);
+  EXPECT_EQ(dev.expected_service(IoKind::write, 4 * KiB, true),
+            dev.expected_service(IoKind::write, 4 * KiB, false));
+}
+
+TEST(Device, SubmitDetectsSequentialPattern) {
+  DeviceParams p = no_jitter(pfs_target_params());
+  Device dev("d", p, 1);
+  const Time first = dev.submit(0, IoKind::write, 0, 1 * MiB);  // seek (cold)
+  const Time second = dev.submit(first, IoKind::write, 1 * MiB, 1 * MiB);
+  const Time third = dev.submit(second, IoKind::write, 64 * MiB, 1 * MiB);
+  // second is sequential (no seek); third jumps (seek).
+  const Time d2 = second - first;
+  const Time d3 = third - second;
+  EXPECT_EQ(d3 - d2, p.seek_penalty);
+}
+
+TEST(Device, QueueingDelaysBackToBackRequests) {
+  Device dev("d", no_jitter(local_ssd_params()), 1);
+  const Time one = dev.submit(0, IoKind::write, 0, 4 * MiB);
+  const Time two = dev.submit(0, IoKind::write, 4 * MiB, 4 * MiB);
+  EXPECT_NEAR(static_cast<double>(two), 2.0 * static_cast<double>(one),
+              static_cast<double>(one) * 0.05);
+}
+
+TEST(Device, ReadsFasterThanWritesOnSsd) {
+  Device dev("ssd", no_jitter(local_ssd_params()), 1);
+  EXPECT_LT(dev.expected_service(IoKind::read, 16 * MiB, true),
+            dev.expected_service(IoKind::write, 16 * MiB, true));
+}
+
+TEST(Device, SpeedFactorSlowsEverything) {
+  DeviceParams p = no_jitter(pfs_target_params());
+  p.speed_factor = 0.5;
+  Device slow("slow", p, 1);
+  Device fast("fast", no_jitter(pfs_target_params()), 1);
+  EXPECT_NEAR(
+      static_cast<double>(slow.expected_service(IoKind::write, 8 * MiB, true)),
+      2.0 * static_cast<double>(
+                fast.expected_service(IoKind::write, 8 * MiB, true)),
+      1e6);
+}
+
+TEST(Device, JitterIsSeededAndReproducible) {
+  DeviceParams p = pfs_target_params();  // jitter on
+  Device a("a", p, 42);
+  Device b("b", p, 42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.submit(0, IoKind::write, i * MiB, MiB),
+              b.submit(0, IoKind::write, i * MiB, MiB));
+  }
+  Device c("c", p, 43);  // different seed diverges
+  bool diverged = false;
+  Device a2("a2", p, 42);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.submit(0, IoKind::write, i * MiB, MiB) !=
+        c.submit(0, IoKind::write, i * MiB, MiB)) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Device, AccountingTracksBytes) {
+  Device dev("d", no_jitter(local_ssd_params()), 1);
+  (void)dev.submit(0, IoKind::write, 0, 100);
+  (void)dev.submit(0, IoKind::read, 0, 40);
+  EXPECT_EQ(dev.bytes_written(), 100);
+  EXPECT_EQ(dev.bytes_read(), 40);
+  EXPECT_EQ(dev.requests(), 2u);
+}
+
+TEST(Device, InvalidParamsThrow) {
+  DeviceParams p;
+  p.write_bytes_per_second = 0;
+  EXPECT_THROW(Device("bad", p, 1), std::logic_error);
+  DeviceParams q;
+  q.speed_factor = 0.0;
+  EXPECT_THROW(Device("bad", q, 1), std::logic_error);
+  Device ok("ok", DeviceParams{}, 1);
+  EXPECT_THROW(ok.submit(0, IoKind::write, 0, -5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace e10::storage

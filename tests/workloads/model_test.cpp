@@ -1,0 +1,84 @@
+#include "workloads/model.h"
+
+#include <gtest/gtest.h>
+
+namespace e10::workloads {
+namespace {
+
+using namespace e10::units;
+
+TEST(Model, NotHiddenSync) {
+  EXPECT_EQ(not_hidden_sync(seconds(10), seconds(30)), 0);
+  EXPECT_EQ(not_hidden_sync(seconds(30), seconds(10)), seconds(20));
+  EXPECT_EQ(not_hidden_sync(seconds(5), seconds(5)), 0);
+}
+
+TEST(Model, Eq1FullyHiddenSyncGivesCacheBandwidth) {
+  PhaseModel phase;
+  phase.bytes = 32 * GiB;
+  phase.write = seconds(2);   // cache write at ~16 GiB/s
+  phase.sync = seconds(20);   // would take 20 s...
+  phase.compute = seconds(30);  // ...but compute hides it all
+  EXPECT_DOUBLE_EQ(eq1_bandwidth(phase), 16.0);
+}
+
+TEST(Model, Eq1ExposedSyncDegradesBandwidth) {
+  PhaseModel phase;
+  phase.bytes = 32 * GiB;
+  phase.write = seconds(2);
+  phase.sync = seconds(40);
+  phase.compute = seconds(30);  // 10 s of sync leak into the I/O time
+  EXPECT_DOUBLE_EQ(eq1_bandwidth(phase), 32.0 / 12.0);
+}
+
+TEST(Model, Eq2AveragesPhases) {
+  PhaseModel hidden;
+  hidden.bytes = GiB;
+  hidden.write = seconds(1);
+  hidden.sync = seconds(5);
+  hidden.compute = seconds(30);
+  PhaseModel exposed = hidden;
+  exposed.compute = 0;  // last phase: nothing hides the sync
+  const double bw = eq2_bandwidth({hidden, exposed});
+  // 2 GiB over 1 + (1 + 5) seconds.
+  EXPECT_DOUBLE_EQ(bw, 2.0 / 7.0);
+}
+
+TEST(Model, Eq2EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(eq2_bandwidth({}), 0.0);
+}
+
+TEST(Model, SyncTimeEstimateScalesWithBytes) {
+  const TestbedParams testbed = deep_er_testbed();
+  const Time small = estimate_sync_time(512 * MiB, 64, testbed);
+  const Time large = estimate_sync_time(GiB, 64, testbed);
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 3 * small);
+}
+
+TEST(Model, FewAggregatorsSyncFasterPerAggregatorShare) {
+  // With few aggregators each gets a bigger PFS share, but must move more
+  // bytes: 32 GiB total, 8 vs 64 aggregators.
+  const TestbedParams testbed = deep_er_testbed();
+  const Time eight = estimate_sync_time(4 * GiB, 8, testbed);
+  const Time sixty_four = estimate_sync_time(512 * MiB, 64, testbed);
+  // The PFS aggregate is the shared bottleneck: both take at least
+  // 32 GiB / 2.2 GiB/s ~ 15 s; with 8 aggregators the SSD read leg
+  // (4 GiB / 480 MiB/s ~ 8.5 s) is hidden behind the PFS leg.
+  EXPECT_GT(eight, seconds(10));
+  EXPECT_GT(sixty_four, seconds(10));
+}
+
+TEST(Model, PaperScenarioThirtySecondsHidesMostConfigs) {
+  // The paper: 30 s compute delay is "in most cases enough" to hide the
+  // sync of a 32 GiB file. Check it holds for 64 aggregators but not 8.
+  const TestbedParams testbed = deep_er_testbed();
+  const Offset file_bytes = 32 * GiB;
+  const Time sync64 = estimate_sync_time(file_bytes / 64, 64, testbed);
+  const Time sync8 = estimate_sync_time(file_bytes / 8, 8, testbed);
+  EXPECT_LT(not_hidden_sync(sync64, seconds(30)), seconds(5));
+  EXPECT_GT(not_hidden_sync(sync8, seconds(30)), 0);
+}
+
+}  // namespace
+}  // namespace e10::workloads
