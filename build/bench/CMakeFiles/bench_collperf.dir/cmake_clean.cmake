@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collperf.dir/bench_collperf.cpp.o"
+  "CMakeFiles/bench_collperf.dir/bench_collperf.cpp.o.d"
+  "bench_collperf"
+  "bench_collperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

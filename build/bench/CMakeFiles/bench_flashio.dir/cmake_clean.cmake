@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flashio.dir/bench_flashio.cpp.o"
+  "CMakeFiles/bench_flashio.dir/bench_flashio.cpp.o.d"
+  "bench_flashio"
+  "bench_flashio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flashio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/e10_bench_common.dir/bench_common.cpp.o.d"
+  "libe10_bench_common.a"
+  "libe10_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

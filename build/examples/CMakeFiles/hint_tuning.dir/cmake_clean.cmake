@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_tuning.dir/hint_tuning.cpp.o"
+  "CMakeFiles/hint_tuning.dir/hint_tuning.cpp.o.d"
+  "hint_tuning"
+  "hint_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_mpiwrap.dir/legacy_mpiwrap.cpp.o"
+  "CMakeFiles/legacy_mpiwrap.dir/legacy_mpiwrap.cpp.o.d"
+  "legacy_mpiwrap"
+  "legacy_mpiwrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_mpiwrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

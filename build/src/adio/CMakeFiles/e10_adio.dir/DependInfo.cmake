@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adio/aggregation.cpp" "src/adio/CMakeFiles/e10_adio.dir/aggregation.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/aggregation.cpp.o.d"
+  "/root/repo/src/adio/contig.cpp" "src/adio/CMakeFiles/e10_adio.dir/contig.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/contig.cpp.o.d"
+  "/root/repo/src/adio/hints.cpp" "src/adio/CMakeFiles/e10_adio.dir/hints.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/hints.cpp.o.d"
+  "/root/repo/src/adio/open_close.cpp" "src/adio/CMakeFiles/e10_adio.dir/open_close.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/open_close.cpp.o.d"
+  "/root/repo/src/adio/read_coll.cpp" "src/adio/CMakeFiles/e10_adio.dir/read_coll.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/read_coll.cpp.o.d"
+  "/root/repo/src/adio/sieve.cpp" "src/adio/CMakeFiles/e10_adio.dir/sieve.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/sieve.cpp.o.d"
+  "/root/repo/src/adio/write_coll.cpp" "src/adio/CMakeFiles/e10_adio.dir/write_coll.cpp.o" "gcc" "src/adio/CMakeFiles/e10_adio.dir/write_coll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/e10_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/e10_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/e10_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/e10_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/e10_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/e10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/e10_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

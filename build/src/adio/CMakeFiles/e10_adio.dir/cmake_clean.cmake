@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_adio.dir/aggregation.cpp.o"
+  "CMakeFiles/e10_adio.dir/aggregation.cpp.o.d"
+  "CMakeFiles/e10_adio.dir/contig.cpp.o"
+  "CMakeFiles/e10_adio.dir/contig.cpp.o.d"
+  "CMakeFiles/e10_adio.dir/hints.cpp.o"
+  "CMakeFiles/e10_adio.dir/hints.cpp.o.d"
+  "CMakeFiles/e10_adio.dir/open_close.cpp.o"
+  "CMakeFiles/e10_adio.dir/open_close.cpp.o.d"
+  "CMakeFiles/e10_adio.dir/read_coll.cpp.o"
+  "CMakeFiles/e10_adio.dir/read_coll.cpp.o.d"
+  "CMakeFiles/e10_adio.dir/sieve.cpp.o"
+  "CMakeFiles/e10_adio.dir/sieve.cpp.o.d"
+  "CMakeFiles/e10_adio.dir/write_coll.cpp.o"
+  "CMakeFiles/e10_adio.dir/write_coll.cpp.o.d"
+  "libe10_adio.a"
+  "libe10_adio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_adio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

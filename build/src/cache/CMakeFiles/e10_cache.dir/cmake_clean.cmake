@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_cache.dir/cache_file.cpp.o"
+  "CMakeFiles/e10_cache.dir/cache_file.cpp.o.d"
+  "CMakeFiles/e10_cache.dir/lock_table.cpp.o"
+  "CMakeFiles/e10_cache.dir/lock_table.cpp.o.d"
+  "CMakeFiles/e10_cache.dir/sync_thread.cpp.o"
+  "CMakeFiles/e10_cache.dir/sync_thread.cpp.o.d"
+  "libe10_cache.a"
+  "libe10_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_common.dir/config.cpp.o"
+  "CMakeFiles/e10_common.dir/config.cpp.o.d"
+  "CMakeFiles/e10_common.dir/dataview.cpp.o"
+  "CMakeFiles/e10_common.dir/dataview.cpp.o.d"
+  "CMakeFiles/e10_common.dir/extent.cpp.o"
+  "CMakeFiles/e10_common.dir/extent.cpp.o.d"
+  "CMakeFiles/e10_common.dir/log.cpp.o"
+  "CMakeFiles/e10_common.dir/log.cpp.o.d"
+  "CMakeFiles/e10_common.dir/units.cpp.o"
+  "CMakeFiles/e10_common.dir/units.cpp.o.d"
+  "libe10_common.a"
+  "libe10_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_lfs.dir/local_fs.cpp.o"
+  "CMakeFiles/e10_lfs.dir/local_fs.cpp.o.d"
+  "libe10_lfs.a"
+  "libe10_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

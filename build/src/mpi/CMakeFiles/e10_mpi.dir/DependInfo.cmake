@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/e10_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/e10_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/e10_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/e10_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/request.cpp" "src/mpi/CMakeFiles/e10_mpi.dir/request.cpp.o" "gcc" "src/mpi/CMakeFiles/e10_mpi.dir/request.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/mpi/CMakeFiles/e10_mpi.dir/world.cpp.o" "gcc" "src/mpi/CMakeFiles/e10_mpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/e10_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/e10_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

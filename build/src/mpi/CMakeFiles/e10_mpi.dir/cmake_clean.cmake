@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_mpi.dir/comm.cpp.o"
+  "CMakeFiles/e10_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/e10_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/e10_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/e10_mpi.dir/request.cpp.o"
+  "CMakeFiles/e10_mpi.dir/request.cpp.o.d"
+  "CMakeFiles/e10_mpi.dir/world.cpp.o"
+  "CMakeFiles/e10_mpi.dir/world.cpp.o.d"
+  "libe10_mpi.a"
+  "libe10_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

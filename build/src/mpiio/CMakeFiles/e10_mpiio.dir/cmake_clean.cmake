@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_mpiio.dir/file.cpp.o"
+  "CMakeFiles/e10_mpiio.dir/file.cpp.o.d"
+  "libe10_mpiio.a"
+  "libe10_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

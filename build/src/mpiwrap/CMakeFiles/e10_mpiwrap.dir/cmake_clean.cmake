@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_mpiwrap.dir/mpiwrap.cpp.o"
+  "CMakeFiles/e10_mpiwrap.dir/mpiwrap.cpp.o.d"
+  "libe10_mpiwrap.a"
+  "libe10_mpiwrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_mpiwrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

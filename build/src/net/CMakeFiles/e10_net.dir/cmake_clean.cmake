@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_net.dir/fabric.cpp.o"
+  "CMakeFiles/e10_net.dir/fabric.cpp.o.d"
+  "libe10_net.a"
+  "libe10_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_pfs.dir/pfs.cpp.o"
+  "CMakeFiles/e10_pfs.dir/pfs.cpp.o.d"
+  "CMakeFiles/e10_pfs.dir/stripe.cpp.o"
+  "CMakeFiles/e10_pfs.dir/stripe.cpp.o.d"
+  "libe10_pfs.a"
+  "libe10_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

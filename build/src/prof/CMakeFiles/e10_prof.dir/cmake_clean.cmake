@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_prof.dir/profiler.cpp.o"
+  "CMakeFiles/e10_prof.dir/profiler.cpp.o.d"
+  "libe10_prof.a"
+  "libe10_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

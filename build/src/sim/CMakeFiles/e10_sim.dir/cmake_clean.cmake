@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_sim.dir/engine.cpp.o"
+  "CMakeFiles/e10_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/e10_sim.dir/sync.cpp.o"
+  "CMakeFiles/e10_sim.dir/sync.cpp.o.d"
+  "libe10_sim.a"
+  "libe10_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

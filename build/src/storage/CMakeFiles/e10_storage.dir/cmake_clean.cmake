@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_storage.dir/device.cpp.o"
+  "CMakeFiles/e10_storage.dir/device.cpp.o.d"
+  "libe10_storage.a"
+  "libe10_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_workloads.dir/experiment.cpp.o"
+  "CMakeFiles/e10_workloads.dir/experiment.cpp.o.d"
+  "CMakeFiles/e10_workloads.dir/model.cpp.o"
+  "CMakeFiles/e10_workloads.dir/model.cpp.o.d"
+  "CMakeFiles/e10_workloads.dir/testbed.cpp.o"
+  "CMakeFiles/e10_workloads.dir/testbed.cpp.o.d"
+  "CMakeFiles/e10_workloads.dir/workflow.cpp.o"
+  "CMakeFiles/e10_workloads.dir/workflow.cpp.o.d"
+  "CMakeFiles/e10_workloads.dir/workload.cpp.o"
+  "CMakeFiles/e10_workloads.dir/workload.cpp.o.d"
+  "libe10_workloads.a"
+  "libe10_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

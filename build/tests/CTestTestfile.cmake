@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("storage")
+subdirs("pfs")
+subdirs("lfs")
+subdirs("mpi")
+subdirs("cache")
+subdirs("adio")
+subdirs("workloads")
+subdirs("mpiwrap")
+subdirs("prof")
+subdirs("mpiio")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adio_test.dir/aggregation_test.cpp.o"
+  "CMakeFiles/adio_test.dir/aggregation_test.cpp.o.d"
+  "CMakeFiles/adio_test.dir/cache_integration_test.cpp.o"
+  "CMakeFiles/adio_test.dir/cache_integration_test.cpp.o.d"
+  "CMakeFiles/adio_test.dir/coll_io_test.cpp.o"
+  "CMakeFiles/adio_test.dir/coll_io_test.cpp.o.d"
+  "CMakeFiles/adio_test.dir/extensions_test.cpp.o"
+  "CMakeFiles/adio_test.dir/extensions_test.cpp.o.d"
+  "CMakeFiles/adio_test.dir/hints_test.cpp.o"
+  "CMakeFiles/adio_test.dir/hints_test.cpp.o.d"
+  "CMakeFiles/adio_test.dir/property_test.cpp.o"
+  "CMakeFiles/adio_test.dir/property_test.cpp.o.d"
+  "adio_test"
+  "adio_test.pdb"
+  "adio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

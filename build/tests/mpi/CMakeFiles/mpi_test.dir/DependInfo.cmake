@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/collectives_test.cpp" "tests/mpi/CMakeFiles/mpi_test.dir/collectives_test.cpp.o" "gcc" "tests/mpi/CMakeFiles/mpi_test.dir/collectives_test.cpp.o.d"
+  "/root/repo/tests/mpi/p2p_test.cpp" "tests/mpi/CMakeFiles/mpi_test.dir/p2p_test.cpp.o" "gcc" "tests/mpi/CMakeFiles/mpi_test.dir/p2p_test.cpp.o.d"
+  "/root/repo/tests/mpi/request_test.cpp" "tests/mpi/CMakeFiles/mpi_test.dir/request_test.cpp.o" "gcc" "tests/mpi/CMakeFiles/mpi_test.dir/request_test.cpp.o.d"
+  "/root/repo/tests/mpi/world_test.cpp" "tests/mpi/CMakeFiles/mpi_test.dir/world_test.cpp.o" "gcc" "tests/mpi/CMakeFiles/mpi_test.dir/world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/e10_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/e10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_test.dir/collectives_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/collectives_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/p2p_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/p2p_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/request_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/request_test.cpp.o.d"
+  "CMakeFiles/mpi_test.dir/world_test.cpp.o"
+  "CMakeFiles/mpi_test.dir/world_test.cpp.o.d"
+  "mpi_test"
+  "mpi_test.pdb"
+  "mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpiio/file_test.cpp" "tests/mpiio/CMakeFiles/mpiio_test.dir/file_test.cpp.o" "gcc" "tests/mpiio/CMakeFiles/mpiio_test.dir/file_test.cpp.o.d"
+  "/root/repo/tests/mpiio/read_coll_test.cpp" "tests/mpiio/CMakeFiles/mpiio_test.dir/read_coll_test.cpp.o" "gcc" "tests/mpiio/CMakeFiles/mpiio_test.dir/read_coll_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpiio/CMakeFiles/e10_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/e10_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/adio/CMakeFiles/e10_adio.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/e10_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/e10_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/e10_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/e10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/e10_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/e10_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/e10_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiwrap_test.dir/mpiwrap_test.cpp.o"
+  "CMakeFiles/mpiwrap_test.dir/mpiwrap_test.cpp.o.d"
+  "mpiwrap_test"
+  "mpiwrap_test.pdb"
+  "mpiwrap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiwrap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pfs/pfs_test.cpp" "tests/pfs/CMakeFiles/pfs_test.dir/pfs_test.cpp.o" "gcc" "tests/pfs/CMakeFiles/pfs_test.dir/pfs_test.cpp.o.d"
+  "/root/repo/tests/pfs/stripe_test.cpp" "tests/pfs/CMakeFiles/pfs_test.dir/stripe_test.cpp.o" "gcc" "tests/pfs/CMakeFiles/pfs_test.dir/stripe_test.cpp.o.d"
+  "/root/repo/tests/pfs/writeback_test.cpp" "tests/pfs/CMakeFiles/pfs_test.dir/writeback_test.cpp.o" "gcc" "tests/pfs/CMakeFiles/pfs_test.dir/writeback_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pfs/CMakeFiles/e10_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/e10_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/e10_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/e10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/e10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
