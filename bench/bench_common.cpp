@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <map>
+
+#include "obs/report.h"
 
 namespace e10::bench {
 
@@ -21,6 +24,10 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       options.breakdown = false;
     } else if (arg.starts_with("--files=")) {
       options.files = std::stoi(arg.substr(8));
+    } else if (arg.starts_with("--trace=")) {
+      options.trace_path = arg.substr(8);
+    } else if (arg.starts_with("--report=")) {
+      options.report_path = arg.substr(9);
     } else if (arg.starts_with("--combos=")) {
       std::string list = arg.substr(9);
       std::size_t pos = 0;
@@ -78,6 +85,7 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
               figure.benchmark.c_str(), options.quick ? " [QUICK scale]" : "");
   std::fflush(stdout);
 
+  bool trace_pending = !options.trace_path.empty();
   for (const CacheCase cache_case :
        {CacheCase::disabled, CacheCase::enabled, CacheCase::theoretical}) {
     for (const auto& [aggregators, cb] : sweep) {
@@ -91,8 +99,23 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       spec.workflow.compute_delay = compute_delay_for(options);
       spec.workflow.include_last_phase = figure.include_last_phase;
       if (!options.combo_selected(workloads::combo_label(spec))) continue;
+      // Trace exactly one run: the first cache-enabled combo (the case the
+      // paper's pipeline is about); tracing every run would be huge.
+      spec.trace = trace_pending && cache_case == CacheCase::enabled;
       ExperimentResult result =
           workloads::run_experiment(spec, figure.factory);
+      if (spec.trace) {
+        trace_pending = false;
+        std::ofstream out(options.trace_path);
+        out << result.trace_json;
+        if (!out) {
+          std::fprintf(stderr, "  failed to write trace to %s\n",
+                       options.trace_path.c_str());
+        } else {
+          std::fprintf(stderr, "  trace for %s written to %s\n",
+                       result.combo.c_str(), options.trace_path.c_str());
+        }
+      }
       std::fprintf(stderr, "  done %s %s: %.2f GiB/s\n",
                    workloads::to_string(cache_case), result.combo.c_str(),
                    result.bandwidth_gib);
@@ -107,6 +130,20 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
                           CacheCase::enabled, results);
     print_breakdown_table(figure.benchmark + " breakdown, cache disabled",
                           CacheCase::disabled, results);
+    print_sync_table(figure.benchmark + " background sync, cache enabled",
+                     results);
+  }
+  if (!options.report_path.empty()) {
+    obs::Json report = obs::Json::array();
+    for (const ExperimentResult& r : results) report.push(r.report);
+    if (const Status s = obs::write_json_file(options.report_path, report);
+        !s.is_ok()) {
+      std::fprintf(stderr, "  failed to write report to %s: %s\n",
+                   options.report_path.c_str(), s.message().c_str());
+    } else {
+      std::fprintf(stderr, "  report written to %s\n",
+                   options.report_path.c_str());
+    }
   }
   return results;
 }
@@ -156,6 +193,25 @@ void print_breakdown_table(const std::string& title, CacheCase cache_case,
       std::printf(" %16.3f", units::to_seconds(r.breakdown.at(phase)));
     }
     std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void print_sync_table(const std::string& title,
+                      const std::vector<ExperimentResult>& results) {
+  std::printf("\n### %s\n", title.c_str());
+  std::printf("%-10s %10s %12s %10s %10s %10s %10s\n", "combo", "requests",
+              "synced_gib", "chunks", "queue_hwm", "busy_s", "overlap");
+  for (const ExperimentResult& r : results) {
+    if (r.cache_case != CacheCase::enabled) continue;
+    std::printf("%-10s %10llu %12.2f %10llu %10llu %10.3f %10.3f\n",
+                r.combo.c_str(),
+                static_cast<unsigned long long>(r.sync.requests),
+                static_cast<double>(r.sync.bytes_synced) /
+                    static_cast<double>(GiB),
+                static_cast<unsigned long long>(r.sync.staging_chunks),
+                static_cast<unsigned long long>(r.sync.queue_depth_high_water),
+                units::to_seconds(r.sync.busy_time), r.flush_overlap_ratio);
   }
   std::fflush(stdout);
 }

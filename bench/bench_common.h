@@ -10,6 +10,9 @@
 //   --combos=a_bm,...  restrict to a subset, e.g. --combos=64_4m,8_4m
 //   --files=N          number of files per experiment (paper: 4)
 //   --no-breakdown     skip the breakdown tables
+//   --trace=PATH       Chrome trace of the first cache-enabled run
+//   --report=PATH      machine-readable run report (JSON array, one entry
+//                      per experiment: config + phases + metrics + derived)
 #pragma once
 
 #include <cstdio>
@@ -27,6 +30,8 @@ struct BenchOptions {
   bool breakdown = true;
   int files = 4;
   std::vector<std::string> combos;  // empty = all
+  std::string trace_path;           // empty = no trace
+  std::string report_path;          // empty = no report
 
   static BenchOptions parse(int argc, char** argv);
   bool combo_selected(const std::string& label) const;
@@ -60,6 +65,12 @@ void print_bandwidth_table(
 
 void print_breakdown_table(
     const std::string& title, workloads::CacheCase cache_case,
+    const std::vector<workloads::ExperimentResult>& results);
+
+/// Sync-thread totals per combo (cache-enabled runs only): requests, bytes,
+/// staging chunks, queue high-water mark, busy time, flush-overlap ratio.
+void print_sync_table(
+    const std::string& title,
     const std::vector<workloads::ExperimentResult>& results);
 
 }  // namespace e10::bench

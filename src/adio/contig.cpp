@@ -9,11 +9,8 @@ Status write_contig(AdioFile& fd, Offset offset, const DataView& data) {
   }
   if (data.empty()) return Status::ok();
 
-  prof::Profiler* profiler = fd.ctx->profiler;
-  std::optional<prof::Profiler::Scope> scope;
-  if (profiler != nullptr) {
-    scope.emplace(*profiler, fd.rank(), prof::Phase::write_contig);
-  }
+  PhaseScope scope(*fd.ctx, fd.rank(), prof::Phase::write_contig);
+  scope.span().arg("bytes", static_cast<std::int64_t>(data.size()));
 
   if (fd.cache != nullptr) {
     const Status cached =
@@ -23,6 +20,9 @@ Status write_contig(AdioFile& fd, Offset offset, const DataView& data) {
     // fall back to a direct global-file write so no data is lost.
     log::warn("adio", "cache write failed (", cached.to_string(),
               "), writing through to the global file");
+    if (fd.ctx->metrics != nullptr) {
+      fd.ctx->metrics->counter(obs::names::kCacheFallbackWrites).increment();
+    }
   }
   return fd.ctx->pfs.write(fd.handle, offset, data);
 }
@@ -56,18 +56,21 @@ Result<DataView> read_contig(AdioFile& fd, Offset offset, Offset length) {
   }
   if (length == 0) return DataView();
 
-  prof::Profiler* profiler = fd.ctx->profiler;
-  std::optional<prof::Profiler::Scope> scope;
-  if (profiler != nullptr) {
-    scope.emplace(*profiler, fd.rank(), prof::Phase::read_contig);
-  }
+  PhaseScope scope(*fd.ctx, fd.rank(), prof::Phase::read_contig);
+  scope.span().arg("bytes", static_cast<std::int64_t>(length));
 
   // EXTENSION (paper §VI future work, off by default): serve the read from
   // the local cache when the whole extent is cached here. The layout map in
   // CacheFile provides the metadata §III-B says generic cache reads need.
   if (fd.cache != nullptr && fd.hints.e10_cache_read) {
     if (auto hit = fd.cache->try_read(Extent{offset, length})) {
+      if (fd.ctx->metrics != nullptr) {
+        fd.ctx->metrics->counter(obs::names::kCacheReadHitBytes).add(length);
+      }
       return std::move(*hit);
+    }
+    if (fd.ctx->metrics != nullptr) {
+      fd.ctx->metrics->counter(obs::names::kCacheReadMisses).increment();
     }
   }
 

@@ -46,6 +46,7 @@ std::pair<Driver, std::string> parse_driver_path(const std::string& path) {
 Result<std::unique_ptr<AdioFile>> open_coll(IoContext& ctx, mpi::Comm comm,
                                             const std::string& path, int mode,
                                             const mpi::Info& info) {
+  PhaseScope phase(ctx, comm.rank(), prof::Phase::open);
   auto fd = std::make_unique<AdioFile>();
   fd->ctx = &ctx;
   fd->comm = comm;
@@ -135,6 +136,9 @@ Result<std::unique_ptr<AdioFile>> open_coll(IoContext& ctx, mpi::Comm comm,
     cache::CacheFileParams params;
     params.global_path = fd->path;
     params.cache_path = cache_file_name(fd->hints, fd->path, comm.rank());
+    params.rank = comm.rank();
+    params.metrics = ctx.metrics;
+    params.tracer = ctx.tracer;
     params.coherent = fd->hints.e10_cache == CacheMode::coherent;
     params.discard = fd->hints.e10_cache_discard;
     params.staging_bytes = fd->hints.ind_wr_buffer_size;
@@ -165,18 +169,15 @@ Result<std::unique_ptr<AdioFile>> open_coll(IoContext& ctx, mpi::Comm comm,
 }
 
 Status close(AdioFile& fd) {
-  prof::Profiler* profiler = fd.ctx->profiler;
+  PhaseScope phase(*fd.ctx, fd.rank(), prof::Phase::close);
   Status my_status = Status::ok();
 
   if (fd.cache != nullptr) {
     // ADIO_Close invokes ADIOI_GEN_Flush so all cached data reaches the
     // global file before the close returns (§III-A). The wait time here is
     // the "not hidden" portion of the synchronisation cost.
-    if (profiler != nullptr) {
-      const auto scope =
-          profiler->scope(fd.rank(), prof::Phase::flush_wait);
-      my_status = fd.cache->flush();
-    } else {
+    {
+      PhaseScope wait(*fd.ctx, fd.rank(), prof::Phase::flush_wait);
       my_status = fd.cache->flush();
     }
     const Status closed = fd.cache->close();
@@ -204,13 +205,8 @@ Status close(AdioFile& fd) {
 Status flush(AdioFile& fd) {
   Status my_status = Status::ok();
   if (fd.cache != nullptr) {
-    prof::Profiler* profiler = fd.ctx->profiler;
-    if (profiler != nullptr) {
-      const auto scope = profiler->scope(fd.rank(), prof::Phase::flush_wait);
-      my_status = fd.cache->flush();
-    } else {
-      my_status = fd.cache->flush();
-    }
+    PhaseScope wait(*fd.ctx, fd.rank(), prof::Phase::flush_wait);
+    my_status = fd.cache->flush();
   } else {
     my_status = fd.ctx->pfs.sync(fd.handle);
   }

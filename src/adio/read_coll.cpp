@@ -37,7 +37,6 @@ Result<std::vector<DataView>> read_strided_coll(
     AdioFile& fd, const std::vector<Extent>& wanted) {
   IoContext& ctx = *fd.ctx;
   const mpi::Comm& comm = fd.comm;
-  prof::Profiler* profiler = ctx.profiler;
   const int p = comm.size();
   const int me = comm.rank();
 
@@ -55,10 +54,7 @@ Result<std::vector<DataView>> read_strided_coll(
   }
   std::vector<std::pair<Offset, Offset>> all_offsets;
   {
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) {
-      scope.emplace(*profiler, me, prof::Phase::offset_exchange);
-    }
+    PhaseScope scope(ctx, me, prof::Phase::offset_exchange);
     all_offsets = comm.allgather(std::make_pair(my_start, my_end),
                                  Offset{2} * sizeof(Offset));
   }
@@ -133,10 +129,7 @@ Result<std::vector<DataView>> read_strided_coll(
     }
     std::vector<std::vector<Extent>> incoming;
     {
-      std::optional<prof::Profiler::Scope> scope;
-      if (profiler != nullptr) {
-        scope.emplace(*profiler, me, prof::Phase::shuffle_all2all);
-      }
+      PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
       incoming = comm.alltoall(requests_by_rank, 2 * sizeof(Offset) * 4);
     }
 
@@ -200,10 +193,7 @@ Result<std::vector<DataView>> read_strided_coll(
     }
 
     {
-      std::optional<prof::Profiler::Scope> scope;
-      if (profiler != nullptr) {
-        scope.emplace(*profiler, me, prof::Phase::exchange);
-      }
+      PhaseScope scope(ctx, me, prof::Phase::exchange);
       mpi::Request::wait_all(recv_requests);
       mpi::Request::wait_all(send_requests);
     }
@@ -218,10 +208,7 @@ Result<std::vector<DataView>> read_strided_coll(
   }
 
   {
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) {
-      scope.emplace(*profiler, me, prof::Phase::post_write);
-    }
+    PhaseScope scope(ctx, me, prof::Phase::post_write);
     const Status agreed = agree_status(comm, my_status);
     if (!agreed.is_ok()) return agreed;
   }

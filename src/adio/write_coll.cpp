@@ -73,7 +73,6 @@ Status write_strided_coll(AdioFile& fd,
                           const std::vector<mpi::IoPiece>& mine_in) {
   IoContext& ctx = *fd.ctx;
   const mpi::Comm& comm = fd.comm;
-  prof::Profiler* profiler = ctx.profiler;
   const int p = comm.size();
   const int me = comm.rank();
 
@@ -88,10 +87,7 @@ Status write_strided_coll(AdioFile& fd,
   }
   std::vector<std::pair<Offset, Offset>> all_offsets;
   {
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) {
-      scope.emplace(*profiler, me, prof::Phase::offset_exchange);
-    }
+    PhaseScope scope(ctx, me, prof::Phase::offset_exchange);
     all_offsets = comm.allgather(std::make_pair(my_start, my_end),
                                  Offset{2} * sizeof(Offset));
   }
@@ -109,10 +105,7 @@ Status write_strided_coll(AdioFile& fd,
   if (fd.hints.romio_cb_write == Toggle::disable ||
       (fd.hints.romio_cb_write == Toggle::automatic && !interleaved)) {
     const Status independent = write_strided(fd, mine);
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) {
-      scope.emplace(*profiler, me, prof::Phase::post_write);
-    }
+    PhaseScope scope(ctx, me, prof::Phase::post_write);
     return agree_status(comm, independent);
   }
 
@@ -126,10 +119,7 @@ Status write_strided_coll(AdioFile& fd,
   }
   if (gmin == kNoOffset) {
     // Nobody has data; stay collective and agree on success.
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) {
-      scope.emplace(*profiler, me, prof::Phase::post_write);
-    }
+    PhaseScope scope(ctx, me, prof::Phase::post_write);
     return agree_status(comm, Status::ok());
   }
 
@@ -138,8 +128,7 @@ Status write_strided_coll(AdioFile& fd,
   const Offset cb = fd.hints.cb_buffer_size;
   std::vector<std::map<std::size_t, std::vector<mpi::IoPiece>>> plan;
   {
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) scope.emplace(*profiler, me, prof::Phase::calc);
+    PhaseScope scope(ctx, me, prof::Phase::calc);
 
     // The BeeGFS/Lustre driver aligns file domains to stripe boundaries so
     // aggregators never false-share a stripe lock (paper footnote 1).
@@ -184,23 +173,36 @@ Status write_strided_coll(AdioFile& fd,
   // --- Step 3: rounds of dissemination + shuffle + write -------------------
   Status my_status = Status::ok();
   const bool trace = std::getenv("E10_TRACE_ROUNDS") != nullptr && me == 0;
+  obs::Histogram* a2a_hist = nullptr;
+  if (ctx.metrics != nullptr) {
+    a2a_hist = &ctx.metrics->histogram(obs::names::kAlltoallSendBytes,
+                                       obs::exponential_bounds(4096, 14));
+  }
   for (Offset round = 0; round < ntimes; ++round) {
     const Time tr0 = ctx.engine.now();
     auto& round_plan = plan[static_cast<std::size_t>(round)];
 
+    obs::Span round_span;
+    if (ctx.tracer != nullptr && ctx.tracer->enabled()) {
+      round_span =
+          obs::Span(ctx.tracer, ctx.tracer->rank_track(me), "write_round");
+      round_span.arg("round", static_cast<std::int64_t>(round));
+    }
+
     std::vector<Offset> send_counts(static_cast<std::size_t>(p), 0);
+    Offset round_send_bytes = 0;
     for (const auto& [agg_index, pieces] : round_plan) {
       Offset bytes = 0;
       for (const mpi::IoPiece& piece : pieces) bytes += piece.file.length;
       send_counts[static_cast<std::size_t>(fd.aggregators[agg_index])] = bytes;
+      round_send_bytes += bytes;
+      if (a2a_hist != nullptr) a2a_hist->observe(bytes);
     }
+    round_span.arg("send_bytes", static_cast<std::int64_t>(round_send_bytes));
 
     std::vector<Offset> recv_counts;
     {
-      std::optional<prof::Profiler::Scope> scope;
-      if (profiler != nullptr) {
-        scope.emplace(*profiler, me, prof::Phase::shuffle_all2all);
-      }
+      PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
       recv_counts = comm.alltoall(send_counts, sizeof(Offset));
     }
 
@@ -222,10 +224,9 @@ Status write_strided_coll(AdioFile& fd,
                                     std::move(pieces), bytes));
     }
     {
-      std::optional<prof::Profiler::Scope> scope;
-      if (profiler != nullptr) {
-        scope.emplace(*profiler, me, prof::Phase::exchange);
-      }
+      PhaseScope scope(ctx, me, prof::Phase::exchange);
+      scope.span().arg("requests",
+                       static_cast<std::int64_t>(requests.size()));
       mpi::Request::wait_all(requests);
     }
 
@@ -253,10 +254,7 @@ Status write_strided_coll(AdioFile& fd,
 
   // --- Step 4: error-code exchange -----------------------------------------
   {
-    std::optional<prof::Profiler::Scope> scope;
-    if (profiler != nullptr) {
-      scope.emplace(*profiler, me, prof::Phase::post_write);
-    }
+    PhaseScope scope(ctx, me, prof::Phase::post_write);
     return agree_status(comm, my_status);
   }
 }

@@ -39,6 +39,13 @@ CacheFile::CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs,
   sync_ = std::make_unique<SyncThread>(
       engine, local_fs, cache_handle, pfs, global_handle, params.global_path,
       params.staging_bytes, locks);
+  sync_->set_observability(params.metrics, params.tracer, params.rank);
+  if (params.metrics != nullptr) {
+    writes_counter_ = &params.metrics->counter(obs::names::kCacheWrites);
+    bytes_counter_ = &params.metrics->counter(obs::names::kCacheBytes);
+    write_hist_ = &params.metrics->histogram(
+        obs::names::kCacheWriteBytesHist, obs::exponential_bounds(4096, 14));
+  }
 }
 
 CacheFile::~CacheFile() {
@@ -85,6 +92,11 @@ Status CacheFile::write(const Extent& global, const DataView& data) {
   append_cursor_ += data.size();
   ++stats_.writes;
   stats_.bytes_cached += data.size();
+  if (writes_counter_ != nullptr) {
+    writes_counter_->increment();
+    bytes_counter_->add(data.size());
+    write_hist_->observe(data.size());
+  }
 
   // Update the layout map; this write shadows any older overlapping entry.
   {

@@ -20,6 +20,8 @@
 #include "cache/sync_thread.h"
 #include "common/status.h"
 #include "lfs/local_fs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pfs/pfs.h"
 #include "sim/engine.h"
 
@@ -41,6 +43,11 @@ struct CacheFileParams {
   /// fallocate granularity: space is reserved in chunks this big so that
   /// most writes pay no allocation cost.
   Offset alloc_chunk = 64 * units::MiB;
+  /// Observability (all optional): counters/histograms land in `metrics`,
+  /// the sync thread traces onto its own `tracer` track, `rank` labels both.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  int rank = 0;
 };
 
 struct CacheFileStats {
@@ -118,6 +125,10 @@ class CacheFile {
   std::vector<SyncRequest> deferred_;      // onclose policy, not yet sent
   std::vector<mpi::Request> outstanding_;  // dispatched, possibly incomplete
   CacheFileStats stats_;
+  // Resolved once; registry references stay valid for its lifetime.
+  obs::Counter* writes_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Histogram* write_hist_ = nullptr;
   bool closed_ = false;
 };
 

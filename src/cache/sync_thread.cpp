@@ -25,14 +25,35 @@ SyncThread::SyncThread(sim::Engine& engine, lfs::LocalFs& local_fs,
   }
 }
 
+void SyncThread::set_observability(obs::MetricsRegistry* metrics,
+                                   obs::Tracer* tracer, int rank) {
+  if (handle_.valid()) {
+    throw std::logic_error("SyncThread: set_observability after start");
+  }
+  metrics_ = metrics;
+  tracer_ = tracer;
+  rank_ = rank;
+}
+
 void SyncThread::start() {
   if (handle_.valid()) throw std::logic_error("SyncThread already started");
   handle_ = engine_.spawn("sync:" + global_path_, [this] { run(); });
 }
 
+void SyncThread::note_queue_depth(std::size_t depth) {
+  stats_.queue_depth_high_water =
+      std::max(stats_.queue_depth_high_water,
+               static_cast<std::uint64_t>(depth));
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->counter("sync queue depth (rank " + std::to_string(rank_) + ")",
+                     static_cast<std::int64_t>(depth));
+  }
+}
+
 void SyncThread::enqueue(SyncRequest request) {
   if (!handle_.valid()) throw std::logic_error("SyncThread not started");
   inbox_.send(std::move(request));
+  note_queue_depth(inbox_.size());
 }
 
 void SyncThread::shutdown_and_join() {
@@ -42,13 +63,36 @@ void SyncThread::shutdown_and_join() {
   inbox_.send(std::move(sentinel));
   handle_.join();
   handle_ = sim::ProcessHandle();
+  if (metrics_ != nullptr) {
+    // Fold this thread's totals into the shared registry; gauges keep the
+    // max across threads via their high-water mark.
+    namespace names = obs::names;
+    metrics_->counter(names::kSyncRequests)
+        .add(static_cast<std::int64_t>(stats_.requests));
+    metrics_->counter(names::kSyncBytes).add(stats_.bytes_synced);
+    metrics_->counter(names::kSyncChunks)
+        .add(static_cast<std::int64_t>(stats_.staging_chunks));
+    metrics_->counter(names::kSyncBusyNs).add(stats_.busy_time);
+    metrics_->gauge(names::kSyncQueueDepth)
+        .set(static_cast<std::int64_t>(stats_.queue_depth_high_water));
+  }
 }
 
 void SyncThread::run() {
+  // Each sync thread gets its own trace track, sorted below the rank rows.
+  if (tracer_ != nullptr && tracer_->enabled() && track_ < 0) {
+    track_ = tracer_->track(
+        "sync r" + std::to_string(rank_) + " " + global_path_, 1000 + rank_);
+  }
   for (;;) {
     SyncRequest request = inbox_.recv();
     if (request.shutdown) break;
+    note_queue_depth(inbox_.size());
     ++stats_.requests;
+    const Time busy_start = engine_.now();
+    obs::Span span(tracer_, track_, "sync_extent");
+    span.arg("offset", request.global.offset);
+    span.arg("bytes", request.global.length);
     // Stage the extent through the ind_wr_buffer_size buffer: read back
     // from the cache file, write to the global file, chunk by chunk.
     Offset done = 0;
@@ -72,6 +116,7 @@ void SyncThread::run() {
       ++stats_.staging_chunks;
     }
     stats_.bytes_synced += done;
+    stats_.busy_time += engine_.now() - busy_start;
     if (request.release_lock && locks_ != nullptr) {
       locks_->unlock(global_path_, request.global);
     }

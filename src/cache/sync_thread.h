@@ -19,6 +19,8 @@
 #include "common/units.h"
 #include "lfs/local_fs.h"
 #include "mpi/request.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pfs/pfs.h"
 #include "sim/engine.h"
 #include "sim/mailbox.h"
@@ -43,6 +45,14 @@ struct SyncStats {
   std::uint64_t requests = 0;
   Offset bytes_synced = 0;
   std::uint64_t staging_chunks = 0;
+  /// Deepest the inbox ever got (requests waiting behind the one in
+  /// service) — a sustained high value means the device or the PFS cannot
+  /// keep up with the write burst.
+  std::uint64_t queue_depth_high_water = 0;
+  /// Virtual time spent servicing requests (staging reads + global writes).
+  /// The run report divides the portion the application did not wait for by
+  /// this to get the flush-overlap ratio.
+  Time busy_time = 0;
 };
 
 class SyncThread {
@@ -54,6 +64,13 @@ class SyncThread {
 
   SyncThread(const SyncThread&) = delete;
   SyncThread& operator=(const SyncThread&) = delete;
+
+  /// Attaches metrics/tracing sinks (either may be null). Call before
+  /// start(); `rank` labels this thread's trace track. At shutdown the
+  /// accumulated SyncStats are folded into the registry under the
+  /// cache.sync.* names.
+  void set_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
+                         int rank);
 
   /// Spawns the worker process (call once, from a simulated process).
   void start();
@@ -79,9 +96,15 @@ class SyncThread {
   std::string global_path_;
   Offset staging_bytes_;
   LockTable* locks_;
+  void note_queue_depth(std::size_t depth);
+
   sim::Mailbox<SyncRequest> inbox_;
   sim::ProcessHandle handle_;
   SyncStats stats_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  int rank_ = 0;
+  int track_ = -1;  // trace track id, registered lazily by run()
 };
 
 }  // namespace e10::cache

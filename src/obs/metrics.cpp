@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace e10::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("Histogram: bounds must be strictly ascending");
+    }
+  }
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::observe(std::int64_t value) {
+  ++counts_[bucket_index(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::vector<std::int64_t> exponential_bounds(std::int64_t first, int count,
+                                             std::int64_t factor) {
+  if (first <= 0 || count <= 0 || factor < 2) {
+    throw std::logic_error("exponential_bounds: bad parameters");
+  }
+  std::vector<std::int64_t> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  std::int64_t bound = first;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::int64_t MetricsRegistry::gauge_high_water(const std::string& name) const {
+  const Gauge* g = find_gauge(name);
+  return g == nullptr ? 0 : g->high_water();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Json MetricsRegistry::as_json() const {
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, Json::integer(c.value()));
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) {
+    Json entry = Json::object();
+    entry.set("value", Json::integer(g.value()));
+    entry.set("high_water", Json::integer(g.high_water()));
+    gauges.set(name, std::move(entry));
+  }
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::object();
+    entry.set("count", Json::integer(static_cast<std::int64_t>(h.count())));
+    entry.set("sum", Json::integer(h.sum()));
+    entry.set("min", Json::integer(h.min()));
+    entry.set("max", Json::integer(h.max()));
+    Json buckets = Json::array();
+    const auto& bounds = h.bounds();
+    const auto& counts = h.bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      Json bucket = Json::object();
+      if (i < bounds.size()) {
+        bucket.set("le", Json::integer(bounds[i]));
+      } else {
+        bucket.set("le", Json::str("inf"));
+      }
+      bucket.set("count", Json::integer(static_cast<std::int64_t>(counts[i])));
+      buckets.push(std::move(bucket));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace e10::obs

@@ -1,0 +1,133 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms over
+// integral values (bytes, counts, virtual nanoseconds).
+//
+// The registry is owned by the Platform and shared by every layer of the
+// collective-write pipeline (cache sync threads, PFS servers, the ADIO
+// collective driver, MPIWRAP). Hot paths resolve their Counter*/Gauge*
+// pointers once at construction — references into the registry stay valid
+// for its lifetime — so a disabled or absent registry costs a single null
+// check per event. snapshot as_json() feeds the run report.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace e10::obs {
+
+class Counter {
+ public:
+  void add(std::int64_t delta) { value_ += delta; }
+  void increment() { ++value_; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Point-in-time value with a high-water mark (e.g. sync queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_ = value;
+    high_water_ = std::max(high_water_, value);
+  }
+  void add(std::int64_t delta) { set(value_ + delta); }
+  std::int64_t value() const { return value_; }
+  std::int64_t high_water() const { return high_water_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t high_water_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+/// order; one implicit overflow bucket catches everything above the last.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// One count per bound, plus the trailing overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Index of the bucket `value` falls into.
+  std::size_t bucket_index(std::int64_t value) const;
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Power-of-`factor` bucket bounds starting at `first`: {first, first*factor,
+/// ...}, `count` entries. The usual byte-size bucketing.
+std::vector<std::int64_t> exponential_bounds(std::int64_t first, int count,
+                                             std::int64_t factor = 2);
+
+class MetricsRegistry {
+ public:
+  /// Create-or-get. Returned references stay valid for the registry's
+  /// lifetime (instruments live in node-based maps).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` apply only on first creation.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::int64_t> bounds);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Counter value, 0 when the counter was never touched.
+  std::int64_t counter_value(const std::string& name) const;
+  /// Gauge high-water mark, 0 when the gauge was never touched.
+  std::int64_t gauge_high_water(const std::string& name) const;
+
+  std::size_t instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  Json as_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Well-known metric names shared between the instrumented layers and the
+/// run-report emitter.
+namespace names {
+inline constexpr const char* kSyncRequests = "cache.sync.requests";
+inline constexpr const char* kSyncBytes = "cache.sync.bytes_synced";
+inline constexpr const char* kSyncChunks = "cache.sync.staging_chunks";
+inline constexpr const char* kSyncBusyNs = "cache.sync.busy_ns";
+inline constexpr const char* kSyncQueueDepth = "cache.sync.queue_depth";
+inline constexpr const char* kCacheWrites = "cache.writes";
+inline constexpr const char* kCacheBytes = "cache.bytes_cached";
+inline constexpr const char* kCacheFallbackWrites = "cache.fallback_writes";
+inline constexpr const char* kCacheReadHitBytes = "cache.read_hit_bytes";
+inline constexpr const char* kCacheReadMisses = "cache.read_misses";
+inline constexpr const char* kCacheWriteBytesHist = "cache.write_bytes";
+inline constexpr const char* kAlltoallSendBytes = "coll.alltoall_send_bytes";
+inline constexpr const char* kLockWaits = "pfs.lock.waits";
+inline constexpr const char* kLockWaitNs = "pfs.lock.wait_ns";
+inline constexpr const char* kLockHandoffs = "pfs.lock.handoffs";
+}  // namespace names
+
+}  // namespace e10::obs

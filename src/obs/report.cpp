@@ -1,0 +1,82 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/units.h"
+
+namespace e10::obs {
+
+Json phase_table_json(const prof::Profiler& profiler) {
+  Json table = Json::object();
+  for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
+    const auto phase = static_cast<prof::Phase>(p);
+    Json row = Json::object();
+    row.set("min_s", Json::number(
+                         units::to_seconds(profiler.min_over_ranks(phase))));
+    row.set("p50_s", Json::number(units::to_seconds(
+                         profiler.percentile_over_ranks(phase, 0.50))));
+    row.set("p95_s", Json::number(units::to_seconds(
+                         profiler.percentile_over_ranks(phase, 0.95))));
+    row.set("avg_s", Json::number(
+                         units::to_seconds(profiler.avg_over_ranks(phase))));
+    row.set("max_s", Json::number(
+                         units::to_seconds(profiler.max_over_ranks(phase))));
+    table.set(prof::phase_name(phase), std::move(row));
+  }
+  return table;
+}
+
+Json run_report_json(const RunReportInputs& inputs) {
+  Json report = Json::object();
+
+  Json config = Json::object();
+  for (const auto& [key, value] : inputs.config) {
+    config.set(key, Json::str(value));
+  }
+  report.set("config", std::move(config));
+
+  if (inputs.profiler != nullptr) {
+    report.set("phases", phase_table_json(*inputs.profiler));
+  }
+  if (inputs.metrics != nullptr) {
+    report.set("metrics", inputs.metrics->as_json());
+  }
+
+  Json derived = Json::object();
+  for (const auto& [key, value] : inputs.derived) {
+    derived.set(key, Json::number(value));
+  }
+  report.set("derived", std::move(derived));
+  return report;
+}
+
+double flush_overlap_ratio(const MetricsRegistry& metrics,
+                           const prof::Profiler& profiler) {
+  const std::int64_t busy = metrics.counter_value(names::kSyncBusyNs);
+  if (busy <= 0) return 0.0;
+  // What each rank actually waited on its own sync grequests. The
+  // not_hidden_sync phase would over-count: it times the collective close,
+  // whose barrier charges the slowest rank's wait to everyone.
+  Time visible = 0;
+  for (int rank = 0; rank < profiler.ranks(); ++rank) {
+    visible += profiler.rank_total(rank, prof::Phase::flush_wait);
+  }
+  const double hidden =
+      static_cast<double>(busy) - static_cast<double>(visible);
+  return std::clamp(hidden / static_cast<double>(busy), 0.0, 1.0);
+}
+
+Status write_json_file(const std::string& path, const Json& value) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::error(Errc::io_error, "report: cannot open " + path);
+  }
+  const std::string body = value.dump(2) + "\n";
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.flush();
+  if (!file) return Status::error(Errc::io_error, "report: write failed");
+  return Status::ok();
+}
+
+}  // namespace e10::obs

@@ -1,0 +1,47 @@
+// Run-report emitter: serialises one experiment run — configuration,
+// profiler phase table, metrics snapshot and derived quantities (perceived
+// bandwidth, flush-overlap ratio) — into a single machine-readable JSON
+// object. Every figure bench can dump one with --report=<path>, making runs
+// comparable across PRs without screen-scraping the printed tables.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "prof/profiler.h"
+
+namespace e10::obs {
+
+/// Per-phase min/p50/p95/avg/max table (seconds) of a profiler.
+Json phase_table_json(const prof::Profiler& profiler);
+
+struct RunReportInputs {
+  /// Experiment configuration as flat key/value pairs (hints, testbed).
+  std::vector<std::pair<std::string, std::string>> config;
+  const prof::Profiler* profiler = nullptr;
+  const MetricsRegistry* metrics = nullptr;
+  /// Derived quantities (perceived_bandwidth_gib, flush_overlap_ratio, ...).
+  std::map<std::string, double> derived;
+};
+
+/// {"config": {...}, "phases": {...}, "metrics": {...}, "derived": {...}}.
+Json run_report_json(const RunReportInputs& inputs);
+
+/// Fraction of the background cache-sync work hidden behind compute:
+///   hidden_sync / total_sync, in [0, 1]
+/// where total_sync is the virtual time the sync threads spent servicing
+/// requests (cache.sync.busy_ns) and the visible part is the flush_wait
+/// phase summed over ranks — the time each rank actually waited on its own
+/// sync grequests. (not_hidden_sync is the wrong yardstick here: it times
+/// the whole collective close, so the barrier smears the slowest rank's
+/// wait across every rank.) 0 when no sync work happened.
+double flush_overlap_ratio(const MetricsRegistry& metrics,
+                           const prof::Profiler& profiler);
+
+Status write_json_file(const std::string& path, const Json& value);
+
+}  // namespace e10::obs

@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace e10::obs {
+
+Span::Span(Tracer* tracer, int track, std::string_view name) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  track_ = track;
+  name_ = name;
+  start_ = tracer->engine_.now();
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    track_ = other.track_;
+    start_ = other.start_;
+    name_ = std::move(other.name_);
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  args_.push_back(SpanArg{std::string(key), {}, value, /*numeric=*/true});
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  args_.push_back(
+      SpanArg{std::string(key), std::string(value), 0, /*numeric=*/false});
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer::Event event;
+  event.phase = 'X';
+  event.track = track_;
+  event.ts = start_;
+  event.dur = tracer_->engine_.now() - start_;
+  event.name = std::move(name_);
+  event.args = std::move(args_);
+  tracer_->events_.push_back(std::move(event));
+  tracer_ = nullptr;
+}
+
+int Tracer::track(const std::string& name, int sort_index) {
+  const auto it = track_ids_.find(name);
+  if (it != track_ids_.end()) return it->second;
+  const int id = static_cast<int>(tracks_.size());
+  int sort = sort_index;
+  if (sort < 0) {
+    sort = 0;
+    for (const TrackInfo& t : tracks_) sort = std::max(sort, t.sort_index + 1);
+  }
+  tracks_.push_back(TrackInfo{name, sort});
+  track_ids_.emplace(name, id);
+  return id;
+}
+
+int Tracer::rank_track(int rank) {
+  const auto index = static_cast<std::size_t>(rank);
+  if (index >= rank_tracks_.size()) rank_tracks_.resize(index + 1, -1);
+  if (rank_tracks_[index] < 0) {
+    rank_tracks_[index] = track("rank " + std::to_string(rank), rank);
+  }
+  return rank_tracks_[index];
+}
+
+void Tracer::counter(const std::string& name, std::int64_t value) {
+  if (!enabled_) return;
+  Event event;
+  event.phase = 'C';
+  event.track = 0;
+  event.ts = engine_.now();
+  event.value = value;
+  event.name = name;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::instant(int track_id, std::string_view name) {
+  if (!enabled_) return;
+  Event event;
+  event.phase = 'i';
+  event.track = track_id;
+  event.ts = engine_.now();
+  event.name = std::string(name);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  tracks_.clear();
+  track_ids_.clear();
+  rank_tracks_.clear();
+  events_.clear();
+}
+
+namespace {
+
+/// Virtual ns -> trace "ts"/"dur" microseconds with ns resolution kept.
+void append_us(std::string& out, Time ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void append_args(std::string& out, const std::vector<SpanArg>& args) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    json_escape(args[i].key, out);
+    out += "\":";
+    if (args[i].numeric) {
+      out += std::to_string(args[i].value);
+    } else {
+      out += '"';
+      json_escape(args[i].text, out);
+      out += '"';
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96 + tracks_.size() * 128);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  comma();
+  out += R"j({"ph":"M","pid":0,"tid":0,"name":"process_name",)j"
+         R"j("args":{"name":"e10 collective-write pipeline (virtual time)"}})j";
+
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const std::string tid = std::to_string(i);
+    comma();
+    out += R"({"ph":"M","pid":0,"tid":)" + tid +
+           R"(,"name":"thread_name","args":{"name":")";
+    json_escape(tracks_[i].name, out);
+    out += "\"}}";
+    comma();
+    out += R"({"ph":"M","pid":0,"tid":)" + tid +
+           R"(,"name":"thread_sort_index","args":{"sort_index":)" +
+           std::to_string(tracks_[i].sort_index) + "}}";
+  }
+
+  for (const Event& event : events_) {
+    comma();
+    out += "{\"ph\":\"";
+    out += event.phase;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(event.track);
+    out += ",\"name\":\"";
+    json_escape(event.name, out);
+    out += "\",\"ts\":";
+    append_us(out, event.ts);
+    switch (event.phase) {
+      case 'X':
+        out += ",\"dur\":";
+        append_us(out, event.dur);
+        if (!event.args.empty()) {
+          out += ',';
+          append_args(out, event.args);
+        }
+        break;
+      case 'C':
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(event.value);
+        out += '}';
+        break;
+      case 'i':
+        out += ",\"s\":\"t\"";
+        break;
+      default:
+        break;
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status Tracer::write(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::error(Errc::io_error, "trace: cannot open " + path);
+  }
+  const std::string body = to_json();
+  file.write(body.data(), static_cast<std::streamsize>(body.size()));
+  file.flush();
+  if (!file) return Status::error(Errc::io_error, "trace: write failed");
+  return Status::ok();
+}
+
+}  // namespace e10::obs

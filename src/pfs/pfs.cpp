@@ -36,6 +36,31 @@ Pfs::Pfs(sim::Engine& engine, net::Fabric& fabric,
   }
 }
 
+void Pfs::set_metrics(obs::MetricsRegistry* metrics) {
+  server_counters_.clear();
+  if (metrics == nullptr) {
+    lock_waits_ = lock_wait_ns_ = lock_handoffs_ = nullptr;
+    return;
+  }
+  server_counters_.reserve(params_.data_servers);
+  for (std::size_t i = 0; i < params_.data_servers; ++i) {
+    const std::string prefix = "pfs.server." + std::to_string(i);
+    server_counters_.push_back(
+        ServerCounters{&metrics->counter(prefix + ".requests"),
+                       &metrics->counter(prefix + ".bytes")});
+  }
+  lock_waits_ = &metrics->counter(obs::names::kLockWaits);
+  lock_wait_ns_ = &metrics->counter(obs::names::kLockWaitNs);
+  lock_handoffs_ = &metrics->counter(obs::names::kLockHandoffs);
+}
+
+void Pfs::export_device_metrics(obs::MetricsRegistry& registry) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->snapshot_metrics(
+        registry, "pfs.server." + std::to_string(i) + ".device");
+  }
+}
+
 Time Pfs::metadata_roundtrip(std::size_t client_node, Time now) {
   ++stats_.metadata_ops;
   // Control messages use the unreserved delivery estimate: their bandwidth
@@ -144,6 +169,10 @@ Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
        inode.layout.chunks(Extent{offset, data.size()})) {
     // Request + payload travel to the owning data server.
     const std::size_t target = chunk.target;
+    if (!server_counters_.empty()) {
+      server_counters_[target].requests->increment();
+      server_counters_[target].bytes->add(chunk.extent.length);
+    }
     const Time arrival = fabric_.transfer(file->client_node,
                                           server_node(target),
                                           kRpcMessageBytes + chunk.extent.length,
@@ -164,10 +193,15 @@ Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
           lock->holder != file->client_node) {
         granted += params_.lock_handoff_penalty;
         ++stats_.lock_handoffs;
+        if (lock_handoffs_ != nullptr) lock_handoffs_->increment();
       }
       if (granted > cpu_done) {
         ++stats_.lock_waits;
         stats_.lock_wait_time += granted - cpu_done;
+        if (lock_waits_ != nullptr) {
+          lock_waits_->increment();
+          lock_wait_ns_->add(granted - cpu_done);
+        }
       }
       io_start = granted;
     }
@@ -224,6 +258,10 @@ Result<DataView> Pfs::read(FileHandle handle, Offset offset, Offset length) {
   for (const StripeChunk& chunk :
        inode.layout.chunks(Extent{offset, clamped})) {
     const std::size_t target = chunk.target;
+    if (!server_counters_.empty()) {
+      server_counters_[target].requests->increment();
+      server_counters_[target].bytes->add(chunk.extent.length);
+    }
     const Time request = fabric_.delivery_estimate(
         file->client_node, server_node(target), kRpcMessageBytes, now);
     const Time cpu_done =

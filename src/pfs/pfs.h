@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
 #include "pfs/stripe.h"
 #include "sim/engine.h"
 #include "storage/device.h"
@@ -131,6 +132,16 @@ class Pfs {
   const PfsStats& stats() const { return stats_; }
   std::size_t open_handles() const { return handles_.size(); }
 
+  /// Attaches a metrics sink (or detaches with nullptr). Per-server
+  /// request/byte counters ("pfs.server.<i>.*") and the lock-contention
+  /// counters are resolved once here so the per-chunk hot path only
+  /// dereferences cached pointers.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
+  /// Snapshots every data server's device totals into `registry`
+  /// ("pfs.server.<i>.device.*"); idempotent, meant for report time.
+  void export_device_metrics(obs::MetricsRegistry& registry) const;
+
   // ---- Test/diagnostic access (no timing cost) ---------------------------
 
   /// Content of a file for verification; nullptr if absent.
@@ -181,6 +192,16 @@ class Pfs {
   FileHandle next_handle_ = 1;
   std::uint64_t next_inode_ = 1;
   PfsStats stats_;
+
+  /// Cached instrument pointers (all null when no registry is attached).
+  struct ServerCounters {
+    obs::Counter* requests = nullptr;
+    obs::Counter* bytes = nullptr;
+  };
+  std::vector<ServerCounters> server_counters_;
+  obs::Counter* lock_waits_ = nullptr;
+  obs::Counter* lock_wait_ns_ = nullptr;
+  obs::Counter* lock_handoffs_ = nullptr;
 };
 
 }  // namespace e10::pfs

@@ -1,6 +1,7 @@
 #include "prof/profiler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -58,6 +59,33 @@ Time Profiler::avg_over_ranks(Phase phase) const {
   return sum / static_cast<Time>(totals_.size());
 }
 
+Time Profiler::min_over_ranks(Phase phase) const {
+  Time best = totals_.front()[static_cast<std::size_t>(phase)];
+  for (const auto& row : totals_) {
+    best = std::min(best, row[static_cast<std::size_t>(phase)]);
+  }
+  return best;
+}
+
+Time Profiler::percentile_over_ranks(Phase phase, double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::logic_error("Profiler::percentile_over_ranks: q outside [0,1]");
+  }
+  std::vector<Time> values;
+  values.reserve(totals_.size());
+  for (const auto& row : totals_) {
+    values.push_back(row[static_cast<std::size_t>(phase)]);
+  }
+  std::sort(values.begin(), values.end());
+  // Nearest-rank: smallest value with at least ceil(q * n) values <= it.
+  const auto n = static_cast<double>(values.size());
+  std::size_t index = 0;
+  if (q > 0.0) {
+    index = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+  }
+  return values[std::min(index, values.size() - 1)];
+}
+
 Time Profiler::max_over(const std::vector<int>& ranks, Phase phase) const {
   Time best = 0;
   for (const int r : ranks) best = std::max(best, rank_total(r, phase));
@@ -73,7 +101,27 @@ std::string Profiler::summary() const {
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
     const Phase phase = static_cast<Phase>(p);
     os << phase_name(phase) << " max=" << format_time(max_over_ranks(phase))
-       << " avg=" << format_time(avg_over_ranks(phase)) << "\n";
+       << " avg=" << format_time(avg_over_ranks(phase))
+       << " min=" << format_time(min_over_ranks(phase))
+       << " p50=" << format_time(percentile_over_ranks(phase, 0.50))
+       << " p95=" << format_time(percentile_over_ranks(phase, 0.95)) << "\n";
+  }
+  return os.str();
+}
+
+std::string Profiler::to_csv() const {
+  std::ostringstream os;
+  os << "phase,min_s,p50_s,p95_s,avg_s,max_s\n";
+  os.setf(std::ios::fixed);
+  os.precision(9);
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    os << phase_name(phase) << ','
+       << units::to_seconds(min_over_ranks(phase)) << ','
+       << units::to_seconds(percentile_over_ranks(phase, 0.50)) << ','
+       << units::to_seconds(percentile_over_ranks(phase, 0.95)) << ','
+       << units::to_seconds(avg_over_ranks(phase)) << ','
+       << units::to_seconds(max_over_ranks(phase)) << "\n";
   }
   return os.str();
 }

@@ -78,6 +78,14 @@ class Profiler {
   /// Mean over ranks.
   Time avg_over_ranks(Phase phase) const;
 
+  /// Minimum over ranks.
+  Time min_over_ranks(Phase phase) const;
+
+  /// Nearest-rank percentile over the per-rank totals, q in [0, 1]. The
+  /// spread between p50 and max is the straggler signature the summary's
+  /// max/avg pair hides.
+  Time percentile_over_ranks(Phase phase, double q) const;
+
   /// Max restricted to a rank subset (e.g. aggregators only).
   Time max_over(const std::vector<int>& ranks, Phase phase) const;
 
@@ -85,8 +93,12 @@ class Profiler {
 
   void reset();
 
-  /// One row per phase: "phase max avg" (for reports and tests).
+  /// One row per phase: "phase max avg min p50 p95" (for reports and tests).
   std::string summary() const;
+
+  /// Machine-readable table, one line per phase:
+  /// "phase,min_s,p50_s,p95_s,avg_s,max_s" (seconds) under a header row.
+  std::string to_csv() const;
 
  private:
   friend class Scope;

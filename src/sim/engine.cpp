@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "common/log.h"
+
 namespace e10::sim {
 
 namespace {
@@ -33,9 +35,25 @@ bool ProcessHandle::finished() const {
   return engine_->proc(id_).state == Engine::Process::State::finished;
 }
 
-Engine::Engine() = default;
+Engine::Engine() {
+  // Log lines emitted from inside simulated processes get a virtual-time +
+  // process-name prefix. The hook is global and engine-agnostic: it reads
+  // whichever engine is active on this thread at write time.
+  log::set_context_hook(&Engine::log_context);
+}
 
-Engine::~Engine() { cancel_all(); }
+Engine::~Engine() {
+  cancel_all();
+  if (g_active_engine == this) g_active_engine = nullptr;
+}
+
+bool Engine::log_context(std::int64_t& now_ns, std::string& name) {
+  const Engine* engine = g_active_engine;
+  if (engine == nullptr || engine->current_ == nullptr) return false;
+  now_ns = engine->sim_time_;
+  name = engine->current_->name;
+  return true;
+}
 
 Engine::Process& Engine::proc(ProcessId pid) const {
   if (pid >= processes_.size()) {

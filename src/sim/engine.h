@@ -101,6 +101,10 @@ class Engine {
   /// Identity of the running process.
   ProcessId current() const;
 
+  /// log::ContextHook — reports the active engine's virtual time and the
+  /// running process's name; false outside any simulated process.
+  static bool log_context(std::int64_t& now_ns, std::string& name);
+
   /// Name of a live process (for diagnostics).
   const std::string& name_of(ProcessId pid) const;
 

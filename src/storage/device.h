@@ -26,6 +26,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "obs/metrics.h"
 #include "sim/resource.h"
 
 namespace e10::storage {
@@ -77,6 +78,13 @@ class Device {
   Offset bytes_written() const { return bytes_written_; }
   Offset bytes_read() const { return bytes_read_; }
   std::uint64_t stream_misses() const { return stream_misses_; }
+
+  /// Publishes the device totals as counters named `<prefix>.requests`,
+  /// `.busy_ns`, `.bytes_written`, `.bytes_read`, `.stream_misses`.
+  /// Idempotent: counters are brought up to the current totals, so calling
+  /// again (e.g. one report per figure run) does not double-count.
+  void snapshot_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
  private:
   /// True (and cursor updated) if `offset` extends a tracked stream.

@@ -1,5 +1,7 @@
 #include "workloads/experiment.h"
 
+#include "obs/report.h"
+
 namespace e10::workloads {
 
 const char* to_string(CacheCase c) {
@@ -52,6 +54,7 @@ mpi::Info experiment_hints(const ExperimentSpec& spec) {
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const WorkloadFactory& factory) {
   Platform platform(spec.testbed);
+  platform.tracer.set_enabled(spec.trace);
   const std::unique_ptr<Workload> workload = factory(spec.testbed);
 
   WorkflowParams workflow = spec.workflow;
@@ -69,6 +72,45 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     const auto phase = static_cast<prof::Phase>(p);
     result.breakdown[phase] = platform.profiler.max_over_ranks(phase);
   }
+
+  // Collect the observability outputs before the platform is destroyed.
+  namespace names = obs::names;
+  const obs::MetricsRegistry& metrics = platform.metrics;
+  result.sync.requests = static_cast<std::uint64_t>(
+      metrics.counter_value(names::kSyncRequests));
+  result.sync.bytes_synced = metrics.counter_value(names::kSyncBytes);
+  result.sync.staging_chunks = static_cast<std::uint64_t>(
+      metrics.counter_value(names::kSyncChunks));
+  result.sync.busy_time = metrics.counter_value(names::kSyncBusyNs);
+  result.sync.queue_depth_high_water = static_cast<std::uint64_t>(
+      metrics.gauge_high_water(names::kSyncQueueDepth));
+  result.flush_overlap_ratio =
+      obs::flush_overlap_ratio(platform.metrics, platform.profiler);
+  platform.pfs.export_device_metrics(platform.metrics);
+
+  obs::RunReportInputs inputs;
+  inputs.config.emplace_back("combo", result.combo);
+  inputs.config.emplace_back("cache_case", to_string(spec.cache_case));
+  inputs.config.emplace_back("ranks", std::to_string(platform.ranks()));
+  inputs.config.emplace_back(
+      "num_files", std::to_string(spec.workflow.num_files));
+  inputs.config.emplace_back(
+      "compute_delay_s",
+      std::to_string(units::to_seconds(spec.workflow.compute_delay)));
+  for (const std::string& key : workflow.hints.keys()) {
+    inputs.config.emplace_back("hint." + key,
+                               workflow.hints.get_or(key, ""));
+  }
+  inputs.profiler = &platform.profiler;
+  inputs.metrics = &platform.metrics;
+  inputs.derived["perceived_bandwidth_gib"] = result.bandwidth_gib;
+  inputs.derived["flush_overlap_ratio"] = result.flush_overlap_ratio;
+  inputs.derived["total_bytes"] =
+      static_cast<double>(result.workflow.total_bytes);
+  inputs.derived["io_time_s"] = units::to_seconds(result.workflow.io_time);
+  result.report = obs::run_report_json(inputs);
+
+  if (spec.trace) result.trace_json = platform.tracer.to_json();
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/sync_thread.h"
+#include "obs/json.h"
 #include "prof/profiler.h"
 #include "workloads/workflow.h"
 
@@ -30,6 +32,8 @@ struct ExperimentSpec {
   Offset cb_buffer_size = 4 * units::MiB;
   CacheCase cache_case = CacheCase::disabled;
   WorkflowParams workflow;       // hints field is filled by the harness
+  /// Record a Chrome trace of this run (ExperimentResult::trace_json).
+  bool trace = false;
 };
 
 /// "<aggregators>_<cb size>" label, e.g. "64_4m", as the paper's x axes.
@@ -45,6 +49,15 @@ struct ExperimentResult {
   double bandwidth_gib = 0.0;
   /// Max-over-ranks time per collective I/O phase (the stacked figures).
   std::map<prof::Phase, Time> breakdown;
+  /// Sync-thread totals summed across all ranks and files (zero when the
+  /// cache was disabled); queue_depth_high_water is the max, not the sum.
+  cache::SyncStats sync;
+  /// hidden_sync / total_sync in [0, 1]; 0 when nothing was synced.
+  double flush_overlap_ratio = 0.0;
+  /// Machine-readable run report (config + phases + metrics + derived).
+  obs::Json report;
+  /// Chrome trace JSON; empty unless ExperimentSpec::trace was set.
+  std::string trace_json;
 };
 
 using WorkloadFactory =

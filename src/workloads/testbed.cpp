@@ -51,12 +51,16 @@ Platform::Platform(const TestbedParams& params)
       locks(engine),
       profiler(engine,
                static_cast<int>(params.compute_nodes * params.ranks_per_node)),
+      tracer(engine),
       ctx(engine, pfs, lfs, locks),
       world(engine, fabric,
             mpi::Topology(params.compute_nodes, params.ranks_per_node),
             params.mpi),
       params_(params) {
   ctx.profiler = &profiler;
+  ctx.metrics = &metrics;
+  ctx.tracer = &tracer;
+  pfs.set_metrics(&metrics);
 }
 
 }  // namespace e10::workloads

@@ -18,6 +18,8 @@
 #include "lfs/local_fs.h"
 #include "mpi/world.h"
 #include "net/fabric.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pfs/pfs.h"
 #include "prof/profiler.h"
 #include "sim/engine.h"
@@ -61,6 +63,9 @@ class Platform {
   lfs::LocalFsSet lfs;
   cache::LockTable locks;
   prof::Profiler profiler;
+  /// Shared by every layer; tracer is disabled until set_enabled(true).
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
   adio::IoContext ctx;
   mpi::World world;
 

@@ -28,12 +28,18 @@ WorkflowResult run_workflow(Platform& platform, const Workload& workload,
     sim::Engine& engine = comm.engine();
     const std::size_t me = static_cast<std::size_t>(comm.rank());
     bytes_per_rank[me] = workload.bytes_per_rank(comm);
+    obs::Tracer* tracer = platform.tracer.enabled() ? &platform.tracer
+                                                    : nullptr;
+    const int track =
+        tracer != nullptr ? tracer->rank_track(comm.rank()) : 0;
 
     mpiio::File previous;  // deferred close target
     int previous_index = -1;
 
     auto really_close = [&](mpiio::File file, int index) {
       const Time t0 = engine.now();
+      obs::Span span(tracer, track, "close");
+      span.arg("file", static_cast<std::int64_t>(index));
       const Status closed = file.close();
       if (!closed.is_ok()) {
         throw std::runtime_error("workflow close failed: " +
@@ -62,10 +68,14 @@ WorkflowResult run_workflow(Platform& platform, const Workload& workload,
       }
 
       const Time t0 = engine.now();
-      const Status written = workload.write_file(file.value(), comm, k);
-      if (!written.is_ok()) {
-        throw std::runtime_error("workflow write failed: " +
-                                 written.to_string());
+      {
+        obs::Span span(tracer, track, "write_file");
+        span.arg("file", static_cast<std::int64_t>(k));
+        const Status written = workload.write_file(file.value(), comm, k);
+        if (!written.is_ok()) {
+          throw std::runtime_error("workflow write failed: " +
+                                   written.to_string());
+        }
       }
       write_times[me][static_cast<std::size_t>(k)] = engine.now() - t0;
 
@@ -79,7 +89,10 @@ WorkflowResult run_workflow(Platform& platform, const Workload& workload,
       // Compute phase C(k+1); the background sync threads keep draining in
       // virtual time while this rank "computes". No compute phase follows
       // the last write (Fig. 3) — its synchronisation can never be hidden.
-      if (k + 1 < nfiles) engine.delay(params.compute_delay);
+      if (k + 1 < nfiles) {
+        obs::Span span(tracer, track, "compute");
+        engine.delay(params.compute_delay);
+      }
     }
     if (previous.valid()) {
       really_close(std::move(previous), previous_index);

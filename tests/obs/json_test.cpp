@@ -1,0 +1,81 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace e10::obs {
+namespace {
+
+TEST(Json, BuildsAndAccesses) {
+  Json doc = Json::object();
+  doc.set("name", Json::str("e10"));
+  doc.set("ranks", Json::integer(64));
+  doc.set("ratio", Json::number(0.75));
+  doc.set("ok", Json::boolean(true));
+  Json list = Json::array();
+  list.push(Json::integer(1));
+  list.push(Json::integer(2));
+  doc.set("list", std::move(list));
+
+  EXPECT_EQ(doc.at("name").as_string(), "e10");
+  EXPECT_EQ(doc.at("ranks").as_int(), 64);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 0.75);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  ASSERT_EQ(doc.at("list").size(), 2u);
+  EXPECT_EQ(doc.at("list").at(1).as_int(), 2);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::logic_error);
+  EXPECT_THROW(doc.at("name").as_int(), std::logic_error);
+}
+
+TEST(Json, SetReplacesInPlaceKeepingOrder) {
+  Json doc = Json::object();
+  doc.set("a", Json::integer(1));
+  doc.set("b", Json::integer(2));
+  doc.set("a", Json::integer(3));
+  ASSERT_EQ(doc.size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "a");
+  EXPECT_EQ(doc.members()[0].second.as_int(), 3);
+  EXPECT_EQ(doc.members()[1].first, "b");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json doc = Json::object();
+  doc.set("text", Json::str("line1\nline2 \"quoted\" \\slash\t"));
+  doc.set("neg", Json::integer(-42));
+  doc.set("pi", Json::number(3.25));
+  doc.set("none", Json::null());
+  Json inner = Json::array();
+  inner.push(Json::boolean(false));
+  inner.push(Json::str(""));
+  doc.set("inner", std::move(inner));
+
+  for (const int indent : {0, 2}) {
+    const auto parsed = Json::parse(doc.dump(indent));
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+    const Json& back = parsed.value();
+    EXPECT_EQ(back.at("text").as_string(), "line1\nline2 \"quoted\" \\slash\t");
+    EXPECT_EQ(back.at("neg").as_int(), -42);
+    EXPECT_DOUBLE_EQ(back.at("pi").as_number(), 3.25);
+    EXPECT_TRUE(back.at("none").is_null());
+    EXPECT_FALSE(back.at("inner").at(0).as_bool());
+    EXPECT_EQ(back.at("inner").at(1).as_string(), "");
+  }
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::parse("").is_ok());
+  EXPECT_FALSE(Json::parse("{").is_ok());
+  EXPECT_FALSE(Json::parse("[1,]").is_ok());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing").is_ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").is_ok());
+  EXPECT_TRUE(Json::parse(" { \"a\" : [ 1 , 2.5 , null ] } ").is_ok());
+}
+
+TEST(Json, EscapesControlCharacters) {
+  std::string out;
+  json_escape(std::string("a\"b\\c\n\x01", 7), out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\n\\u0001");
+}
+
+}  // namespace
+}  // namespace e10::obs

@@ -1,0 +1,90 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace e10::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("x");
+  c.increment();
+  c.add(9);
+  EXPECT_EQ(registry.counter_value("x"), 10);
+  EXPECT_EQ(registry.counter_value("untouched"), 0);
+  EXPECT_EQ(registry.find_counter("untouched"), nullptr);
+  // Create-or-get: same name, same instrument.
+  EXPECT_EQ(&registry.counter("x"), &c);
+}
+
+TEST(Metrics, GaugeTracksHighWater) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(3);
+  g.set(7);
+  g.set(2);
+  g.add(1);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(registry.gauge_high_water("depth"), 7);
+}
+
+TEST(Metrics, ExponentialBounds) {
+  const auto bounds = exponential_bounds(4096, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds[0], 4096);
+  EXPECT_EQ(bounds[3], 32768);
+  const auto decimal = exponential_bounds(1, 3, 10);
+  EXPECT_EQ(decimal[2], 100);
+}
+
+TEST(Metrics, HistogramBucketing) {
+  // Inclusive upper bounds {10, 100, 1000} + one overflow bucket.
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.bucket_index(0), 0u);
+  EXPECT_EQ(h.bucket_index(10), 0u);    // bounds are inclusive
+  EXPECT_EQ(h.bucket_index(11), 1u);
+  EXPECT_EQ(h.bucket_index(1000), 2u);
+  EXPECT_EQ(h.bucket_index(1001), 3u);  // overflow
+
+  h.observe(5);
+  h.observe(10);
+  h.observe(50);
+  h.observe(5000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5065);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 5000);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 0u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Metrics, EmptyHistogramMinMaxAreZero) {
+  Histogram h({10});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Metrics, RegistryJsonSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(5);
+  registry.gauge("a.depth").set(2);
+  registry.histogram("a.bytes", {100, 200}).observe(150);
+  EXPECT_EQ(registry.instruments(), 3u);
+
+  const Json snapshot = registry.as_json();
+  EXPECT_EQ(snapshot.at("counters").at("a.count").as_int(), 5);
+  EXPECT_EQ(snapshot.at("gauges").at("a.depth").at("value").as_int(), 2);
+  const Json& hist = snapshot.at("histograms").at("a.bytes");
+  EXPECT_EQ(hist.at("count").as_int(), 1);
+  EXPECT_EQ(hist.at("sum").as_int(), 150);
+
+  registry.clear();
+  EXPECT_EQ(registry.instruments(), 0u);
+}
+
+}  // namespace
+}  // namespace e10::obs

@@ -1,0 +1,146 @@
+// End-to-end observability: run a real experiment on the small testbed and
+// check that the trace, the metrics and the derived quantities line up with
+// what the pipeline actually did.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/units.h"
+#include "obs/json.h"
+#include "workloads/experiment.h"
+#include "workloads/workload.h"
+
+namespace e10::workloads {
+namespace {
+
+using namespace e10::units;
+
+ExperimentSpec small_spec(CacheCase cache_case, Time compute_delay) {
+  ExperimentSpec spec;
+  spec.testbed = small_testbed();
+  spec.aggregators = 2;
+  spec.cb_buffer_size = 256 * KiB;
+  spec.cache_case = cache_case;
+  spec.workflow.base_path = "/pfs/obs";
+  spec.workflow.num_files = 3;
+  spec.workflow.compute_delay = compute_delay;
+  spec.workflow.include_last_phase = false;
+  return spec;
+}
+
+WorkloadFactory tiny_ior() {
+  return [](const TestbedParams&) {
+    IorWorkload::Params params;
+    params.block_bytes = 256 * KiB;
+    params.segments = 2;
+    return std::make_unique<IorWorkload>(params);
+  };
+}
+
+TEST(ObsWorkload, LongComputeHidesTheFlush) {
+  // The paper's point: with enough compute between files, the background
+  // sync disappears behind it. The overlap ratio must see that.
+  const ExperimentResult result =
+      run_experiment(small_spec(CacheCase::enabled, seconds(10)), tiny_ior());
+  EXPECT_GT(result.sync.requests, 0u);
+  EXPECT_GT(result.sync.bytes_synced, 0);
+  EXPECT_GT(result.sync.staging_chunks, 0u);
+  EXPECT_GE(result.sync.queue_depth_high_water, 1u);
+  EXPECT_GT(result.sync.busy_time, 0);
+  EXPECT_GT(result.flush_overlap_ratio, 0.0);
+  EXPECT_LE(result.flush_overlap_ratio, 1.0);
+  // With a 10 s compute phase and ~1.5 MiB of data, nearly all of the sync
+  // should be hidden.
+  EXPECT_GT(result.flush_overlap_ratio, 0.5);
+}
+
+TEST(ObsWorkload, NoComputeExposesTheFlush) {
+  const ExperimentResult hidden =
+      run_experiment(small_spec(CacheCase::enabled, seconds(10)), tiny_ior());
+  const ExperimentResult exposed =
+      run_experiment(small_spec(CacheCase::enabled, 0), tiny_ior());
+  EXPECT_LT(exposed.flush_overlap_ratio, hidden.flush_overlap_ratio);
+}
+
+TEST(ObsWorkload, CacheDisabledHasNoSyncWork) {
+  const ExperimentResult result = run_experiment(
+      small_spec(CacheCase::disabled, milliseconds(100)), tiny_ior());
+  EXPECT_EQ(result.sync.requests, 0u);
+  EXPECT_DOUBLE_EQ(result.flush_overlap_ratio, 0.0);
+  // The report is emitted regardless of the cache case.
+  EXPECT_TRUE(result.report.is_object());
+}
+
+TEST(ObsWorkload, RunReportMatchesTheRun) {
+  const ExperimentResult result = run_experiment(
+      small_spec(CacheCase::enabled, milliseconds(500)), tiny_ior());
+  const obs::Json& report = result.report;
+  EXPECT_EQ(report.at("config").at("combo").as_string(), result.combo);
+  EXPECT_EQ(report.at("config").at("cache_case").as_string(),
+            "cache_enabled");
+  EXPECT_EQ(report.at("config").at("ranks").as_string(), "8");
+  EXPECT_EQ(report.at("config").at("hint.e10_cache").as_string(), "enable");
+  EXPECT_DOUBLE_EQ(
+      report.at("derived").at("perceived_bandwidth_gib").as_number(),
+      result.bandwidth_gib);
+  EXPECT_DOUBLE_EQ(report.at("derived").at("flush_overlap_ratio").as_number(),
+                   result.flush_overlap_ratio);
+  // Metrics snapshot: the cache counted every collective write, and the
+  // PFS device counters were exported under pfs.server.<i>.device.
+  const obs::Json& counters = report.at("metrics").at("counters");
+  EXPECT_GT(counters.at("cache.writes").as_int(), 0);
+  EXPECT_GT(counters.at("cache.sync.bytes_synced").as_int(), 0);
+  EXPECT_TRUE(counters.find("pfs.server.0.requests") != nullptr);
+  EXPECT_TRUE(counters.find("pfs.server.0.device.bytes_written") != nullptr);
+  // The phase table carries the breakdown the figures are built from.
+  EXPECT_GE(report.at("phases").at("write_contig").at("max_s").as_number(),
+            0.0);
+}
+
+TEST(ObsWorkload, TraceShowsThePipelinePerRank) {
+  ExperimentSpec spec = small_spec(CacheCase::enabled, milliseconds(500));
+  spec.trace = true;
+  const ExperimentResult result = run_experiment(spec, tiny_ior());
+  ASSERT_FALSE(result.trace_json.empty());
+
+  const auto parsed = obs::Json::parse(result.trace_json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const obs::Json& events = parsed.value().at("traceEvents");
+
+  std::set<std::string> span_names;
+  std::set<std::int64_t> span_tracks;
+  std::set<std::string> track_names;
+  for (const obs::Json& e : events.elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X") {
+      span_names.insert(e.at("name").as_string());
+      span_tracks.insert(e.at("tid").as_int());
+    } else if (ph == "M" && e.at("name").as_string() == "thread_name") {
+      track_names.insert(e.at("args").at("name").as_string());
+    }
+  }
+  // The collective-write pipeline phases, on every rank's track.
+  for (const char* phase : {"shuffle_all2all", "exchange", "write_contig",
+                            "write_round", "compute", "sync_extent"}) {
+    EXPECT_TRUE(span_names.count(phase) == 1) << phase;
+  }
+  EXPECT_GE(span_tracks.size(), 8u);  // 8 ranks + sync-thread tracks
+  EXPECT_TRUE(track_names.count("rank 0") == 1);
+  EXPECT_TRUE(track_names.count("rank 7") == 1);
+  // Sync threads get their own labelled tracks.
+  bool has_sync_track = false;
+  for (const std::string& name : track_names) {
+    if (name.find("sync r") == 0) has_sync_track = true;
+  }
+  EXPECT_TRUE(has_sync_track);
+}
+
+TEST(ObsWorkload, TracingOffByDefault) {
+  const ExperimentResult result = run_experiment(
+      small_spec(CacheCase::enabled, milliseconds(100)), tiny_ior());
+  EXPECT_TRUE(result.trace_json.empty());
+}
+
+}  // namespace
+}  // namespace e10::workloads

@@ -1,0 +1,95 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace e10::obs {
+namespace {
+
+using namespace e10::units;
+
+TEST(Report, PhaseTableCoversEveryPhase) {
+  sim::Engine engine;
+  prof::Profiler profiler(engine, 2);
+  profiler.record(0, prof::Phase::exchange, seconds(1));
+  profiler.record(1, prof::Phase::exchange, seconds(3));
+  const Json table = phase_table_json(profiler);
+  EXPECT_EQ(table.size(), prof::kPhaseCount);
+  const Json& row = table.at("exchange");
+  EXPECT_DOUBLE_EQ(row.at("min_s").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(row.at("avg_s").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(row.at("max_s").as_number(), 3.0);
+}
+
+TEST(Report, RunReportStructure) {
+  sim::Engine engine;
+  prof::Profiler profiler(engine, 1);
+  MetricsRegistry metrics;
+  metrics.counter("cache.writes").add(7);
+
+  RunReportInputs inputs;
+  inputs.config.emplace_back("combo", "8_4m");
+  inputs.config.emplace_back("hint.e10_cache", "enable");
+  inputs.profiler = &profiler;
+  inputs.metrics = &metrics;
+  inputs.derived["perceived_bandwidth_gib"] = 1.5;
+
+  const Json report = run_report_json(inputs);
+  EXPECT_EQ(report.at("config").at("combo").as_string(), "8_4m");
+  EXPECT_EQ(report.at("config").at("hint.e10_cache").as_string(), "enable");
+  EXPECT_EQ(report.at("metrics").at("counters").at("cache.writes").as_int(),
+            7);
+  EXPECT_TRUE(report.at("phases").find("write_contig") != nullptr);
+  EXPECT_DOUBLE_EQ(
+      report.at("derived").at("perceived_bandwidth_gib").as_number(), 1.5);
+
+  // The dump parses back (the CI smoke test relies on this).
+  EXPECT_TRUE(Json::parse(report.dump(2)).is_ok());
+}
+
+TEST(Report, FlushOverlapRatio) {
+  sim::Engine engine;
+  prof::Profiler profiler(engine, 2);
+  MetricsRegistry metrics;
+
+  // No sync work at all: ratio is 0 by definition.
+  EXPECT_DOUBLE_EQ(flush_overlap_ratio(metrics, profiler), 0.0);
+
+  // 10 s of sync work; rank 0 visibly waited 2 s on its grequests, rank 1
+  // 0.5 s => hidden = 10 - 2.5 = 7.5 => ratio 0.75. not_hidden_sync (the
+  // collective-close time) must not enter the ratio.
+  metrics.counter(names::kSyncBusyNs).add(seconds(10));
+  profiler.record(0, prof::Phase::flush_wait, seconds(2));
+  profiler.record(0, prof::Phase::not_hidden_sync, seconds(3));
+  profiler.record(1, prof::Phase::flush_wait, milliseconds(500));
+  profiler.record(1, prof::Phase::not_hidden_sync, seconds(3));
+  EXPECT_DOUBLE_EQ(flush_overlap_ratio(metrics, profiler), 0.75);
+
+  // Visible wait above the busy total clamps to 0, never negative.
+  profiler.record(1, prof::Phase::flush_wait, seconds(20));
+  EXPECT_DOUBLE_EQ(flush_overlap_ratio(metrics, profiler), 0.0);
+}
+
+TEST(Report, WriteJsonFileRoundTrips) {
+  Json doc = Json::object();
+  doc.set("answer", Json::integer(42));
+  const std::string path = ::testing::TempDir() + "e10_report_test.json";
+  ASSERT_TRUE(write_json_file(path, doc).is_ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::parse(buffer.str());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().at("answer").as_int(), 42);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x.json", doc).is_ok());
+}
+
+}  // namespace
+}  // namespace e10::obs

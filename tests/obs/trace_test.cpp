@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "obs/json.h"
+
+namespace e10::obs {
+namespace {
+
+using namespace e10::units;
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Span span(&tracer, tracer.rank_track(0), "write");
+    span.arg("bytes", 42);
+    EXPECT_FALSE(span.active());
+  }
+  tracer.counter("depth", 3);
+  tracer.instant(0, "marker");
+  EXPECT_EQ(tracer.events(), 0u);
+}
+
+TEST(Trace, NestedSpansOnDistinctTracks) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  engine.spawn("rank0", [&] {
+    Span outer(&tracer, tracer.rank_track(0), "exchange");
+    engine.delay(milliseconds(2));
+    {
+      Span inner(&tracer, tracer.rank_track(0), "write_contig");
+      inner.arg("bytes", 4096);
+      engine.delay(milliseconds(1));
+    }
+    engine.delay(milliseconds(2));
+  });
+  engine.spawn("rank1", [&] {
+    Span span(&tracer, tracer.rank_track(1), "exchange");
+    engine.delay(milliseconds(3));
+  });
+  engine.run();
+  EXPECT_EQ(tracer.events(), 3u);
+  EXPECT_EQ(tracer.tracks(), 2u);
+
+  const auto parsed = Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  const Json& events = parsed.value().at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  // Metadata names both rank tracks; inner span nests inside outer on the
+  // same track; rank1 is on a different track.
+  int thread_names = 0;
+  const Json* outer = nullptr;
+  const Json* inner = nullptr;
+  const Json* other = nullptr;
+  for (const Json& e : events.elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "thread_name") {
+      ++thread_names;
+    } else if (ph == "X") {
+      const std::string& name = e.at("name").as_string();
+      if (name == "exchange" && e.at("tid").as_int() == 0) outer = &e;
+      if (name == "write_contig") inner = &e;
+      if (name == "exchange" && e.at("tid").as_int() != 0) other = &e;
+    }
+  }
+  EXPECT_GE(thread_names, 2);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(inner->at("tid").as_int(), outer->at("tid").as_int());
+  EXPECT_NE(other->at("tid").as_int(), outer->at("tid").as_int());
+  // Nesting in time: outer spans [0, 5ms], inner [2ms, 3ms] (microseconds
+  // in the JSON).
+  EXPECT_GE(inner->at("ts").as_number(), outer->at("ts").as_number());
+  EXPECT_LE(inner->at("ts").as_number() + inner->at("dur").as_number(),
+            outer->at("ts").as_number() + outer->at("dur").as_number());
+  EXPECT_DOUBLE_EQ(outer->at("dur").as_number(), 5000.0);
+  EXPECT_EQ(inner->at("args").at("bytes").as_int(), 4096);
+}
+
+TEST(Trace, CounterAndInstantEvents) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  const int track = tracer.track("sync", 1000);
+  engine.spawn("p", [&] {
+    tracer.counter("queue depth", 2);
+    engine.delay(milliseconds(1));
+    tracer.counter("queue depth", 0);
+    tracer.instant(track, "drained");
+  });
+  engine.run();
+
+  const auto parsed = Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  int counters = 0;
+  int instants = 0;
+  for (const Json& e : parsed.value().at("traceEvents").elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "C" && e.at("name").as_string() == "queue depth") {
+      ++counters;
+      EXPECT_TRUE(e.at("args").find("value") != nullptr);
+    }
+    if (ph == "i" && e.at("name").as_string() == "drained") ++instants;
+  }
+  EXPECT_EQ(counters, 2);
+  EXPECT_EQ(instants, 1);
+}
+
+TEST(Trace, SpanEndStopsTheClock) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  engine.spawn("p", [&] {
+    Span span(&tracer, tracer.rank_track(0), "early");
+    engine.delay(milliseconds(1));
+    span.end();
+    EXPECT_FALSE(span.active());
+    engine.delay(milliseconds(9));  // not part of the span
+  });
+  engine.run();
+  const auto parsed = Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.is_ok());
+  for (const Json& e : parsed.value().at("traceEvents").elements()) {
+    if (e.at("ph").as_string() == "X") {
+      EXPECT_DOUBLE_EQ(e.at("dur").as_number(), 1000.0);
+    }
+  }
+}
+
+TEST(Trace, ClearResetsEvents) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  tracer.counter("x", 1);
+  EXPECT_EQ(tracer.events(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.events(), 0u);
+}
+
+}  // namespace
+}  // namespace e10::obs

@@ -62,6 +62,51 @@ TEST(Profiler, NestedScopesBothRecord) {
   EXPECT_EQ(profiler.rank_total(0, Phase::exchange), milliseconds(25));
 }
 
+TEST(Profiler, MinAndPercentilesOverRanks) {
+  sim::Engine engine;
+  Profiler profiler(engine, 4);
+  // Rank totals: 1s, 2s, 3s, 4s.
+  for (int r = 0; r < 4; ++r) {
+    profiler.record(r, Phase::exchange, seconds(r + 1));
+  }
+  EXPECT_EQ(profiler.min_over_ranks(Phase::exchange), seconds(1));
+  // Nearest-rank: index = ceil(q * n) - 1 over the sorted totals.
+  EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.5), seconds(2));
+  EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.95), seconds(4));
+  EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.0), seconds(1));
+  EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 1.0), seconds(4));
+  // Untouched phase: all aggregates are zero.
+  EXPECT_EQ(profiler.min_over_ranks(Phase::calc), 0);
+  EXPECT_EQ(profiler.percentile_over_ranks(Phase::calc, 0.5), 0);
+  EXPECT_THROW(profiler.percentile_over_ranks(Phase::exchange, -0.1),
+               std::logic_error);
+  EXPECT_THROW(profiler.percentile_over_ranks(Phase::exchange, 1.1),
+               std::logic_error);
+}
+
+TEST(Profiler, ToCsvHasHeaderAndAllPhases) {
+  sim::Engine engine;
+  Profiler profiler(engine, 2);
+  profiler.record(0, Phase::write_contig, seconds(1));
+  profiler.record(1, Phase::write_contig, seconds(3));
+  const std::string csv = profiler.to_csv();
+  EXPECT_EQ(csv.find("phase,min_s,p50_s,p95_s,avg_s,max_s"), 0u);
+  // One data line per phase, every line with 6 comma-separated columns.
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while ((pos = csv.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 1 + kPhaseCount);
+  const std::size_t row = csv.find("write_contig,");
+  ASSERT_NE(row, std::string::npos);
+  const std::string line = csv.substr(row, csv.find('\n', row) - row);
+  EXPECT_NE(line.find("1.000000000"), std::string::npos);  // min_s
+  EXPECT_NE(line.find("2.000000000"), std::string::npos);  // avg_s
+  EXPECT_NE(line.find("3.000000000"), std::string::npos);  // max_s
+}
+
 TEST(Profiler, ResetClearsEverything) {
   sim::Engine engine;
   Profiler profiler(engine, 2);
