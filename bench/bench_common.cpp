@@ -1,10 +1,12 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 
+#include "fault/fault_plan.h"
 #include "obs/report.h"
 
 namespace e10::bench {
@@ -13,6 +15,21 @@ using namespace e10::units;
 using workloads::CacheCase;
 using workloads::ExperimentResult;
 using workloads::ExperimentSpec;
+
+namespace {
+
+void split_list(const std::string& list, std::vector<std::string>& out) {
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string item =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    pos = comma == std::string::npos ? comma : comma + 1;
+  }
+}
+
+}  // namespace
 
 BenchOptions BenchOptions::parse(int argc, char** argv) {
   BenchOptions options;
@@ -29,14 +46,26 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
     } else if (arg.starts_with("--report=")) {
       options.report_path = arg.substr(9);
     } else if (arg.starts_with("--combos=")) {
-      std::string list = arg.substr(9);
-      std::size_t pos = 0;
-      while (pos != std::string::npos) {
-        const std::size_t comma = list.find(',', pos);
-        const std::string item =
-            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
-        if (!item.empty()) options.combos.push_back(item);
-        pos = comma == std::string::npos ? comma : comma + 1;
+      split_list(arg.substr(9), options.combos);
+    } else if (arg.starts_with("--cases=")) {
+      split_list(arg.substr(8), options.cases);
+      for (const std::string& name : options.cases) {
+        if (name != "disabled" && name != "enabled" && name != "theoretical") {
+          std::fprintf(stderr,
+                       "--cases: unknown case '%s' (expected disabled, "
+                       "enabled or theoretical)\n",
+                       name.c_str());
+          std::exit(2);
+        }
+      }
+    } else if (arg.starts_with("--faults=")) {
+      options.faults_spec = arg.substr(9);
+      // Validate up front so a typo fails before any experiment runs.
+      if (const auto plan = fault::FaultPlan::parse(options.faults_spec);
+          !plan.is_ok()) {
+        std::fprintf(stderr, "--faults: %s\n",
+                     plan.status().message().c_str());
+        std::exit(2);
       }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -48,6 +77,17 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
 bool BenchOptions::combo_selected(const std::string& label) const {
   if (combos.empty()) return true;
   return std::find(combos.begin(), combos.end(), label) != combos.end();
+}
+
+bool BenchOptions::case_selected(CacheCase cache_case) const {
+  if (cases.empty()) return true;
+  const char* name = nullptr;
+  switch (cache_case) {
+    case CacheCase::disabled: name = "disabled"; break;
+    case CacheCase::enabled: name = "enabled"; break;
+    case CacheCase::theoretical: name = "theoretical"; break;
+  }
+  return std::find(cases.begin(), cases.end(), name) != cases.end();
 }
 
 workloads::TestbedParams testbed_for(const BenchOptions& options) {
@@ -85,11 +125,21 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
               figure.benchmark.c_str(), options.quick ? " [QUICK scale]" : "");
   std::fflush(stdout);
 
+  fault::FaultPlan fault_plan;
+  if (!options.faults_spec.empty()) {
+    // Already validated by parse(); re-parse to get the plan.
+    fault_plan = fault::FaultPlan::parse(options.faults_spec).value();
+    std::printf("fault scenario: %s\n", fault_plan.summary().c_str());
+    std::fflush(stdout);
+  }
+
   bool trace_pending = !options.trace_path.empty();
   for (const CacheCase cache_case :
        {CacheCase::disabled, CacheCase::enabled, CacheCase::theoretical}) {
+    if (!options.case_selected(cache_case)) continue;
     for (const auto& [aggregators, cb] : sweep) {
       ExperimentSpec spec;
+      spec.faults = fault_plan;
       spec.testbed = testbed_for(options);
       spec.aggregators = aggregators;
       spec.cb_buffer_size = cb;

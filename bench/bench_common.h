@@ -13,6 +13,11 @@
 //   --trace=PATH       Chrome trace of the first cache-enabled run
 //   --report=PATH      machine-readable run report (JSON array, one entry
 //                      per experiment: config + phases + metrics + derived)
+//   --cases=a,b        restrict the cache cases, e.g. --cases=enabled
+//                      (disabled | enabled | theoretical)
+//   --faults=SPEC      arm a fault scenario on every run; SPEC is the
+//                      FaultPlan grammar, e.g.
+//                      "pfs_write=0.01/timed_out; outage=1@2s-4s; seed=7"
 #pragma once
 
 #include <cstdio>
@@ -30,11 +35,14 @@ struct BenchOptions {
   bool breakdown = true;
   int files = 4;
   std::vector<std::string> combos;  // empty = all
+  std::vector<std::string> cases;   // empty = all three cache cases
   std::string trace_path;           // empty = no trace
   std::string report_path;          // empty = no report
+  std::string faults_spec;          // empty = no fault scenario
 
   static BenchOptions parse(int argc, char** argv);
   bool combo_selected(const std::string& label) const;
+  bool case_selected(workloads::CacheCase cache_case) const;
 };
 
 struct FigureSpec {

@@ -55,6 +55,11 @@ struct Hints {
   /// reads from the local cache when the extent is fully cached. Off by
   /// default — the paper's semantics (§III-B) do not support cache reads.
   bool e10_cache_read = false;
+  /// EXTENSION: record-journal the cache for crash recovery (sidecar
+  /// WriteRecord/CommitRecord files next to the cache file). Off by
+  /// default — the appends cost local-device time; fault scenarios with
+  /// rank crashes enable it automatically.
+  bool e10_cache_journal = false;
 
   /// Parses an Info object. Unknown keys are ignored (MPI semantics);
   /// malformed values of known keys are reported.

@@ -14,6 +14,10 @@
 #include "prof/profiler.h"
 #include "sim/engine.h"
 
+namespace e10::fault {
+class FaultInjector;
+}
+
 namespace e10::adio {
 
 struct IoContext {
@@ -31,6 +35,9 @@ struct IoContext {
   obs::MetricsRegistry* metrics = nullptr;
   /// Optional span tracer; nullptr or disabled = off.
   obs::Tracer* tracer = nullptr;
+  /// Optional fault injector (rank-crash queries on the cache path);
+  /// nullptr or unarmed = off.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// RAII for one pipeline phase on one rank: records the interval in the

@@ -4,6 +4,7 @@
 #include "adio/adio_file.h"
 #include "adio/aggregation.h"
 #include "common/log.h"
+#include "fault/fault_injector.h"
 
 namespace e10::adio {
 
@@ -142,6 +143,15 @@ Result<std::unique_ptr<AdioFile>> open_coll(IoContext& ctx, mpi::Comm comm,
     params.coherent = fd->hints.e10_cache == CacheMode::coherent;
     params.discard = fd->hints.e10_cache_discard;
     params.staging_bytes = fd->hints.ind_wr_buffer_size;
+    // Fault tolerance: the scenario injector supplies the crash schedule;
+    // journaling is on when asked for by hint, or automatically whenever
+    // the armed plan contains rank crashes (a crash without a journal
+    // cannot be replayed).
+    params.fault = ctx.fault;
+    params.journal =
+        fd->hints.e10_cache_journal ||
+        (ctx.fault != nullptr && ctx.fault->armed() &&
+         ctx.fault->plan().has_crashes());
     switch (fd->hints.e10_cache_flush_flag) {
       case FlushFlag::flush_immediate:
         params.flush = cache::FlushPolicy::immediate;

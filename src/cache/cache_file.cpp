@@ -1,9 +1,24 @@
 #include "cache/cache_file.h"
 
 #include <algorithm>
+#include <set>
 #include <stdexcept>
 
+#include "common/log.h"
+#include "fault/fault_injector.h"
+
 namespace e10::cache {
+namespace {
+
+/// Device-class failures count towards quarantine; a full scratch partition
+/// (no_space) or a bad argument is deterministic, not a sign of a dying
+/// device.
+bool is_device_error(Errc code) {
+  return code == Errc::io_error || code == Errc::unavailable ||
+         code == Errc::timed_out;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<CacheFile>> CacheFile::open(
     sim::Engine& engine, lfs::LocalFs& local_fs, pfs::Pfs& pfs,
@@ -17,12 +32,36 @@ Result<std::unique_ptr<CacheFile>> CacheFile::open(
     return Status::error(Errc::invalid_argument,
                          "coherent cache requires a lock table");
   }
+  if (params.quarantine_after < 1) {
+    return Status::error(Errc::invalid_argument,
+                         "cache: quarantine_after must be >= 1");
+  }
   const auto handle =
       local_fs.open(params.cache_path, /*create=*/true, /*truncate=*/true);
   if (!handle.is_ok()) return handle.status();
 
   std::unique_ptr<CacheFile> cache(new CacheFile(
       engine, local_fs, pfs, global_handle, params, locks, handle.value()));
+
+  if (params.journal) {
+    const auto journal = local_fs.open(journal_path(params.cache_path),
+                                       /*create=*/true, /*truncate=*/true);
+    const auto commits = local_fs.open(commits_path(params.cache_path),
+                                       /*create=*/true, /*truncate=*/true);
+    if (journal.is_ok() && commits.is_ok()) {
+      cache->journaling_ = true;
+      cache->journal_handle_ = journal.value();
+      cache->commits_handle_ = commits.value();
+      cache->sync_->enable_commit_journal(commits.value());
+    } else {
+      // A cache without its journal is still a working cache — it just
+      // cannot replay after a crash. Degrading beats failing the open.
+      log::warn("cache", "journal sidecars unavailable for ",
+                params.cache_path, ", continuing without crash recovery");
+      if (journal.is_ok()) (void)local_fs.close(journal.value());
+      if (commits.is_ok()) (void)local_fs.close(commits.value());
+    }
+  }
   cache->sync_->start();
   return cache;
 }
@@ -40,6 +79,7 @@ CacheFile::CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs,
       engine, local_fs, cache_handle, pfs, global_handle, params.global_path,
       params.staging_bytes, locks);
   sync_->set_observability(params.metrics, params.tracer, params.rank);
+  sync_->set_retry_policy(params.retry);
   if (params.metrics != nullptr) {
     writes_counter_ = &params.metrics->counter(obs::names::kCacheWrites);
     bytes_counter_ = &params.metrics->counter(obs::names::kCacheBytes);
@@ -66,9 +106,48 @@ Status CacheFile::ensure_allocated(Offset needed_end) {
   return Status::ok();
 }
 
+void CacheFile::note_device_error(Errc code) {
+  if (!is_device_error(code)) return;
+  ++consecutive_device_errors_;
+  if (degraded_ || consecutive_device_errors_ < params_.quarantine_after) {
+    return;
+  }
+  degraded_ = true;
+  log::error("cache", "local device quarantined after ",
+             consecutive_device_errors_, " consecutive errors (rank ",
+             params_.rank, "); writes fall back to the global file");
+  if (params_.metrics != nullptr) {
+    params_.metrics->counter(obs::names::kCacheDegraded).increment();
+  }
+  if (params_.tracer != nullptr && params_.tracer->enabled()) {
+    const int track = params_.tracer->track(
+        "cache r" + std::to_string(params_.rank) + " " + params_.global_path,
+        2000 + params_.rank);
+    params_.tracer->instant(track, "cache degraded");
+  }
+}
+
+bool CacheFile::crash_now(bool in_flush) {
+  if (params_.fault == nullptr) return false;
+  return params_.fault->crash_due(params_.rank, engine_.now(), in_flush);
+}
+
 Status CacheFile::write(const Extent& global, const DataView& data) {
   if (closed_) {
     return Status::error(Errc::invalid_argument, "cache file closed");
+  }
+  if (crash_now(/*in_flush=*/false)) {
+    simulate_crash();
+    return Status::error(Errc::unavailable,
+                         "cache: simulated crash of rank " +
+                             std::to_string(params_.rank));
+  }
+  if (degraded_) {
+    // Quarantined device: fail fast so the caller writes through to the
+    // global file instead of queueing more work onto failing media.
+    return Status::error(Errc::unavailable,
+                         "cache: local device quarantined (rank " +
+                             std::to_string(params_.rank) + ")");
   }
   if (global.length != data.size()) {
     return Status::error(Errc::invalid_argument,
@@ -86,9 +165,28 @@ Status CacheFile::write(const Extent& global, const DataView& data) {
   const Offset cache_offset = append_cursor_;
   const Status written = local_fs_.write(cache_handle_, cache_offset, data);
   if (!written.is_ok()) {
+    note_device_error(written.code());
     if (params_.coherent) locks_->unlock(params_.global_path, global);
     return written;
   }
+  // Journal before the extent becomes visible: an extent the journal does
+  // not cover cannot be replayed after a crash, so a failed append fails
+  // the cache write and the caller writes through to the global file.
+  std::uint64_t seq = 0;
+  if (journaling_) {
+    const WriteRecord record{next_seq_, global.offset, global.length,
+                             cache_offset};
+    const Status appended = local_fs_.write(journal_handle_, journal_cursor_,
+                                            encode_write_record(record));
+    if (!appended.is_ok()) {
+      note_device_error(appended.code());
+      if (params_.coherent) locks_->unlock(params_.global_path, global);
+      return appended;
+    }
+    seq = next_seq_++;
+    journal_cursor_ += kWriteRecordBytes;
+  }
+  consecutive_device_errors_ = 0;
   append_cursor_ += data.size();
   ++stats_.writes;
   stats_.bytes_cached += data.size();
@@ -99,30 +197,7 @@ Status CacheFile::write(const Extent& global, const DataView& data) {
   }
 
   // Update the layout map; this write shadows any older overlapping entry.
-  {
-    auto it = extent_map_.lower_bound(global.offset);
-    if (it != extent_map_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->first + prev->second.second > global.offset) it = prev;
-    }
-    while (it != extent_map_.end() && it->first < global.end()) {
-      const Offset start = it->first;
-      const auto [cache_off, len] = it->second;
-      it = extent_map_.erase(it);
-      if (start < global.offset) {
-        extent_map_.emplace(start,
-                            std::make_pair(cache_off, global.offset - start));
-      }
-      if (start + len > global.end()) {
-        extent_map_.emplace(
-            global.end(),
-            std::make_pair(cache_off + (global.end() - start),
-                           start + len - global.end()));
-      }
-    }
-    extent_map_.emplace(global.offset,
-                        std::make_pair(cache_offset, global.length));
-  }
+  apply_extent(extent_map_, global, cache_offset, seq);
 
   if (params_.flush == FlushPolicy::none) {
     // Theoretical-bandwidth mode: data stays in the cache.
@@ -133,6 +208,7 @@ Status CacheFile::write(const Extent& global, const DataView& data) {
   SyncRequest request;
   request.global = global;
   request.cache_offset = cache_offset;
+  request.seq = seq;
   request.grequest = mpi::Request::grequest(engine_);
   request.release_lock = params_.coherent;
   outstanding_.push_back(request.grequest);
@@ -145,7 +221,7 @@ Status CacheFile::write(const Extent& global, const DataView& data) {
 }
 
 std::optional<DataView> CacheFile::try_read(const Extent& global) {
-  if (closed_ || global.empty()) return std::nullopt;
+  if (closed_ || degraded_ || global.empty()) return std::nullopt;
   // Collect the cache locations covering [global.offset, global.end());
   // bail out on the first gap.
   std::vector<std::pair<Offset, Offset>> runs;  // (cache offset, length)
@@ -153,7 +229,7 @@ std::optional<DataView> CacheFile::try_read(const Extent& global) {
   auto it = extent_map_.lower_bound(cursor);
   if (it != extent_map_.begin()) {
     auto prev = std::prev(it);
-    if (prev->first + prev->second.second > cursor) it = prev;
+    if (prev->first + prev->second.length > cursor) it = prev;
   }
   while (cursor < global.end()) {
     if (it == extent_map_.end() || it->first > cursor) {
@@ -162,8 +238,8 @@ std::optional<DataView> CacheFile::try_read(const Extent& global) {
     }
     const Offset skip = cursor - it->first;
     const Offset take =
-        std::min(global.end(), it->first + it->second.second) - cursor;
-    runs.emplace_back(it->second.first + skip, take);
+        std::min(global.end(), it->first + it->second.length) - cursor;
+    runs.emplace_back(it->second.cache_offset + skip, take);
     cursor += take;
     ++it;
   }
@@ -184,28 +260,190 @@ std::optional<DataView> CacheFile::try_read(const Extent& global) {
 
 Status CacheFile::flush() {
   if (closed_) return Status::ok();
+  if (crash_now(/*in_flush=*/true)) {
+    simulate_crash();
+    return Status::error(Errc::unavailable,
+                         "cache: rank " + std::to_string(params_.rank) +
+                             " crashed during flush");
+  }
   for (SyncRequest& request : deferred_) {
     sync_->enqueue(std::move(request));
   }
   deferred_.clear();
   mpi::Request::wait_all(outstanding_);
   outstanding_.clear();
+  // Abandoned extents completed their grequests (so the wait above cannot
+  // hang) but never became durable; surface each batch exactly once.
+  const std::uint64_t abandoned = sync_->stats().abandoned;
+  if (abandoned > reported_abandoned_) {
+    const std::uint64_t lost = abandoned - reported_abandoned_;
+    reported_abandoned_ = abandoned;
+    return Status::error(Errc::io_error,
+                         "cache: " + std::to_string(lost) +
+                             " extent(s) could not be made durable");
+  }
   return Status::ok();
 }
 
 Status CacheFile::close() {
   if (closed_) return Status::ok();
-  if (const Status s = flush(); !s.is_ok()) return s;
+  Status first = flush();
+  if (closed_) return first;  // the flush hit a crash spec; already torn down
+  // A flush error (abandoned extents) must not leak the sync thread or the
+  // handles — teardown always runs, the first error is reported.
   sync_->shutdown_and_join();
-  const Status closed = local_fs_.close(cache_handle_);
-  if (!closed.is_ok()) return closed;
-  if (params_.discard) {
-    if (const Status s = local_fs_.unlink(params_.cache_path); !s.is_ok()) {
-      return s;
-    }
+  const auto keep_first = [&first](const Status& s) {
+    if (first.is_ok() && !s.is_ok()) first = s;
+  };
+  keep_first(local_fs_.close(cache_handle_));
+  if (journaling_) {
+    keep_first(local_fs_.close(journal_handle_));
+    keep_first(local_fs_.close(commits_handle_));
   }
   closed_ = true;
-  return Status::ok();
+  if (params_.discard) {
+    keep_first(local_fs_.unlink(params_.cache_path));
+    if (journaling_) {
+      keep_first(local_fs_.unlink(journal_path(params_.cache_path)));
+      keep_first(local_fs_.unlink(commits_path(params_.cache_path)));
+    }
+  }
+  return first;
+}
+
+void CacheFile::simulate_crash() {
+  if (closed_) return;
+  log::error("cache", "simulating crash of rank ", params_.rank, " (",
+             params_.cache_path, " survives on the local device)");
+  // The worker stops doing I/O and only completes/releases what is queued;
+  // never-dispatched deferred requests are completed here for the same
+  // reason — nothing may block on a dead rank.
+  sync_->cancel_drain_and_join();
+  for (SyncRequest& request : deferred_) {
+    if (request.release_lock && locks_ != nullptr) {
+      locks_->unlock(params_.global_path, request.global);
+    }
+    if (request.grequest.valid()) request.grequest.complete();
+  }
+  deferred_.clear();
+  mpi::Request::wait_all(outstanding_);
+  outstanding_.clear();
+  // Handles die with the process; the files themselves survive on the
+  // non-volatile device — that is the paper's whole durability argument.
+  (void)local_fs_.close(cache_handle_);
+  if (journaling_) {
+    (void)local_fs_.close(journal_handle_);
+    (void)local_fs_.close(commits_handle_);
+  }
+  extent_map_.clear();
+  closed_ = true;
+  crashed_ = true;
+  if (params_.tracer != nullptr && params_.tracer->enabled()) {
+    const int track = params_.tracer->track(
+        "cache r" + std::to_string(params_.rank) + " " + params_.global_path,
+        2000 + params_.rank);
+    params_.tracer->instant(track, "rank crash");
+  }
+}
+
+Result<RecoveryReport> CacheFile::recover(lfs::LocalFs& local_fs,
+                                          pfs::Pfs& pfs,
+                                          pfs::FileHandle global_handle,
+                                          const std::string& cache_path,
+                                          obs::MetricsRegistry* metrics) {
+  RecoveryReport report;
+  const std::string journal = journal_path(cache_path);
+  const std::string commits = commits_path(cache_path);
+  if (!local_fs.exists(journal)) {
+    // Nothing journaled, nothing to replay (also the clean-shutdown case
+    // where close() already unlinked the sidecars).
+    return report;
+  }
+
+  // Scan the write journal. A crash can truncate the tail mid-record;
+  // scan_write_records keeps everything before the damage.
+  auto journal_handle = local_fs.open(journal, /*create=*/false);
+  if (!journal_handle.is_ok()) return journal_handle.status();
+  std::vector<WriteRecord> records;
+  {
+    const auto size = local_fs.file_size(journal_handle.value());
+    if (!size.is_ok()) {
+      (void)local_fs.close(journal_handle.value());
+      return size.status();
+    }
+    auto bytes = local_fs.read(journal_handle.value(), 0, size.value());
+    (void)local_fs.close(journal_handle.value());
+    if (!bytes.is_ok()) return bytes.status();
+    records = scan_write_records(bytes.value());
+  }
+  report.journal_records = records.size();
+  if (records.empty()) return report;
+
+  // Committed seqs reached the global file before the crash; replaying
+  // them would be harmless (idempotent) but pointless.
+  std::set<std::uint64_t> committed;
+  if (local_fs.exists(commits)) {
+    auto commits_handle = local_fs.open(commits, /*create=*/false);
+    if (commits_handle.is_ok()) {
+      const auto size = local_fs.file_size(commits_handle.value());
+      if (size.is_ok()) {
+        auto bytes = local_fs.read(commits_handle.value(), 0, size.value());
+        if (bytes.is_ok()) {
+          for (std::uint64_t seq : scan_commit_records(bytes.value())) {
+            committed.insert(seq);
+          }
+        }
+      }
+      (void)local_fs.close(commits_handle.value());
+    }
+  }
+  report.committed = committed.size();
+
+  // Rebuild the extent map with the live path's shadowing rules, then push
+  // every surviving fragment of an uncommitted write back to the PFS.
+  ExtentMap map;
+  for (const WriteRecord& record : records) {
+    apply_extent(map, Extent{record.global_offset, record.length},
+                 record.cache_offset, record.seq);
+  }
+  auto cache_handle = local_fs.open(cache_path, /*create=*/false);
+  if (!cache_handle.is_ok()) return cache_handle.status();
+  Status failed = Status::ok();
+  for (const auto& [global_offset, extent] : map) {
+    if (committed.contains(extent.seq)) continue;
+    auto data =
+        local_fs.read(cache_handle.value(), extent.cache_offset, extent.length);
+    if (!data.is_ok()) {
+      failed = data.status();
+      break;
+    }
+    if (data.value().size() != extent.length) {
+      failed = Status::error(Errc::io_error,
+                             "recover: cache file shorter than journal");
+      break;
+    }
+    const Status synced =
+        pfs.write_durable(global_handle, global_offset, data.value());
+    if (!synced.is_ok()) {
+      failed = synced;
+      break;
+    }
+    ++report.replayed_extents;
+    report.replayed_bytes += extent.length;
+  }
+  (void)local_fs.close(cache_handle.value());
+  if (!failed.is_ok()) return failed;
+  log::info("cache", "recovered ", cache_path, ": replayed ",
+            report.replayed_extents, " extent(s), ", report.replayed_bytes,
+            " bytes (", report.committed, " of ", report.journal_records,
+            " records were already durable)");
+  if (metrics != nullptr) {
+    metrics->counter(obs::names::kCacheRecoveredExtents)
+        .add(static_cast<std::int64_t>(report.replayed_extents));
+    metrics->counter(obs::names::kCacheRecoveredBytes)
+        .add(report.replayed_bytes);
+  }
+  return report;
 }
 
 }  // namespace e10::cache

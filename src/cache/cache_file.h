@@ -8,14 +8,22 @@
 // (ADIOI_GEN_WriteContig). Depending on the flush policy, requests are
 // dispatched to the background SyncThread immediately or at flush/close
 // time (ADIOI_GEN_Flush / ADIO_Close).
+//
+// Robustness (the paper's durability argument, §III): with journaling
+// enabled each write also appends a WriteRecord to a sidecar journal, so
+// that after a simulated rank crash CacheFile::recover() can replay every
+// extent that never reached the global file. A failing local device is
+// quarantined after a run of consecutive device errors — the cache degrades
+// to fast-fail and callers write through to the PFS — and a FaultPlan crash
+// takes effect through the write/flush hooks.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/journal.h"
 #include "cache/lock_table.h"
 #include "cache/sync_thread.h"
 #include "common/status.h"
@@ -24,6 +32,10 @@
 #include "obs/trace.h"
 #include "pfs/pfs.h"
 #include "sim/engine.h"
+
+namespace e10::fault {
+class FaultInjector;
+}
 
 namespace e10::cache {
 
@@ -43,6 +55,20 @@ struct CacheFileParams {
   /// fallocate granularity: space is reserved in chunks this big so that
   /// most writes pay no allocation cost.
   Offset alloc_chunk = 64 * units::MiB;
+  /// Record journal for crash recovery: append one WriteRecord per cache
+  /// write to `<cache_path>.journal` and one CommitRecord per durable
+  /// extent to `<cache_path>.commits`. Off by default — the sidecar
+  /// appends cost local-device time.
+  bool journal = false;
+  /// Sync-thread retry/backoff knobs for transient global-write failures.
+  RetryPolicy retry;
+  /// Consecutive local-device errors (io_error/unavailable/timed_out; a
+  /// deterministic no_space does not count) before the device is
+  /// quarantined and the cache degrades to fast-fail.
+  int quarantine_after = 3;
+  /// Scenario injector (optional): supplies the rank-crash schedule checked
+  /// on the write and flush paths.
+  fault::FaultInjector* fault = nullptr;
   /// Observability (all optional): counters/histograms land in `metrics`,
   /// the sync thread traces onto its own `tracer` track, `rank` labels both.
   obs::MetricsRegistry* metrics = nullptr;
@@ -57,6 +83,14 @@ struct CacheFileStats {
   std::uint64_t read_hits = 0;
   std::uint64_t read_misses = 0;
   Offset bytes_read_from_cache = 0;
+};
+
+/// What CacheFile::recover() found and replayed after a crash.
+struct RecoveryReport {
+  std::uint64_t journal_records = 0;  // WriteRecords scanned
+  std::uint64_t committed = 0;        // seqs the sync thread made durable
+  std::uint64_t replayed_extents = 0;
+  Offset replayed_bytes = 0;
 };
 
 class CacheFile {
@@ -77,7 +111,8 @@ class CacheFile {
 
   /// Writes `data` for global-file extent `global` into the cache and
   /// creates the sync request. In coherent mode the extent is locked until
-  /// the sync thread makes it persistent.
+  /// the sync thread makes it persistent. Fails fast once the local device
+  /// is quarantined — the caller falls back to a direct global write.
   Status write(const Extent& global, const DataView& data);
 
   /// Serves a read from the cache if (and only if) the extent is fully
@@ -90,18 +125,50 @@ class CacheFile {
   std::optional<DataView> try_read(const Extent& global);
 
   /// ADIOI_GEN_Flush: dispatches deferred requests (onclose policy) and
-  /// waits for every outstanding sync request to complete.
+  /// waits for every outstanding sync request to complete. Reports
+  /// Errc::io_error if any extent was abandoned (not made durable) since
+  /// the previous flush — waiters never hang on a lost extent, they get
+  /// told about it here instead.
   Status flush();
 
   /// Flush, stop the sync thread, close and (per discard flag) remove the
-  /// cache file. Idempotent.
+  /// cache file and its journal sidecars. Idempotent, and tears everything
+  /// down even when the flush reports an error — a failed flush must never
+  /// leak the sync thread. Returns the first error encountered.
   Status close();
+
+  /// Simulated rank crash: the sync thread stops doing I/O and only
+  /// releases/completes the remaining requests (nothing may hang on a dead
+  /// rank), handles are dropped, and the cache file plus journal sidecars
+  /// survive on the non-volatile device for recover() to replay.
+  void simulate_crash();
+
+  /// Post-crash replay (run from a fresh simulated process): scans the
+  /// journal sidecars of `cache_path`, rebuilds the extent map, and writes
+  /// every extent whose sequence number was never committed back to the
+  /// global file. Idempotent — re-syncing an already-durable extent writes
+  /// the same bytes. A missing journal yields an empty report.
+  static Result<RecoveryReport> recover(lfs::LocalFs& local_fs, pfs::Pfs& pfs,
+                                        pfs::FileHandle global_handle,
+                                        const std::string& cache_path,
+                                        obs::MetricsRegistry* metrics = nullptr);
+
+  /// Journal sidecar paths for a given cache file.
+  static std::string journal_path(const std::string& cache_path) {
+    return cache_path + ".journal";
+  }
+  static std::string commits_path(const std::string& cache_path) {
+    return cache_path + ".commits";
+  }
 
   const CacheFileStats& stats() const { return stats_; }
   const SyncStats& sync_stats() const { return sync_->stats(); }
   std::size_t outstanding_requests() const { return outstanding_.size(); }
   const CacheFileParams& params() const { return params_; }
   bool closed() const { return closed_; }
+  bool crashed() const { return crashed_; }
+  bool degraded() const { return degraded_; }
+  bool journaling() const { return journaling_; }
 
  private:
   CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs, pfs::Pfs& pfs,
@@ -109,6 +176,9 @@ class CacheFile {
             LockTable* locks, lfs::FileHandle cache_handle);
 
   Status ensure_allocated(Offset needed_end);
+  /// Quarantine bookkeeping for a failed local-device operation.
+  void note_device_error(Errc code);
+  bool crash_now(bool in_flush);
 
   sim::Engine& engine_;
   lfs::LocalFs& local_fs_;
@@ -121,15 +191,26 @@ class CacheFile {
   // Layout map: global-file offset -> location in the cache file. Later
   // writes of the same extent shadow earlier ones (the map keeps the
   // freshest copy, like the log-structured cache itself).
-  std::map<Offset, std::pair<Offset, Offset>> extent_map_;  // off->(cache,len)
+  ExtentMap extent_map_;
   std::vector<SyncRequest> deferred_;      // onclose policy, not yet sent
   std::vector<mpi::Request> outstanding_;  // dispatched, possibly incomplete
   CacheFileStats stats_;
+  // Journal state (journaling_ only set when both sidecars opened).
+  bool journaling_ = false;
+  lfs::FileHandle journal_handle_ = 0;
+  lfs::FileHandle commits_handle_ = 0;
+  Offset journal_cursor_ = 0;
+  std::uint64_t next_seq_ = 1;  // seq 0 is reserved for "not journaled"
+  // Quarantine state.
+  int consecutive_device_errors_ = 0;
+  bool degraded_ = false;
+  std::uint64_t reported_abandoned_ = 0;  // abandoned count already surfaced
   // Resolved once; registry references stay valid for its lifetime.
   obs::Counter* writes_counter_ = nullptr;
   obs::Counter* bytes_counter_ = nullptr;
   obs::Histogram* write_hist_ = nullptr;
   bool closed_ = false;
+  bool crashed_ = false;
 };
 
 }  // namespace e10::cache

@@ -1,0 +1,91 @@
+#include "cache/journal.h"
+
+namespace e10::cache {
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::byte>((value >> shift) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(const DataView& bytes, Offset at) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes.byte_at(at + i)) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+DataView encode_write_record(const WriteRecord& record) {
+  std::vector<std::byte> out;
+  out.reserve(static_cast<std::size_t>(kWriteRecordBytes));
+  put_u64(out, kWriteRecordMagic);
+  put_u64(out, record.seq);
+  put_u64(out, static_cast<std::uint64_t>(record.global_offset));
+  put_u64(out, static_cast<std::uint64_t>(record.length));
+  put_u64(out, static_cast<std::uint64_t>(record.cache_offset));
+  return DataView::real(std::move(out));
+}
+
+DataView encode_commit_record(std::uint64_t seq) {
+  std::vector<std::byte> out;
+  out.reserve(static_cast<std::size_t>(kCommitRecordBytes));
+  put_u64(out, kCommitRecordMagic);
+  put_u64(out, seq);
+  return DataView::real(std::move(out));
+}
+
+std::vector<WriteRecord> scan_write_records(const DataView& bytes) {
+  std::vector<WriteRecord> records;
+  for (Offset at = 0; at + kWriteRecordBytes <= bytes.size();
+       at += kWriteRecordBytes) {
+    if (get_u64(bytes, at) != kWriteRecordMagic) break;
+    WriteRecord record;
+    record.seq = get_u64(bytes, at + 8);
+    record.global_offset = static_cast<Offset>(get_u64(bytes, at + 16));
+    record.length = static_cast<Offset>(get_u64(bytes, at + 24));
+    record.cache_offset = static_cast<Offset>(get_u64(bytes, at + 32));
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<std::uint64_t> scan_commit_records(const DataView& bytes) {
+  std::vector<std::uint64_t> seqs;
+  for (Offset at = 0; at + kCommitRecordBytes <= bytes.size();
+       at += kCommitRecordBytes) {
+    if (get_u64(bytes, at) != kCommitRecordMagic) break;
+    seqs.push_back(get_u64(bytes, at + 8));
+  }
+  return seqs;
+}
+
+void apply_extent(ExtentMap& map, const Extent& global, Offset cache_offset,
+                  std::uint64_t seq) {
+  auto it = map.lower_bound(global.offset);
+  if (it != map.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.length > global.offset) it = prev;
+  }
+  while (it != map.end() && it->first < global.end()) {
+    const Offset start = it->first;
+    const CacheExtent old = it->second;
+    it = map.erase(it);
+    if (start < global.offset) {
+      map.emplace(start,
+                  CacheExtent{old.cache_offset, global.offset - start,
+                              old.seq});
+    }
+    if (start + old.length > global.end()) {
+      map.emplace(global.end(),
+                  CacheExtent{old.cache_offset + (global.end() - start),
+                              start + old.length - global.end(), old.seq});
+    }
+  }
+  map.emplace(global.offset, CacheExtent{cache_offset, global.length, seq});
+}
+
+}  // namespace e10::cache

@@ -1,0 +1,70 @@
+// Record journal for crash-recovery replay of the persistent cache.
+//
+// The paper's durability argument (§III) rests on the cache living on
+// *non-volatile* memory: a node crash loses no data, because the cached
+// extents survive on the local device and can be replayed to the global
+// file. Replay needs the layout metadata — which global extent each cached
+// run belongs to and whether it already reached the PFS — so CacheFile
+// appends one fixed-size WriteRecord per cache write to a sidecar journal
+// (`<cache_path>.journal`) and the SyncThread appends one CommitRecord per
+// durable extent to a second sidecar (`<cache_path>.commits`). Two files,
+// one appender each: the writer and the background sync thread never share
+// an append cursor. After a crash, CacheFile::recover() scans both, rebuilds
+// the extent map (same shadowing rules as the live map) and re-syncs every
+// extent whose sequence number was never committed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/dataview.h"
+#include "common/extent.h"
+#include "common/units.h"
+
+namespace e10::cache {
+
+inline constexpr std::uint64_t kWriteRecordMagic = 0xe10cac4e00000001ULL;
+inline constexpr std::uint64_t kCommitRecordMagic = 0xe10cac4e00000002ULL;
+
+/// magic | seq | global_offset | length | cache_offset, little-endian u64s.
+inline constexpr Offset kWriteRecordBytes = 40;
+/// magic | seq.
+inline constexpr Offset kCommitRecordBytes = 16;
+
+struct WriteRecord {
+  std::uint64_t seq = 0;
+  Offset global_offset = 0;
+  Offset length = 0;
+  Offset cache_offset = 0;
+};
+
+DataView encode_write_record(const WriteRecord& record);
+DataView encode_commit_record(std::uint64_t seq);
+
+/// Decodes consecutive records from raw journal bytes. Parsing stops at the
+/// first record with a wrong magic or at a trailing partial record (a crash
+/// can interrupt an append mid-record; everything before it is still good).
+std::vector<WriteRecord> scan_write_records(const DataView& bytes);
+std::vector<std::uint64_t> scan_commit_records(const DataView& bytes);
+
+/// One cached extent: where the bytes sit in the cache file and the journal
+/// sequence number of the write that produced them.
+struct CacheExtent {
+  Offset cache_offset = 0;
+  Offset length = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Global-file offset -> cached extent. Later writes of the same range
+/// shadow earlier ones (the map keeps the freshest copy, like the
+/// log-structured cache itself).
+using ExtentMap = std::map<Offset, CacheExtent>;
+
+/// Applies one write to the map, splitting and shadowing older overlapping
+/// entries. Shared between the live write path and crash-recovery replay so
+/// both resolve overlaps identically.
+void apply_extent(ExtentMap& map, const Extent& global, Offset cache_offset,
+                  std::uint64_t seq);
+
+}  // namespace e10::cache

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cache/journal.h"
 #include "common/log.h"
 
 namespace e10::cache {
@@ -35,8 +36,31 @@ void SyncThread::set_observability(obs::MetricsRegistry* metrics,
   rank_ = rank;
 }
 
+void SyncThread::set_retry_policy(const RetryPolicy& policy) {
+  if (handle_.valid()) {
+    throw std::logic_error("SyncThread: set_retry_policy after start");
+  }
+  if (policy.max_attempts < 1 || policy.max_requeues < 0 ||
+      policy.backoff_base < 0 || policy.backoff_cap < policy.backoff_base ||
+      policy.jitter < 0.0) {
+    throw std::logic_error("SyncThread: bad retry policy");
+  }
+  retry_ = policy;
+}
+
+void SyncThread::enable_commit_journal(lfs::FileHandle commits_handle) {
+  if (handle_.valid()) {
+    throw std::logic_error("SyncThread: enable_commit_journal after start");
+  }
+  commit_journal_ = true;
+  commits_handle_ = commits_handle;
+}
+
 void SyncThread::start() {
   if (handle_.valid()) throw std::logic_error("SyncThread already started");
+  backoff_rng_ = std::make_unique<Rng>(Rng::derive(
+      Rng::derive(static_cast<std::uint64_t>(rank_), global_path_),
+      "sync-backoff"));
   handle_ = engine_.spawn("sync:" + global_path_, [this] { run(); });
 }
 
@@ -56,8 +80,7 @@ void SyncThread::enqueue(SyncRequest request) {
   note_queue_depth(inbox_.size());
 }
 
-void SyncThread::shutdown_and_join() {
-  if (!handle_.valid()) return;
+void SyncThread::fold_stats_and_join() {
   SyncRequest sentinel;
   sentinel.shutdown = true;
   inbox_.send(std::move(sentinel));
@@ -72,10 +95,78 @@ void SyncThread::shutdown_and_join() {
     metrics_->counter(names::kSyncBytes).add(stats_.bytes_synced);
     metrics_->counter(names::kSyncChunks)
         .add(static_cast<std::int64_t>(stats_.staging_chunks));
+    metrics_->counter(names::kSyncRetries)
+        .add(static_cast<std::int64_t>(stats_.retries));
+    metrics_->counter(names::kSyncRequeues)
+        .add(static_cast<std::int64_t>(stats_.requeues));
+    metrics_->counter(names::kSyncAbandoned)
+        .add(static_cast<std::int64_t>(stats_.abandoned));
     metrics_->counter(names::kSyncBusyNs).add(stats_.busy_time);
     metrics_->gauge(names::kSyncQueueDepth)
         .set(static_cast<std::int64_t>(stats_.queue_depth_high_water));
   }
+}
+
+void SyncThread::shutdown_and_join() {
+  if (!handle_.valid()) return;
+  fold_stats_and_join();
+}
+
+void SyncThread::cancel_drain_and_join() {
+  if (!handle_.valid()) return;
+  cancelled_ = true;
+  fold_stats_and_join();
+}
+
+Time SyncThread::backoff_delay(int attempt) {
+  Time delay = retry_.backoff_base;
+  for (int i = 1; i < attempt && delay < retry_.backoff_cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, retry_.backoff_cap);
+  if (retry_.jitter > 0.0 && delay > 0) {
+    delay += static_cast<Time>(static_cast<double>(delay) *
+                               backoff_rng_->uniform(0.0, retry_.jitter));
+  }
+  return delay;
+}
+
+Status SyncThread::sync_extent(const SyncRequest& request, Offset& done,
+                               int& attempts) {
+  // Stage the extent through the ind_wr_buffer_size buffer: read back from
+  // the cache file, write to the global file, chunk by chunk. A retryable
+  // failure backs off and resumes from `done` — already-durable chunks are
+  // never re-sent.
+  while (done < request.global.length) {
+    const Offset chunk =
+        std::min(staging_bytes_, request.global.length - done);
+    Status failure = Status::ok();
+    auto data = local_fs_.read(cache_handle_, request.cache_offset + done,
+                               chunk);
+    if (!data.is_ok()) {
+      failure = data.status();
+    } else {
+      // Durable: completing the grequest promises persistence (§III-A).
+      failure = pfs_.write_durable(global_handle_,
+                                   request.global.offset + done, data.value());
+    }
+    if (failure.is_ok()) {
+      done += chunk;
+      ++stats_.staging_chunks;
+      continue;
+    }
+    if (!is_retryable(failure.code()) || attempts >= retry_.max_attempts) {
+      return failure;
+    }
+    ++attempts;
+    ++stats_.retries;
+    const Time wait = backoff_delay(attempts);
+    log::warn("sync", "extent @", request.global.offset, " attempt ",
+              attempts, " failed (", failure.to_string(), "), backing off ",
+              format_time(wait));
+    engine_.delay(wait);
+  }
+  return Status::ok();
 }
 
 void SyncThread::run() {
@@ -88,35 +179,67 @@ void SyncThread::run() {
     SyncRequest request = inbox_.recv();
     if (request.shutdown) break;
     note_queue_depth(inbox_.size());
-    ++stats_.requests;
+
+    if (cancelled_) {
+      // Crash drain: no more I/O — just release waiters. The extent stays
+      // un-synced in the (persistent) cache file for recover() to replay.
+      if (request.release_lock && locks_ != nullptr) {
+        locks_->unlock(global_path_, request.global);
+      }
+      if (request.grequest.valid()) request.grequest.complete();
+      continue;
+    }
+
+    if (request.requeues == 0) ++stats_.requests;
     const Time busy_start = engine_.now();
     obs::Span span(tracer_, track_, "sync_extent");
     span.arg("offset", request.global.offset);
     span.arg("bytes", request.global.length);
-    // Stage the extent through the ind_wr_buffer_size buffer: read back
-    // from the cache file, write to the global file, chunk by chunk.
-    Offset done = 0;
-    while (done < request.global.length) {
-      const Offset chunk =
-          std::min(staging_bytes_, request.global.length - done);
-      auto data = local_fs_.read(cache_handle_, request.cache_offset + done,
-                                 chunk);
-      if (!data.is_ok()) {
-        log::error("sync", "cache read failed: ", data.status().to_string());
-        break;
-      }
-      // Durable: completing the grequest promises persistence (§III-A).
-      const Status written = pfs_.write_durable(
-          global_handle_, request.global.offset + done, data.value());
-      if (!written.is_ok()) {
-        log::error("sync", "global write failed: ", written.to_string());
-        break;
-      }
-      done += chunk;
-      ++stats_.staging_chunks;
-    }
-    stats_.bytes_synced += done;
+
+    Offset done = request.synced;
+    int attempts = 0;
+    const Status result = sync_extent(request, done, attempts);
+    if (attempts > 0) span.arg("retries", attempts);
+    stats_.bytes_synced += done - request.synced;
     stats_.busy_time += engine_.now() - busy_start;
+
+    if (!result.is_ok()) {
+      const bool retryable = is_retryable(result.code());
+      if (retryable && request.requeues < retry_.max_requeues) {
+        // Out of in-place attempts: go to the back of the queue and let
+        // other requests (possibly targeting healthy servers) proceed.
+        // Progress is kept — the requeued request resumes past the chunks
+        // that are already durable.
+        ++stats_.requeues;
+        log::warn("sync", "extent @", request.global.offset,
+                  " requeued after ", attempts + 1, " attempts (",
+                  result.to_string(), ")");
+        SyncRequest retry = std::move(request);
+        retry.synced = done;
+        ++retry.requeues;
+        inbox_.send(std::move(retry));
+        note_queue_depth(inbox_.size());
+        continue;
+      }
+      // Abandoned: the extent could not be made durable. Complete the
+      // grequest anyway — a hung flush would deadlock the rank — and let
+      // CacheFile::flush() surface the failure via the abandoned count.
+      ++stats_.abandoned;
+      log::error("sync", "extent @", request.global.offset, " abandoned (",
+                 result.to_string(), ")");
+      span.arg("abandoned", result.to_string());
+    } else if (commit_journal_ && request.seq != 0) {
+      const Status committed = local_fs_.write(
+          commits_handle_, commits_cursor_, encode_commit_record(request.seq));
+      if (committed.is_ok()) {
+        commits_cursor_ += kCommitRecordBytes;
+      } else {
+        // A missed commit only means recovery replays an already-durable
+        // extent — safe (replay is idempotent), so log and move on.
+        log::warn("sync", "commit record failed: ", committed.to_string());
+      }
+    }
+
     if (request.release_lock && locks_ != nullptr) {
       locks_->unlock(global_path_, request.global);
     }

@@ -7,6 +7,13 @@
 // writes it to the global parallel file system, then completes the
 // associated generalized MPI request (MPI_Grequest_complete) — which is what
 // ADIOI_GEN_Flush later waits on.
+//
+// Transient failures (an unreachable data server, an injected timeout) are
+// retried in place with capped exponential backoff and deterministic jitter
+// over virtual time; a request that exhausts its attempts goes to the back
+// of the queue, and one that exhausts its requeues is abandoned — its
+// grequest still completes (so flush/close never hang) and the abandonment
+// is reported through SyncStats for CacheFile::flush() to surface.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,7 @@
 
 #include "cache/lock_table.h"
 #include "common/extent.h"
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "lfs/local_fs.h"
@@ -32,26 +40,54 @@ struct SyncRequest {
   Extent global;
   /// Where the bytes sit in the local cache file.
   Offset cache_offset = 0;
+  /// Journal sequence number of the write that produced the extent (0 when
+  /// journaling is off); committed to the sidecar once durable.
+  std::uint64_t seq = 0;
   /// Completed (MPI_Grequest_complete) when the extent is persistent in the
-  /// global file.
+  /// global file — or when the request is abandoned/cancelled, so waiters
+  /// never hang (the failure is reported out of band).
   mpi::Request grequest;
   /// Coherent mode: release this extent's lock once persistent.
   bool release_lock = false;
   /// Shutdown sentinel (internal).
   bool shutdown = false;
+  /// Times this request went back to the queue after exhausting its
+  /// in-place retry attempts (internal).
+  int requeues = 0;
+  /// Bytes at the front of the extent already durable from earlier
+  /// dispatches (internal); a requeued request resumes here instead of
+  /// re-sending what already reached the media.
+  Offset synced = 0;
+};
+
+/// Retry/backoff knobs for the sync thread's write_durable loop. The
+/// backoff for attempt k is min(cap, base * 2^(k-1)) stretched by up to
+/// `jitter` drawn from a seeded stream — deterministic for a fixed seed,
+/// but decorrelated across ranks so retry storms do not synchronise.
+struct RetryPolicy {
+  int max_attempts = 6;  // in-place attempts per dispatch (>= 1)
+  int max_requeues = 8;  // re-dispatches before the request is abandoned
+  Time backoff_base = units::milliseconds(1);
+  Time backoff_cap = units::milliseconds(250);
+  double jitter = 0.25;  // max relative stretch of each backoff
 };
 
 struct SyncStats {
   std::uint64_t requests = 0;
   Offset bytes_synced = 0;
   std::uint64_t staging_chunks = 0;
+  /// In-place retries after a retryable staging-read/global-write failure.
+  std::uint64_t retries = 0;
+  /// Requests sent to the back of the queue after exhausting attempts.
+  std::uint64_t requeues = 0;
+  /// Requests given up on entirely: grequest completed, extent NOT durable.
+  std::uint64_t abandoned = 0;
   /// Deepest the inbox ever got (requests waiting behind the one in
   /// service) — a sustained high value means the device or the PFS cannot
   /// keep up with the write burst.
   std::uint64_t queue_depth_high_water = 0;
-  /// Virtual time spent servicing requests (staging reads + global writes).
-  /// The run report divides the portion the application did not wait for by
-  /// this to get the flush-overlap ratio.
+  /// Virtual time spent servicing requests (staging reads + global writes,
+  /// including backoff waits).
   Time busy_time = 0;
 };
 
@@ -72,6 +108,15 @@ class SyncThread {
   void set_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer,
                          int rank);
 
+  /// Overrides the retry policy (call before start()). The jitter stream is
+  /// seeded from (rank, global path) so it is reproducible per thread.
+  void set_retry_policy(const RetryPolicy& policy);
+
+  /// Commits durable extents to the journal sidecar: after a request's
+  /// extent is fully durable, a CommitRecord for its seq is appended
+  /// through `commits_handle`. Call before start().
+  void enable_commit_journal(lfs::FileHandle commits_handle);
+
   /// Spawns the worker process (call once, from a simulated process).
   void start();
 
@@ -82,11 +127,21 @@ class SyncThread {
   /// enqueued requests are drained first.
   void shutdown_and_join();
 
+  /// Crash path: the worker stops doing I/O and only completes/releases the
+  /// remaining requests (a dead rank's waiters must not hang), then joins.
+  /// Queued extents stay un-synced — exactly what recover() replays.
+  void cancel_drain_and_join();
+
   const SyncStats& stats() const { return stats_; }
   bool started() const { return handle_.valid(); }
 
  private:
   void run();
+  /// One dispatch of `request`: staging loop with in-place retries.
+  /// `done` advances past durable bytes; ok when the extent is durable.
+  Status sync_extent(const SyncRequest& request, Offset& done, int& attempts);
+  Time backoff_delay(int attempt);
+  void fold_stats_and_join();
 
   sim::Engine& engine_;
   lfs::LocalFs& local_fs_;
@@ -101,6 +156,12 @@ class SyncThread {
   sim::Mailbox<SyncRequest> inbox_;
   sim::ProcessHandle handle_;
   SyncStats stats_;
+  RetryPolicy retry_;
+  std::unique_ptr<Rng> backoff_rng_;  // created at start()
+  bool cancelled_ = false;            // set by cancel_drain_and_join()
+  bool commit_journal_ = false;
+  lfs::FileHandle commits_handle_ = 0;
+  Offset commits_cursor_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
   int rank_ = 0;

@@ -23,6 +23,11 @@ enum class Errc {
   not_supported,
   permission_denied,
   busy,
+  /// Transient conditions (an unreachable data server, an operation that
+  /// timed out). Distinguished from io_error so retry loops — the cache
+  /// sync thread above all — know the operation is worth repeating.
+  unavailable,
+  timed_out,
 };
 
 /// Human-readable name of an error code ("no_such_file", ...).
@@ -37,8 +42,17 @@ constexpr const char* errc_name(Errc e) {
     case Errc::not_supported: return "not_supported";
     case Errc::permission_denied: return "permission_denied";
     case Errc::busy: return "busy";
+    case Errc::unavailable: return "unavailable";
+    case Errc::timed_out: return "timed_out";
   }
   return "unknown";
+}
+
+/// True for error codes that describe a transient condition: retrying the
+/// same operation later may succeed. Hard errors (bad arguments, a full
+/// device, corrupt media) stay false — retrying those only wastes time.
+constexpr bool is_retryable(Errc e) {
+  return e == Errc::unavailable || e == Errc::timed_out || e == Errc::busy;
 }
 
 /// Lightweight error-or-ok result for operations with no payload.

@@ -1,0 +1,238 @@
+#include "fault/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace e10::fault {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Status bad(std::string_view clause, std::string_view why) {
+  return Status::error(Errc::invalid_argument,
+                       "fault plan: bad clause '" + std::string(clause) +
+                           "': " + std::string(why));
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  std::string text(trim(s));
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  std::string text(trim(s));
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+/// "2s", "150ms", "10us", "500ns" or a bare nanosecond count.
+std::optional<Time> parse_time(std::string_view s) {
+  s = trim(s);
+  double unit = 1.0;
+  if (s.ends_with("ns")) {
+    s.remove_suffix(2);
+  } else if (s.ends_with("us")) {
+    unit = 1e3;
+    s.remove_suffix(2);
+  } else if (s.ends_with("ms")) {
+    unit = 1e6;
+    s.remove_suffix(2);
+  } else if (s.ends_with("s")) {
+    unit = 1e9;
+    s.remove_suffix(1);
+  }
+  auto v = parse_double(s);
+  if (!v || *v < 0) return std::nullopt;
+  return static_cast<Time>(*v * unit);
+}
+
+/// "0.01" or "1%".
+std::optional<double> parse_probability(std::string_view s) {
+  s = trim(s);
+  double scale = 1.0;
+  if (s.ends_with('%')) {
+    scale = 0.01;
+    s.remove_suffix(1);
+  }
+  auto v = parse_double(s);
+  if (!v) return std::nullopt;
+  double p = *v * scale;
+  if (p < 0.0 || p > 1.0) return std::nullopt;
+  return p;
+}
+
+std::optional<Errc> parse_errc(std::string_view s) {
+  s = trim(s);
+  for (Errc e : {Errc::unavailable, Errc::timed_out, Errc::io_error,
+                 Errc::busy, Errc::no_space}) {
+    if (s == errc_name(e)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultOp> parse_op(std::string_view s) {
+  for (int i = 0; i < kFaultOpCount; ++i) {
+    auto op = static_cast<FaultOp>(i);
+    if (s == fault_op_name(op)) return op;
+  }
+  return std::nullopt;
+}
+
+/// "SERVER@START-END" with an optional "xFACTOR" tail (degrade windows).
+Status parse_window(std::string_view clause, std::string_view value,
+                    bool degrade, FaultPlan& plan) {
+  auto at = value.find('@');
+  if (at == std::string_view::npos) return bad(clause, "expected SERVER@START-END");
+  auto server = parse_int(value.substr(0, at));
+  if (!server || *server < 0) return bad(clause, "bad server index");
+  std::string_view window = value.substr(at + 1);
+
+  double factor = 0.0;
+  if (degrade) {
+    auto x = window.rfind('x');
+    if (x == std::string_view::npos) return bad(clause, "expected xFACTOR");
+    auto f = parse_double(window.substr(x + 1));
+    if (!f || *f <= 1.0) return bad(clause, "slowdown factor must be > 1");
+    factor = *f;
+    window = window.substr(0, x);
+  }
+
+  auto dash = window.find('-');
+  if (dash == std::string_view::npos) return bad(clause, "expected START-END");
+  auto start = parse_time(window.substr(0, dash));
+  auto end = parse_time(window.substr(dash + 1));
+  if (!start || !end || *end <= *start) return bad(clause, "bad time window");
+
+  plan.outages.push_back(OutageWindow{static_cast<int>(*server), *start, *end,
+                                      factor});
+  return Status::ok();
+}
+
+Status parse_crash(std::string_view clause, std::string_view value,
+                   FaultPlan& plan) {
+  auto at = value.find('@');
+  if (at == std::string_view::npos) return bad(clause, "expected RANK@TIME|flush");
+  auto rank = parse_int(value.substr(0, at));
+  if (!rank || *rank < 0) return bad(clause, "bad rank");
+  std::string_view when = trim(value.substr(at + 1));
+  CrashSpec spec{static_cast<int>(*rank), 0, false};
+  if (when == "flush") {
+    spec.during_flush = true;
+  } else {
+    auto t = parse_time(when);
+    if (!t) return bad(clause, "bad crash time");
+    spec.at = *t;
+  }
+  plan.crashes.push_back(spec);
+  return Status::ok();
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  for (const TransientRule& rule : transient) {
+    if (rule.probability > 0.0) return false;
+  }
+  return outages.empty() && crashes.empty();
+}
+
+Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    auto semi = rest.find(';');
+    std::string_view clause = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+
+    auto eq = clause.find('=');
+    if (eq == std::string_view::npos) return bad(clause, "expected key=value");
+    std::string_view key = trim(clause.substr(0, eq));
+    std::string_view value = trim(clause.substr(eq + 1));
+
+    if (key == "outage") {
+      if (Status s = parse_window(clause, value, /*degrade=*/false, plan); !s)
+        return s;
+    } else if (key == "degrade") {
+      if (Status s = parse_window(clause, value, /*degrade=*/true, plan); !s)
+        return s;
+    } else if (key == "crash") {
+      if (Status s = parse_crash(clause, value, plan); !s) return s;
+    } else if (key == "seed") {
+      auto v = parse_int(value);
+      if (!v || *v < 0) return bad(clause, "bad seed");
+      plan.seed = static_cast<std::uint64_t>(*v);
+    } else if (key == "latency") {
+      auto t = parse_time(value);
+      if (!t) return bad(clause, "bad latency");
+      plan.error_latency = *t;
+    } else if (auto op = parse_op(key)) {
+      std::string_view prob = value;
+      Errc errc = Errc::unavailable;
+      if (auto slash = value.find('/'); slash != std::string_view::npos) {
+        prob = value.substr(0, slash);
+        auto e = parse_errc(value.substr(slash + 1));
+        if (!e) return bad(clause, "unknown error code");
+        errc = *e;
+      }
+      auto p = parse_probability(prob);
+      if (!p) return bad(clause, "probability must be in [0, 1] or N%");
+      plan.transient[static_cast<int>(*op)] = TransientRule{*p, errc};
+    } else {
+      return bad(clause, "unknown key");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  if (empty()) return "no faults";
+  std::ostringstream os;
+  const char* sep = "";
+  for (int i = 0; i < kFaultOpCount; ++i) {
+    const TransientRule& rule = transient[i];
+    if (rule.probability <= 0.0) continue;
+    os << sep << fault_op_name(static_cast<FaultOp>(i)) << "="
+       << rule.probability * 100.0 << "% (" << errc_name(rule.errc) << ")";
+    sep = "; ";
+  }
+  for (const OutageWindow& w : outages) {
+    os << sep << (w.hard() ? "outage" : "degrade") << " server " << w.server
+       << " [" << format_time(w.start) << ", " << format_time(w.end) << ")";
+    if (!w.hard()) os << " x" << w.slowdown;
+    sep = "; ";
+  }
+  for (const CrashSpec& c : crashes) {
+    os << sep << "crash rank " << c.rank << " at ";
+    if (c.during_flush) {
+      os << "flush";
+    } else {
+      os << format_time(c.at);
+    }
+    sep = "; ";
+  }
+  os << sep << "seed=" << seed;
+  return os.str();
+}
+
+}  // namespace e10::fault

@@ -1,0 +1,112 @@
+// Declarative fault scenarios over virtual time.
+//
+// The paper's durability argument (§III) only shows its value when things go
+// wrong: a PFS data server drops off during a flush, a write times out, a
+// compute node dies with dirty extents still in its NVM cache. A FaultPlan
+// describes such a scenario — per-operation transient error probabilities,
+// server outage/degradation windows, rank crash points — as data, parsed
+// from a `--faults=` spec string, and the FaultInjector executes it against
+// the simulator's virtual clock. Plans are deterministic: the same spec and
+// seed inject the same faults at the same virtual times.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace e10::fault {
+
+/// Operations a plan can target. The enum doubles as the index into the
+/// per-op rule table and as the RNG stream tag, so every op draws from its
+/// own derived stream and adding a rule never perturbs another op's draws.
+enum class FaultOp : int {
+  pfs_read = 0,
+  pfs_write,
+  pfs_metadata,
+  lfs_open,
+  lfs_read,
+  lfs_write,
+};
+inline constexpr int kFaultOpCount = 6;
+
+constexpr const char* fault_op_name(FaultOp op) {
+  switch (op) {
+    case FaultOp::pfs_read: return "pfs_read";
+    case FaultOp::pfs_write: return "pfs_write";
+    case FaultOp::pfs_metadata: return "pfs_metadata";
+    case FaultOp::lfs_open: return "lfs_open";
+    case FaultOp::lfs_read: return "lfs_read";
+    case FaultOp::lfs_write: return "lfs_write";
+  }
+  return "unknown";
+}
+
+/// Each operation of the targeted kind fails with `errc` with probability
+/// `probability`, independently per call.
+struct TransientRule {
+  double probability = 0.0;
+  Errc errc = Errc::unavailable;
+};
+
+/// One PFS data server misbehaving during [start, end): slowdown == 0 means
+/// a hard outage (requests rejected with `unavailable`); slowdown > 1 means
+/// degraded service (media time multiplied by the factor).
+struct OutageWindow {
+  int server = 0;
+  Time start = 0;
+  Time end = 0;
+  double slowdown = 0.0;
+
+  bool covers(Time t) const { return t >= start && t < end; }
+  bool hard() const { return slowdown == 0.0; }
+};
+
+/// Kill one rank's cache state at virtual time `at`, or (during_flush) when
+/// that rank next enters a cache flush. One-shot: each spec fires once.
+struct CrashSpec {
+  int rank = 0;
+  Time at = 0;
+  bool during_flush = false;
+};
+
+struct FaultPlan {
+  std::array<TransientRule, kFaultOpCount> transient{};
+  std::vector<OutageWindow> outages;
+  std::vector<CrashSpec> crashes;
+  /// Virtual time an injected transient failure costs the caller — a failed
+  /// request still travels to the device and back before it is rejected.
+  Time error_latency = units::milliseconds(1);
+  std::uint64_t seed = 1;
+
+  bool empty() const;
+  bool has_crashes() const { return !crashes.empty(); }
+
+  /// Parses a `--faults=` scenario spec: semicolon-separated clauses.
+  ///
+  ///   <op>=PROB[/errc]          transient rule; op is a fault_op_name,
+  ///                             PROB is "0.01" or "1%", errc defaults to
+  ///                             unavailable
+  ///   outage=SERVER@START-END   hard server outage over [START, END)
+  ///   degrade=SERVER@START-ENDxFACTOR
+  ///                             server slowdown by FACTOR over the window
+  ///   crash=RANK@TIME           rank crash at virtual TIME
+  ///   crash=RANK@flush          rank crash when it next enters a flush
+  ///   latency=TIME              per-injection error latency
+  ///   seed=N                    injector RNG seed
+  ///
+  /// Times take ns/us/ms/s suffixes ("2s", "150ms"); a bare number is ns.
+  /// Example: "pfs_write=1%;outage=1@2s-4s;crash=0@flush;seed=7".
+  static Result<FaultPlan> parse(std::string_view spec);
+
+  /// One-line human summary for logs and the run report, e.g.
+  /// "pfs_write=1% (unavailable); outage server 1 [2s, 4s); crash rank 0
+  /// at flush; seed=7".
+  std::string summary() const;
+};
+
+}  // namespace e10::fault

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace e10::lfs {
 
 LocalFs::LocalFs(sim::Engine& engine, std::size_t node,
@@ -12,14 +14,36 @@ LocalFs::LocalFs(sim::Engine& engine, std::size_t node,
       device_("ssd-node-" + std::to_string(node), params.device,
               Rng::derive(seed, "ssd-node-" + std::to_string(node))) {}
 
+LocalFs::~LocalFs() = default;
+
+void LocalFs::inject_open_failures(int n) {
+  if (own_fault_ == nullptr) {
+    own_fault_ = std::make_unique<fault::FaultInjector>(engine_);
+  }
+  own_fault_->force_failures(fault::FaultOp::lfs_open, n);
+}
+
+Status LocalFs::check_fault(fault::FaultOp op) {
+  if (own_fault_ != nullptr) {
+    if (Status s = own_fault_->check(op); !s) {
+      return Status::error(s.code(), s.message() + " (node " +
+                                         std::to_string(node_) + ")");
+    }
+  }
+  if (fault_ != nullptr) {
+    if (Status s = fault_->check(op); !s) {
+      return Status::error(s.code(), s.message() + " (node " +
+                                         std::to_string(node_) + ")");
+    }
+  }
+  return Status::ok();
+}
+
 Result<FileHandle> LocalFs::open(const std::string& path, bool create,
                                  bool truncate) {
   engine_.delay(params_.syscall_overhead);
-  if (open_failures_ > 0) {
-    --open_failures_;
-    return Status::error(Errc::io_error,
-                         "lfs: injected open failure on node " +
-                             std::to_string(node_));
+  if (has_faults()) {
+    if (Status s = check_fault(fault::FaultOp::lfs_open); !s) return s;
   }
   auto it = namespace_.find(path);
   if (it == namespace_.end()) {
@@ -97,6 +121,9 @@ Status LocalFs::write(FileHandle handle, Offset offset, const DataView& data) {
     return Status::error(Errc::invalid_argument, "lfs: negative offset");
   }
   if (data.empty()) return Status::ok();
+  if (has_faults()) {
+    if (Status s = check_fault(fault::FaultOp::lfs_write); !s) return s;
+  }
   Inode& inode = *it->second;
   if (const Status s = charge(inode, offset + data.size()); !s.is_ok()) {
     return s;
@@ -125,6 +152,9 @@ Result<DataView> LocalFs::read(FileHandle handle, Offset offset,
   const Offset clamped =
       std::max<Offset>(0, std::min(length, inode.size - offset));
   if (clamped == 0) return DataView();
+  if (has_faults()) {
+    if (Status s = check_fault(fault::FaultOp::lfs_read); !s) return s;
+  }
   ++stats_.reads;
   stats_.bytes_read += clamped;
   const Time done =

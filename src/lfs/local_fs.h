@@ -20,8 +20,13 @@
 #include "common/dataview.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "fault/fault_plan.h"
 #include "sim/engine.h"
 #include "storage/device.h"
+
+namespace e10::fault {
+class FaultInjector;
+}
 
 namespace e10::lfs {
 
@@ -51,6 +56,7 @@ class LocalFs {
  public:
   LocalFs(sim::Engine& engine, std::size_t node, const LfsParams& params,
           std::uint64_t seed);
+  ~LocalFs();  // out-of-line: own_fault_'s type is incomplete here
 
   Result<FileHandle> open(const std::string& path, bool create,
                           bool truncate = false);
@@ -72,10 +78,16 @@ class LocalFs {
   /// Test access to file content (no timing cost); nullptr if absent.
   const ByteStore* peek(const std::string& path) const;
 
+  /// Attaches the platform-wide fault injector (or detaches with nullptr)
+  /// driving scenario-planned lfs_open / lfs_read / lfs_write transients.
+  void set_fault_injector(fault::FaultInjector* fault) { fault_ = fault; }
+
   /// Failure injection: the next `n` open() calls fail with io_error —
   /// exercises the "revert to standard open" fallback of the cache layer
-  /// (paper §III-A).
-  void inject_open_failures(int n) { open_failures_ = n; }
+  /// (paper §III-A). Thin wrapper over a node-private FaultInjector so the
+  /// forced failures stay scoped to this node even when a shared scenario
+  /// injector is attached.
+  void inject_open_failures(int n);
 
  private:
   struct Inode {
@@ -88,6 +100,12 @@ class LocalFs {
   /// Grows the file's allocation charge; fails if the partition is full.
   Status charge(Inode& inode, Offset new_allocated);
 
+  /// Draws from the node-private injector (forced test failures) then the
+  /// shared scenario injector. The call sites guard on has_faults() so a
+  /// fault-free run pays two null checks per operation.
+  Status check_fault(fault::FaultOp op);
+  bool has_faults() const { return own_fault_ != nullptr || fault_ != nullptr; }
+
   sim::Engine& engine_;
   std::size_t node_;
   LfsParams params_;
@@ -96,7 +114,8 @@ class LocalFs {
   std::unordered_map<FileHandle, std::shared_ptr<Inode>> handles_;
   FileHandle next_handle_ = 1;
   Offset used_ = 0;
-  int open_failures_ = 0;
+  fault::FaultInjector* fault_ = nullptr;          // shared scenario injector
+  std::unique_ptr<fault::FaultInjector> own_fault_;  // node-private, lazy
   LfsStats stats_;
 };
 

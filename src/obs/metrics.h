@@ -128,6 +128,15 @@ inline constexpr const char* kAlltoallSendBytes = "coll.alltoall_send_bytes";
 inline constexpr const char* kLockWaits = "pfs.lock.waits";
 inline constexpr const char* kLockWaitNs = "pfs.lock.wait_ns";
 inline constexpr const char* kLockHandoffs = "pfs.lock.handoffs";
+inline constexpr const char* kFaultInjected = "fault.injected";
+inline constexpr const char* kFaultOutageRejections = "fault.outage_rejections";
+inline constexpr const char* kFaultCrashes = "fault.crashes";
+inline constexpr const char* kSyncRetries = "cache.sync.retries";
+inline constexpr const char* kSyncRequeues = "cache.sync.requeues";
+inline constexpr const char* kSyncAbandoned = "cache.sync.abandoned";
+inline constexpr const char* kCacheDegraded = "cache.degraded";
+inline constexpr const char* kCacheRecoveredExtents = "cache.recover.extents";
+inline constexpr const char* kCacheRecoveredBytes = "cache.recover.bytes";
 }  // namespace names
 
 }  // namespace e10::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "fault/fault_injector.h"
 
 namespace e10::pfs {
 
@@ -54,6 +55,38 @@ void Pfs::set_metrics(obs::MetricsRegistry* metrics) {
   lock_handoffs_ = &metrics->counter(obs::names::kLockHandoffs);
 }
 
+void Pfs::set_fault_injector(fault::FaultInjector* fault) {
+  fault_ = fault;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->set_fault_context(fault, static_cast<int>(i));
+  }
+}
+
+Status Pfs::check_data_faults(const OpenFile& file, const Inode& inode,
+                              const Extent& extent, bool write) {
+  if (Status s = fault_->check(write ? fault::FaultOp::pfs_write
+                                     : fault::FaultOp::pfs_read);
+      !s) {
+    return s;
+  }
+  const Time now = engine_.now();
+  for (const StripeChunk& chunk : inode.layout.chunks(extent)) {
+    if (!fault_->server_down(static_cast<int>(chunk.target), now)) continue;
+    // The request still travels to the dead server's node and the error
+    // comes back — one control-message round trip.
+    const Time request = fabric_.delivery_estimate(
+        file.client_node, server_node(chunk.target), kRpcMessageBytes, now);
+    const Time bounced = fabric_.delivery_estimate(
+        server_node(chunk.target), file.client_node, kRpcMessageBytes,
+        request);
+    engine_.advance_to(bounced);
+    return Status::error(Errc::unavailable,
+                         "pfs: data server " + std::to_string(chunk.target) +
+                             " unavailable");
+  }
+  return Status::ok();
+}
+
 void Pfs::export_device_metrics(obs::MetricsRegistry& registry) const {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     devices_[i]->snapshot_metrics(
@@ -79,6 +112,9 @@ Pfs::OpenFile* Pfs::lookup(FileHandle handle) {
 
 Result<FileHandle> Pfs::open(const std::string& path, std::size_t client_node,
                              const OpenOptions& options) {
+  if (fault_ != nullptr) {
+    if (Status s = fault_->check(fault::FaultOp::pfs_metadata); !s) return s;
+  }
   const Time done = metadata_roundtrip(client_node, engine_.now());
   engine_.advance_to(done);
 
@@ -126,6 +162,9 @@ Status Pfs::close(FileHandle handle) {
   if (file == nullptr) {
     return Status::error(Errc::invalid_argument, "pfs: bad handle");
   }
+  if (fault_ != nullptr) {
+    if (Status s = fault_->check(fault::FaultOp::pfs_metadata); !s) return s;
+  }
   const Time done = metadata_roundtrip(file->client_node, engine_.now());
   engine_.advance_to(done);
   // POSIX-style deferred removal: an unlinked-while-open inode loses its
@@ -159,10 +198,18 @@ Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
   }
   if (data.empty()) return Status::ok();
 
+  Inode& inode = *file->inode;
+  if (fault_ != nullptr) {
+    if (Status s = check_data_faults(*file, inode, Extent{offset, data.size()},
+                                     /*write=*/true);
+        !s) {
+      return s;
+    }
+  }
+
   ++stats_.writes;
   stats_.bytes_written += data.size();
 
-  Inode& inode = *file->inode;
   const Time now = engine_.now();
   Time completion = now;
   for (const StripeChunk& chunk :
@@ -250,6 +297,14 @@ Result<DataView> Pfs::read(FileHandle handle, Offset offset, Offset length) {
       0, std::min(length, inode.size - offset));
   if (clamped == 0) return DataView();
 
+  if (fault_ != nullptr) {
+    if (Status s = check_data_faults(*file, inode, Extent{offset, clamped},
+                                     /*write=*/false);
+        !s) {
+      return s;
+    }
+  }
+
   ++stats_.reads;
   stats_.bytes_read += clamped;
 
@@ -286,6 +341,9 @@ Result<FileInfo> Pfs::stat(FileHandle handle) {
   if (file == nullptr) {
     return Status::error(Errc::invalid_argument, "pfs: bad handle");
   }
+  if (fault_ != nullptr) {
+    if (Status s = fault_->check(fault::FaultOp::pfs_metadata); !s) return s;
+  }
   const Time done = metadata_roundtrip(file->client_node, engine_.now());
   engine_.advance_to(done);
   const Inode& inode = *file->inode;
@@ -297,6 +355,9 @@ Status Pfs::sync(FileHandle handle) {
   OpenFile* file = lookup(handle);
   if (file == nullptr) {
     return Status::error(Errc::invalid_argument, "pfs: bad handle");
+  }
+  if (fault_ != nullptr) {
+    if (Status s = fault_->check(fault::FaultOp::pfs_metadata); !s) return s;
   }
   const Time done = metadata_roundtrip(file->client_node, engine_.now());
   engine_.advance_to(done);

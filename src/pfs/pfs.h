@@ -32,6 +32,10 @@
 #include "sim/engine.h"
 #include "storage/device.h"
 
+namespace e10::fault {
+class FaultInjector;
+}
+
 namespace e10::pfs {
 
 struct PfsParams {
@@ -142,6 +146,12 @@ class Pfs {
   /// ("pfs.server.<i>.device.*"); idempotent, meant for report time.
   void export_device_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attaches the fault injector (or detaches with nullptr): per-op
+  /// transient failures, hard outage rejections at the chunk targets, and
+  /// degradation windows on the server devices. Unarmed costs one branch
+  /// per operation.
+  void set_fault_injector(fault::FaultInjector* fault);
+
   // ---- Test/diagnostic access (no timing cost) ---------------------------
 
   /// Content of a file for verification; nullptr if absent.
@@ -174,6 +184,11 @@ class Pfs {
   Time metadata_roundtrip(std::size_t client_node, Time now);
   Status write_impl(FileHandle handle, Offset offset, const DataView& data,
                     bool durable);
+  /// Fault hooks for one data operation: the per-op transient draw, then a
+  /// hard-outage scan over the chunk targets (a rejection costs one control
+  /// round trip to the dead server). ok when no injector is armed.
+  Status check_data_faults(const OpenFile& file, const Inode& inode,
+                           const Extent& extent, bool write);
   OpenFile* lookup(FileHandle handle);
   std::size_t server_node(std::size_t target) const {
     return server_nodes_[target % server_nodes_.size()];
@@ -202,6 +217,7 @@ class Pfs {
   obs::Counter* lock_waits_ = nullptr;
   obs::Counter* lock_wait_ns_ = nullptr;
   obs::Counter* lock_handoffs_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace e10::pfs

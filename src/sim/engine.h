@@ -101,6 +101,11 @@ class Engine {
   /// Identity of the running process.
   ProcessId current() const;
 
+  /// True when called from inside a simulated process (current() would
+  /// succeed). Lets hooks that may run from either context decide whether
+  /// they can charge virtual time.
+  bool in_process() const { return current_ != nullptr; }
+
   /// log::ContextHook — reports the active engine's virtual time and the
   /// running process's name; false outside any simulated process.
   static bool log_context(std::int64_t& now_ns, std::string& name);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fault/fault_injector.h"
+
 namespace e10::storage {
 
 DeviceParams pfs_target_params() {
@@ -80,6 +82,9 @@ Time Device::submit(Time now, IoKind kind, Offset offset, Offset size) {
     media_ns *= jitter_.lognormal(params_.jitter_sigma);
   }
   media_ns /= params_.speed_factor;
+  if (fault_ != nullptr) {
+    media_ns *= fault_->slowdown(fault_server_id_, now);
+  }
   if (kind == IoKind::write) {
     bytes_written_ += size;
   } else {

@@ -29,6 +29,10 @@
 #include "obs/metrics.h"
 #include "sim/resource.h"
 
+namespace e10::fault {
+class FaultInjector;
+}
+
 namespace e10::storage {
 
 enum class IoKind { read, write };
@@ -86,6 +90,14 @@ class Device {
   void snapshot_metrics(obs::MetricsRegistry& registry,
                         const std::string& prefix) const;
 
+  /// Attaches a fault injector whose degradation windows for `server_id`
+  /// scale this device's media time (outage windows are handled upstream
+  /// where the request can be rejected). Unarmed, the hook is one branch.
+  void set_fault_context(fault::FaultInjector* fault, int server_id) {
+    fault_ = fault;
+    fault_server_id_ = server_id;
+  }
+
  private:
   /// True (and cursor updated) if `offset` extends a tracked stream.
   bool extends_stream(Offset offset, Offset size);
@@ -98,6 +110,8 @@ class Device {
   Offset bytes_written_ = 0;
   Offset bytes_read_ = 0;
   std::uint64_t stream_misses_ = 0;
+  fault::FaultInjector* fault_ = nullptr;
+  int fault_server_id_ = -1;
 };
 
 }  // namespace e10::storage

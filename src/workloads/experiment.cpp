@@ -55,6 +55,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const WorkloadFactory& factory) {
   Platform platform(spec.testbed);
   platform.tracer.set_enabled(spec.trace);
+  if (!spec.faults.empty()) platform.faults.arm(spec.faults);
   const std::unique_ptr<Workload> workload = factory(spec.testbed);
 
   WorkflowParams workflow = spec.workflow;
@@ -82,6 +83,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   result.sync.staging_chunks = static_cast<std::uint64_t>(
       metrics.counter_value(names::kSyncChunks));
   result.sync.busy_time = metrics.counter_value(names::kSyncBusyNs);
+  result.sync.retries = static_cast<std::uint64_t>(
+      metrics.counter_value(names::kSyncRetries));
+  result.sync.requeues = static_cast<std::uint64_t>(
+      metrics.counter_value(names::kSyncRequeues));
+  result.sync.abandoned = static_cast<std::uint64_t>(
+      metrics.counter_value(names::kSyncAbandoned));
   result.sync.queue_depth_high_water = static_cast<std::uint64_t>(
       metrics.gauge_high_water(names::kSyncQueueDepth));
   result.flush_overlap_ratio =
@@ -108,6 +115,20 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   inputs.derived["total_bytes"] =
       static_cast<double>(result.workflow.total_bytes);
   inputs.derived["io_time_s"] = units::to_seconds(result.workflow.io_time);
+  if (!spec.faults.empty()) {
+    // Fault-scenario summary: the plan and what it actually did. The full
+    // per-op counters are already in the metrics snapshot (fault.*).
+    inputs.config.emplace_back("fault_plan", spec.faults.summary());
+    const fault::FaultInjector::Stats& fstats = platform.faults.stats();
+    inputs.derived["fault_injected"] = static_cast<double>(fstats.injected);
+    inputs.derived["fault_outage_rejections"] =
+        static_cast<double>(fstats.outage_rejections);
+    inputs.derived["fault_crashes"] = static_cast<double>(fstats.crashes);
+    inputs.derived["sync_retries"] =
+        static_cast<double>(result.sync.retries);
+    inputs.derived["sync_abandoned"] =
+        static_cast<double>(result.sync.abandoned);
+  }
   result.report = obs::run_report_json(inputs);
 
   if (spec.trace) result.trace_json = platform.tracer.to_json();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/sync_thread.h"
+#include "fault/fault_plan.h"
 #include "obs/json.h"
 #include "prof/profiler.h"
 #include "workloads/workflow.h"
@@ -32,6 +33,8 @@ struct ExperimentSpec {
   Offset cb_buffer_size = 4 * units::MiB;
   CacheCase cache_case = CacheCase::disabled;
   WorkflowParams workflow;       // hints field is filled by the harness
+  /// Fault scenario armed on the platform before the run (empty = none).
+  fault::FaultPlan faults;
   /// Record a Chrome trace of this run (ExperimentResult::trace_json).
   bool trace = false;
 };

@@ -52,6 +52,7 @@ Platform::Platform(const TestbedParams& params)
       profiler(engine,
                static_cast<int>(params.compute_nodes * params.ranks_per_node)),
       tracer(engine),
+      faults(engine),
       ctx(engine, pfs, lfs, locks),
       world(engine, fabric,
             mpi::Topology(params.compute_nodes, params.ranks_per_node),
@@ -60,7 +61,13 @@ Platform::Platform(const TestbedParams& params)
   ctx.profiler = &profiler;
   ctx.metrics = &metrics;
   ctx.tracer = &tracer;
+  ctx.fault = &faults;
   pfs.set_metrics(&metrics);
+  faults.set_observability(&metrics, &tracer);
+  pfs.set_fault_injector(&faults);
+  for (std::size_t node = 0; node < params.compute_nodes; ++node) {
+    lfs.at(node).set_fault_injector(&faults);
+  }
 }
 
 }  // namespace e10::workloads

@@ -15,6 +15,7 @@
 
 #include "adio/io_context.h"
 #include "cache/lock_table.h"
+#include "fault/fault_injector.h"
 #include "lfs/local_fs.h"
 #include "mpi/world.h"
 #include "net/fabric.h"
@@ -66,6 +67,9 @@ class Platform {
   /// Shared by every layer; tracer is disabled until set_enabled(true).
   obs::MetricsRegistry metrics;
   obs::Tracer tracer;
+  /// Shared fault injector, wired into pfs, every node's lfs and the ctx;
+  /// unarmed (one branch per hook) until faults.arm() installs a plan.
+  fault::FaultInjector faults;
   adio::IoContext ctx;
   mpi::World world;
 

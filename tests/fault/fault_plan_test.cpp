@@ -1,0 +1,102 @@
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace e10::fault {
+namespace {
+
+using namespace e10::units;
+
+TEST(FaultPlan, ParsesTransientsOutagesAndCrashes) {
+  const auto plan = FaultPlan::parse(
+      "pfs_write=0.02/timed_out; pfs_read=5%; lfs_write=0.5/io_error; "
+      "outage=1@1s-2s; degrade=0@500ms-1sx3.5; crash=7@4s; crash=3@flush; "
+      "latency=2ms; seed=99");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  const FaultPlan& p = plan.value();
+  EXPECT_FALSE(p.empty());
+  EXPECT_DOUBLE_EQ(
+      p.transient[static_cast<int>(FaultOp::pfs_write)].probability, 0.02);
+  EXPECT_EQ(p.transient[static_cast<int>(FaultOp::pfs_write)].errc,
+            Errc::timed_out);
+  // Bare probability defaults to unavailable; N% is scaled.
+  EXPECT_DOUBLE_EQ(
+      p.transient[static_cast<int>(FaultOp::pfs_read)].probability, 0.05);
+  EXPECT_EQ(p.transient[static_cast<int>(FaultOp::pfs_read)].errc,
+            Errc::unavailable);
+  EXPECT_EQ(p.transient[static_cast<int>(FaultOp::lfs_write)].errc,
+            Errc::io_error);
+
+  ASSERT_EQ(p.outages.size(), 2u);
+  EXPECT_EQ(p.outages[0].server, 1);
+  EXPECT_EQ(p.outages[0].start, seconds(1));
+  EXPECT_EQ(p.outages[0].end, seconds(2));
+  EXPECT_TRUE(p.outages[0].hard());
+  EXPECT_EQ(p.outages[1].server, 0);
+  EXPECT_EQ(p.outages[1].start, milliseconds(500));
+  EXPECT_FALSE(p.outages[1].hard());
+  EXPECT_DOUBLE_EQ(p.outages[1].slowdown, 3.5);
+
+  ASSERT_EQ(p.crashes.size(), 2u);
+  EXPECT_TRUE(p.has_crashes());
+  EXPECT_EQ(p.crashes[0].rank, 7);
+  EXPECT_EQ(p.crashes[0].at, seconds(4));
+  EXPECT_FALSE(p.crashes[0].during_flush);
+  EXPECT_EQ(p.crashes[1].rank, 3);
+  EXPECT_TRUE(p.crashes[1].during_flush);
+
+  EXPECT_EQ(p.error_latency, milliseconds(2));
+  EXPECT_EQ(p.seed, 99u);
+}
+
+TEST(FaultPlan, TimeSuffixes) {
+  EXPECT_EQ(FaultPlan::parse("latency=500ns").value().error_latency, 500);
+  EXPECT_EQ(FaultPlan::parse("latency=10us").value().error_latency,
+            microseconds(10));
+  EXPECT_EQ(FaultPlan::parse("latency=1.5ms").value().error_latency,
+            microseconds(1500));
+  EXPECT_EQ(FaultPlan::parse("latency=2s").value().error_latency, seconds(2));
+  // A bare number is nanoseconds.
+  EXPECT_EQ(FaultPlan::parse("latency=42").value().error_latency, 42);
+}
+
+TEST(FaultPlan, RejectsMalformedClauses) {
+  EXPECT_FALSE(FaultPlan::parse("bogus_op=0.5").is_ok());
+  EXPECT_FALSE(FaultPlan::parse("pfs_write=1.5").is_ok());       // p > 1
+  EXPECT_FALSE(FaultPlan::parse("pfs_write=0.1/nonsense").is_ok());
+  EXPECT_FALSE(FaultPlan::parse("outage=1@2s").is_ok());         // no END
+  EXPECT_FALSE(FaultPlan::parse("outage=1@2s-1s").is_ok());      // end<=start
+  EXPECT_FALSE(FaultPlan::parse("degrade=0@1s-2s").is_ok());     // no factor
+  EXPECT_FALSE(FaultPlan::parse("degrade=0@1s-2sx0.5").is_ok()); // <= 1
+  EXPECT_FALSE(FaultPlan::parse("crash=0").is_ok());
+  EXPECT_FALSE(FaultPlan::parse("crash=0@sometime").is_ok());
+  EXPECT_FALSE(FaultPlan::parse("justaword").is_ok());
+}
+
+TEST(FaultPlan, EmptySpecAndSummary) {
+  const auto plan = FaultPlan::parse("");
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_TRUE(plan.value().empty());
+  EXPECT_FALSE(plan.value().has_crashes());
+  EXPECT_EQ(plan.value().summary(), "no faults");
+
+  // A seed-only plan is still empty: nothing can fire.
+  EXPECT_TRUE(FaultPlan::parse("seed=5").value().empty());
+
+  const auto armed = FaultPlan::parse("pfs_write=1%; seed=3").value();
+  EXPECT_NE(armed.summary().find("pfs_write"), std::string::npos);
+  EXPECT_NE(armed.summary().find("seed=3"), std::string::npos);
+}
+
+TEST(FaultPlan, OutageWindowCovers) {
+  const OutageWindow w{0, seconds(1), seconds(2), 0.0};
+  EXPECT_FALSE(w.covers(seconds(1) - 1));
+  EXPECT_TRUE(w.covers(seconds(1)));          // start inclusive
+  EXPECT_TRUE(w.covers(seconds(2) - 1));
+  EXPECT_FALSE(w.covers(seconds(2)));         // end exclusive
+}
+
+}  // namespace
+}  // namespace e10::fault
