@@ -58,6 +58,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
           std::exit(2);
         }
       }
+    } else if (arg == "--check-concurrency") {
+      options.check_concurrency = true;
     } else if (arg.starts_with("--faults=")) {
       options.faults_spec = arg.substr(9);
       // Validate up front so a typo fails before any experiment runs.
@@ -148,6 +150,7 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       spec.workflow.num_files = options.files;
       spec.workflow.compute_delay = compute_delay_for(options);
       spec.workflow.include_last_phase = figure.include_last_phase;
+      spec.check_concurrency = options.check_concurrency;
       if (!options.combo_selected(workloads::combo_label(spec))) continue;
       // Trace exactly one run: the first cache-enabled combo (the case the
       // paper's pipeline is about); tracing every run would be huge.
@@ -169,6 +172,13 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       std::fprintf(stderr, "  done %s %s: %.2f GiB/s\n",
                    workloads::to_string(cache_case), result.combo.c_str(),
                    result.bandwidth_gib);
+      if (options.check_concurrency) {
+        std::fprintf(stderr,
+                     "  concurrency: %zu races, %zu lock-order cycles "
+                     "(%zu shared accesses checked)\n",
+                     result.analysis_races, result.analysis_cycles,
+                     result.analysis_shared_accesses);
+      }
       results.push_back(std::move(result));
     }
   }
@@ -182,6 +192,19 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
                           CacheCase::disabled, results);
     print_sync_table(figure.benchmark + " background sync, cache enabled",
                      results);
+  }
+  if (options.check_concurrency) {
+    std::size_t races = 0;
+    std::size_t cycles = 0;
+    for (const ExperimentResult& r : results) {
+      races += r.analysis_races;
+      cycles += r.analysis_cycles;
+    }
+    std::printf(
+        "\n### concurrency analysis: %zu races, %zu lock-order cycles "
+        "across %zu runs\n",
+        races, cycles, results.size());
+    std::fflush(stdout);
   }
   if (!options.report_path.empty()) {
     obs::Json report = obs::Json::array();

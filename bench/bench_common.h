@@ -18,6 +18,11 @@
 //   --faults=SPEC      arm a fault scenario on every run; SPEC is the
 //                      FaultPlan grammar, e.g.
 //                      "pfs_write=0.01/timed_out; outage=1@2s-4s; seed=7"
+//   --check-concurrency
+//                      attach the concurrency checker to every run (lockset
+//                      race detection + lock-order cycle analysis); findings
+//                      are printed per run and land in the report's
+//                      "analysis" section. See docs/static_analysis.md.
 #pragma once
 
 #include <cstdio>
@@ -39,6 +44,7 @@ struct BenchOptions {
   std::string trace_path;           // empty = no trace
   std::string report_path;          // empty = no report
   std::string faults_spec;          // empty = no fault scenario
+  bool check_concurrency = false;   // attach the concurrency checker
 
   static BenchOptions parse(int argc, char** argv);
   bool combo_selected(const std::string& label) const;

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "fault/fault_injector.h"
+#include "sim/concurrency.h"
 
 namespace e10::cache {
 namespace {
@@ -74,13 +75,20 @@ CacheFile::CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs,
       local_fs_(local_fs),
       params_(params),
       locks_(locks),
-      cache_handle_(cache_handle) {
+      cache_handle_(cache_handle),
+      extent_map_var_(engine, "cache.extent_map:" + params.cache_path) {
   sync_ = std::make_unique<SyncThread>(
       engine, local_fs, cache_handle, pfs, global_handle, params.global_path,
       params.staging_bytes, locks);
   sync_->set_observability(params.metrics, params.tracer, params.rank);
   sync_->set_retry_policy(params.retry);
   if (params.metrics != nullptr) {
+    // Instrument resolution mutates the shared registry from every rank's
+    // open path; claim the registry monitor for the checker.
+    const sim::MonitorGuard monitor(engine, params.metrics,
+                                    obs::names::kMetricsMonitor);
+    sim::shared_access(engine, params.metrics, obs::names::kMetricsRegistryVar,
+                       /*is_write=*/true, E10_SITE);
     writes_counter_ = &params.metrics->counter(obs::names::kCacheWrites);
     bytes_counter_ = &params.metrics->counter(obs::names::kCacheBytes);
     write_hist_ = &params.metrics->histogram(
@@ -117,6 +125,11 @@ void CacheFile::note_device_error(Errc code) {
              consecutive_device_errors_, " consecutive errors (rank ",
              params_.rank, "); writes fall back to the global file");
   if (params_.metrics != nullptr) {
+    const sim::MonitorGuard monitor(engine_, params_.metrics,
+                                    obs::names::kMetricsMonitor);
+    sim::shared_access(engine_, params_.metrics,
+                       obs::names::kMetricsRegistryVar,
+                       /*is_write=*/true, E10_SITE);
     params_.metrics->counter(obs::names::kCacheDegraded).increment();
   }
   if (params_.tracer != nullptr && params_.tracer->enabled()) {
@@ -197,6 +210,7 @@ Status CacheFile::write(const Extent& global, const DataView& data) {
   }
 
   // Update the layout map; this write shadows any older overlapping entry.
+  E10_SHARED_WRITE(extent_map_var_);
   apply_extent(extent_map_, global, cache_offset, seq);
 
   if (params_.flush == FlushPolicy::none) {
@@ -224,6 +238,7 @@ std::optional<DataView> CacheFile::try_read(const Extent& global) {
   if (closed_ || degraded_ || global.empty()) return std::nullopt;
   // Collect the cache locations covering [global.offset, global.end());
   // bail out on the first gap.
+  E10_SHARED_READ(extent_map_var_);
   std::vector<std::pair<Offset, Offset>> runs;  // (cache offset, length)
   Offset cursor = global.offset;
   auto it = extent_map_.lower_bound(cursor);
@@ -273,8 +288,9 @@ Status CacheFile::flush() {
   mpi::Request::wait_all(outstanding_);
   outstanding_.clear();
   // Abandoned extents completed their grequests (so the wait above cannot
-  // hang) but never became durable; surface each batch exactly once.
-  const std::uint64_t abandoned = sync_->stats().abandoned;
+  // hang) but never became durable; surface each batch exactly once. The
+  // worker may still be running, so go through the locked accessor.
+  const std::uint64_t abandoned = sync_->abandoned_count();
   if (abandoned > reported_abandoned_) {
     const std::uint64_t lost = abandoned - reported_abandoned_;
     reported_abandoned_ = abandoned;
@@ -335,6 +351,7 @@ void CacheFile::simulate_crash() {
     (void)local_fs_.close(journal_handle_);
     (void)local_fs_.close(commits_handle_);
   }
+  E10_SHARED_WRITE(extent_map_var_);
   extent_map_.clear();
   closed_ = true;
   crashed_ = true;

@@ -190,7 +190,10 @@ class CacheFile {
   Offset allocated_ = 0;
   // Layout map: global-file offset -> location in the cache file. Later
   // writes of the same extent shadow earlier ones (the map keeps the
-  // freshest copy, like the log-structured cache itself).
+  // freshest copy, like the log-structured cache itself). Registered with
+  // the concurrency checker: only the owning rank may touch it (the sync
+  // thread reads raw cache offsets from its requests, never the map).
+  sim::SharedVar extent_map_var_;
   ExtentMap extent_map_;
   std::vector<SyncRequest> deferred_;      // onclose policy, not yet sent
   std::vector<mpi::Request> outstanding_;  // dispatched, possibly incomplete

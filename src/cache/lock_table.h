@@ -4,6 +4,15 @@
 // paper's `e10_cache = coherent` mode (§III-B): a written extent stays
 // locked from the cache write until the sync thread has made it persistent
 // in the global file, so readers can never observe in-transit data.
+//
+// Concurrency discipline: the table itself is a monitor — every method is
+// an engine-atomic critical section (it only yields at the predicate
+// re-check points of lock()/wait_unlocked(), exactly like a condition-
+// variable wait inside a monitor). The methods claim a synthetic monitor
+// lock through the engine's ConcurrencyObserver, standing in for the
+// pthread mutex ROMIO wraps around its lock lists, and each held extent is
+// reported as a lock of kind `extent` so it shows up in locksets and
+// deadlock reports.
 #pragma once
 
 #include <deque>
@@ -12,13 +21,15 @@
 #include <vector>
 
 #include "common/extent.h"
+#include "sim/concurrency.h"
 #include "sim/engine.h"
 
 namespace e10::cache {
 
 class LockTable {
  public:
-  explicit LockTable(sim::Engine& engine) : engine_(engine) {}
+  explicit LockTable(sim::Engine& engine)
+      : engine_(engine), tables_var_(engine, "cache.lock_table.files") {}
   LockTable(const LockTable&) = delete;
   LockTable& operator=(const LockTable&) = delete;
 
@@ -37,6 +48,11 @@ class LockTable {
 
   std::size_t held_count(const std::string& path) const;
 
+  /// Deterministic identity of the (path, extent) lock, for checker
+  /// reports and tests.
+  static sim::LockId extent_lock_id(const std::string& path,
+                                    const Extent& extent);
+
  private:
   struct FileLocks {
     std::vector<Extent> held;
@@ -47,6 +63,9 @@ class LockTable {
   void wake_all(FileLocks& locks);
 
   sim::Engine& engine_;
+  /// Registered shared state: the per-file lock lists, accessed by every
+  /// rank and sync-thread process under the table monitor.
+  sim::SharedVar tables_var_;
   std::map<std::string, FileLocks> files_;
 };
 

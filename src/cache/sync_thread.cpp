@@ -20,7 +20,11 @@ SyncThread::SyncThread(sim::Engine& engine, lfs::LocalFs& local_fs,
       global_path_(std::move(global_path)),
       staging_bytes_(staging_bytes),
       locks_(locks),
-      inbox_(engine) {
+      inbox_(engine),
+      stats_mutex_(engine, "cache.sync.stats_mutex:" + global_path_),
+      stats_var_(engine, "cache.sync.stats:" + global_path_),
+      inbox_var_(engine, "cache.sync.inbox:" + global_path_),
+      inbox_monitor_name_("cache.sync.inbox.monitor:" + global_path_) {
   if (staging_bytes_ <= 0) {
     throw std::logic_error("SyncThread: staging buffer must be > 0");
   }
@@ -65,9 +69,13 @@ void SyncThread::start() {
 }
 
 void SyncThread::note_queue_depth(std::size_t depth) {
-  stats_.queue_depth_high_water =
-      std::max(stats_.queue_depth_high_water,
-               static_cast<std::uint64_t>(depth));
+  {
+    const sim::SimLock lock(stats_mutex_);
+    E10_SHARED_WRITE(stats_var_);
+    stats_.queue_depth_high_water =
+        std::max(stats_.queue_depth_high_water,
+                 static_cast<std::uint64_t>(depth));
+  }
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->counter("sync queue depth (rank " + std::to_string(rank_) + ")",
                      static_cast<std::int64_t>(depth));
@@ -76,34 +84,62 @@ void SyncThread::note_queue_depth(std::size_t depth) {
 
 void SyncThread::enqueue(SyncRequest request) {
   if (!handle_.valid()) throw std::logic_error("SyncThread not started");
-  inbox_.send(std::move(request));
-  note_queue_depth(inbox_.size());
+  std::size_t depth = 0;
+  {
+    const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
+    E10_SHARED_WRITE(inbox_var_);
+    inbox_.send(std::move(request));
+    depth = inbox_.size();
+  }
+  note_queue_depth(depth);
+}
+
+SyncStats SyncThread::stats_snapshot() {
+  const sim::SimLock lock(stats_mutex_);
+  E10_SHARED_READ(stats_var_);
+  return stats_;
+}
+
+std::uint64_t SyncThread::abandoned_count() {
+  const sim::SimLock lock(stats_mutex_);
+  E10_SHARED_READ(stats_var_);
+  return stats_.abandoned;
 }
 
 void SyncThread::fold_stats_and_join() {
-  SyncRequest sentinel;
-  sentinel.shutdown = true;
-  inbox_.send(std::move(sentinel));
+  {
+    const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
+    E10_SHARED_WRITE(inbox_var_);
+    SyncRequest sentinel;
+    sentinel.shutdown = true;
+    inbox_.send(std::move(sentinel));
+  }
   handle_.join();
   handle_ = sim::ProcessHandle();
   if (metrics_ != nullptr) {
+    const SyncStats totals = stats_snapshot();
     // Fold this thread's totals into the shared registry; gauges keep the
-    // max across threads via their high-water mark.
+    // max across threads via their high-water mark. The registry itself is
+    // engine-atomic shared state: claim its monitor for the checker.
+    const sim::MonitorGuard monitor(engine_, metrics_,
+                                    obs::names::kMetricsMonitor);
+    sim::shared_access(engine_, metrics_, obs::names::kMetricsRegistryVar,
+                       /*is_write=*/true, E10_SITE);
     namespace names = obs::names;
     metrics_->counter(names::kSyncRequests)
-        .add(static_cast<std::int64_t>(stats_.requests));
-    metrics_->counter(names::kSyncBytes).add(stats_.bytes_synced);
+        .add(static_cast<std::int64_t>(totals.requests));
+    metrics_->counter(names::kSyncBytes).add(totals.bytes_synced);
     metrics_->counter(names::kSyncChunks)
-        .add(static_cast<std::int64_t>(stats_.staging_chunks));
+        .add(static_cast<std::int64_t>(totals.staging_chunks));
     metrics_->counter(names::kSyncRetries)
-        .add(static_cast<std::int64_t>(stats_.retries));
+        .add(static_cast<std::int64_t>(totals.retries));
     metrics_->counter(names::kSyncRequeues)
-        .add(static_cast<std::int64_t>(stats_.requeues));
+        .add(static_cast<std::int64_t>(totals.requeues));
     metrics_->counter(names::kSyncAbandoned)
-        .add(static_cast<std::int64_t>(stats_.abandoned));
-    metrics_->counter(names::kSyncBusyNs).add(stats_.busy_time);
+        .add(static_cast<std::int64_t>(totals.abandoned));
+    metrics_->counter(names::kSyncBusyNs).add(totals.busy_time);
     metrics_->gauge(names::kSyncQueueDepth)
-        .set(static_cast<std::int64_t>(stats_.queue_depth_high_water));
+        .set(static_cast<std::int64_t>(totals.queue_depth_high_water));
   }
 }
 
@@ -152,6 +188,8 @@ Status SyncThread::sync_extent(const SyncRequest& request, Offset& done,
     }
     if (failure.is_ok()) {
       done += chunk;
+      const sim::SimLock lock(stats_mutex_);
+      E10_SHARED_WRITE(stats_var_);
       ++stats_.staging_chunks;
       continue;
     }
@@ -159,7 +197,11 @@ Status SyncThread::sync_extent(const SyncRequest& request, Offset& done,
       return failure;
     }
     ++attempts;
-    ++stats_.retries;
+    {
+      const sim::SimLock lock(stats_mutex_);
+      E10_SHARED_WRITE(stats_var_);
+      ++stats_.retries;
+    }
     const Time wait = backoff_delay(attempts);
     log::warn("sync", "extent @", request.global.offset, " attempt ",
               attempts, " failed (", failure.to_string(), "), backing off ",
@@ -176,7 +218,13 @@ void SyncThread::run() {
         "sync r" + std::to_string(rank_) + " " + global_path_, 1000 + rank_);
   }
   for (;;) {
-    SyncRequest request = inbox_.recv();
+    SyncRequest request = [this] {
+      // The monitor is claimed across the (possibly blocking) recv — the
+      // classic condition-wait-inside-monitor shape; see concurrency.h.
+      const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
+      E10_SHARED_WRITE(inbox_var_);
+      return inbox_.recv();
+    }();
     if (request.shutdown) break;
     note_queue_depth(inbox_.size());
 
@@ -190,7 +238,11 @@ void SyncThread::run() {
       continue;
     }
 
-    if (request.requeues == 0) ++stats_.requests;
+    if (request.requeues == 0) {
+      const sim::SimLock lock(stats_mutex_);
+      E10_SHARED_WRITE(stats_var_);
+      ++stats_.requests;
+    }
     const Time busy_start = engine_.now();
     obs::Span span(tracer_, track_, "sync_extent");
     span.arg("offset", request.global.offset);
@@ -200,8 +252,12 @@ void SyncThread::run() {
     int attempts = 0;
     const Status result = sync_extent(request, done, attempts);
     if (attempts > 0) span.arg("retries", attempts);
-    stats_.bytes_synced += done - request.synced;
-    stats_.busy_time += engine_.now() - busy_start;
+    {
+      const sim::SimLock lock(stats_mutex_);
+      E10_SHARED_WRITE(stats_var_);
+      stats_.bytes_synced += done - request.synced;
+      stats_.busy_time += engine_.now() - busy_start;
+    }
 
     if (!result.is_ok()) {
       const bool retryable = is_retryable(result.code());
@@ -210,21 +266,34 @@ void SyncThread::run() {
         // other requests (possibly targeting healthy servers) proceed.
         // Progress is kept — the requeued request resumes past the chunks
         // that are already durable.
-        ++stats_.requeues;
+        {
+          const sim::SimLock lock(stats_mutex_);
+          E10_SHARED_WRITE(stats_var_);
+          ++stats_.requeues;
+        }
         log::warn("sync", "extent @", request.global.offset,
                   " requeued after ", attempts + 1, " attempts (",
                   result.to_string(), ")");
         SyncRequest retry = std::move(request);
         retry.synced = done;
         ++retry.requeues;
-        inbox_.send(std::move(retry));
+        {
+          const sim::MonitorGuard monitor(engine_, &inbox_,
+                                          inbox_monitor_name_);
+          E10_SHARED_WRITE(inbox_var_);
+          inbox_.send(std::move(retry));
+        }
         note_queue_depth(inbox_.size());
         continue;
       }
       // Abandoned: the extent could not be made durable. Complete the
       // grequest anyway — a hung flush would deadlock the rank — and let
       // CacheFile::flush() surface the failure via the abandoned count.
-      ++stats_.abandoned;
+      {
+        const sim::SimLock lock(stats_mutex_);
+        E10_SHARED_WRITE(stats_var_);
+        ++stats_.abandoned;
+      }
       log::error("sync", "extent @", request.global.offset, " abandoned (",
                  result.to_string(), ")");
       span.arg("abandoned", result.to_string());

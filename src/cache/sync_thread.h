@@ -24,14 +24,17 @@
 #include "common/extent.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "common/units.h"
 #include "lfs/local_fs.h"
 #include "mpi/request.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pfs/pfs.h"
+#include "sim/concurrency.h"
 #include "sim/engine.h"
 #include "sim/mailbox.h"
+#include "sim/sync.h"
 
 namespace e10::cache {
 
@@ -132,7 +135,20 @@ class SyncThread {
   /// Queued extents stay un-synced — exactly what recover() replays.
   void cancel_drain_and_join();
 
-  const SyncStats& stats() const { return stats_; }
+  /// Point-in-time copy of the counters, safe to call from the owning rank
+  /// while the worker runs (takes the stats mutex).
+  SyncStats stats_snapshot();
+
+  /// Requests given up on since start; the flush path polls this while the
+  /// worker is live, so it locks and is checker-instrumented.
+  std::uint64_t abandoned_count();
+
+  /// Borrowed view of the counters. Only safe once the worker has joined
+  /// (shutdown_and_join / cancel_drain_and_join); live readers must use
+  /// stats_snapshot(). Excluded from the static analysis for that reason.
+  const SyncStats& stats() const E10_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
   bool started() const { return handle_.valid(); }
 
  private:
@@ -155,7 +171,18 @@ class SyncThread {
 
   sim::Mailbox<SyncRequest> inbox_;
   sim::ProcessHandle handle_;
-  SyncStats stats_;
+  /// The counters are written by the worker process and read by the owning
+  /// rank mid-run (queue depth from enqueue(), abandoned from flush()) —
+  /// in the paper's pthread implementation that is a data race, surfaced
+  /// by the lockset checker and fixed by guarding them with a mutex.
+  sim::SimMutex stats_mutex_;
+  SyncStats stats_ E10_GUARDED_BY(stats_mutex_);
+  /// Checker registrations: the stats block and the request queue. The
+  /// queue is accessed under a per-inbox monitor (Mailbox is engine-atomic
+  /// and safe by construction; the monitor states that discipline).
+  sim::SharedVar stats_var_;
+  sim::SharedVar inbox_var_;
+  std::string inbox_monitor_name_;
   RetryPolicy retry_;
   std::unique_ptr<Rng> backoff_rng_;  // created at start()
   bool cancelled_ = false;            // set by cancel_drain_and_join()

@@ -1,0 +1,54 @@
+// Clang thread-safety-analysis annotation macros (-Wthread-safety).
+//
+// The simulator's blocking primitives (sim::SimMutex and the extent-lock
+// LockTable) mirror the pthread locks the paper's ROMIO implementation
+// uses. Annotating guarded state with these macros lets clang statically
+// prove the locking discipline at compile time — the static half of the
+// concurrency story, complementing the runtime lockset checker in
+// src/analysis (docs/static_analysis.md).
+//
+// The macros expand to nothing on compilers without the attributes (gcc),
+// so they are free to use anywhere; CI builds with clang and
+// -Wthread-safety -Werror to enforce them.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define E10_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef E10_THREAD_ANNOTATION
+#define E10_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+/// Marks a class as a lockable capability (e.g. sim::SimMutex).
+#define E10_CAPABILITY(name) E10_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. sim::SimLock).
+#define E10_SCOPED_CAPABILITY E10_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a member is protected by the given capability.
+#define E10_GUARDED_BY(x) E10_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that a pointer's pointee is protected by the capability.
+#define E10_PT_GUARDED_BY(x) E10_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define E10_REQUIRES(...) \
+  E10_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define E10_ACQUIRE(...) \
+  E10_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define E10_RELEASE(...) \
+  E10_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard).
+#define E10_EXCLUDES(...) E10_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Opts a function out of the analysis (primitive implementations).
+#define E10_NO_THREAD_SAFETY_ANALYSIS \
+  E10_THREAD_ANNOTATION(no_thread_safety_analysis)

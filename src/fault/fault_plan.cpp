@@ -197,7 +197,7 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
       }
       auto p = parse_probability(prob);
       if (!p) return bad(clause, "probability must be in [0, 1] or N%");
-      plan.transient[static_cast<int>(*op)] = TransientRule{*p, errc};
+      plan.transient[static_cast<std::size_t>(*op)] = TransientRule{*p, errc};
     } else {
       return bad(clause, "unknown key");
     }
@@ -209,7 +209,7 @@ std::string FaultPlan::summary() const {
   if (empty()) return "no faults";
   std::ostringstream os;
   const char* sep = "";
-  for (int i = 0; i < kFaultOpCount; ++i) {
+  for (std::size_t i = 0; i < kFaultOpCount; ++i) {
     const TransientRule& rule = transient[i];
     if (rule.probability <= 0.0) continue;
     os << sep << fault_op_name(static_cast<FaultOp>(i)) << "="

@@ -13,7 +13,8 @@ constexpr Offset kEnvelopeBytes = 64;
 
 int log2_stages(int p) {
   if (p <= 1) return 0;
-  return std::bit_width(static_cast<unsigned>(p - 1));  // ceil(log2 p)
+  return static_cast<int>(
+      std::bit_width(static_cast<unsigned>(p - 1)));  // ceil(log2 p)
 }
 }  // namespace
 

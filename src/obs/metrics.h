@@ -137,6 +137,14 @@ inline constexpr const char* kSyncAbandoned = "cache.sync.abandoned";
 inline constexpr const char* kCacheDegraded = "cache.degraded";
 inline constexpr const char* kCacheRecoveredExtents = "cache.recover.extents";
 inline constexpr const char* kCacheRecoveredBytes = "cache.recover.bytes";
+/// Concurrency-checker registrations for the registry itself: every layer
+/// that creates/aggregates instruments from inside a simulated process
+/// claims this monitor (keyed by the registry's address) and reports the
+/// access under this shared-var name. Individual Counter/Gauge bumps
+/// through pre-resolved pointers are treated as atomic (relaxed) updates
+/// and are not tracked. See docs/static_analysis.md.
+inline constexpr const char* kMetricsMonitor = "obs.metrics.monitor";
+inline constexpr const char* kMetricsRegistryVar = "obs.metrics.registry";
 }  // namespace names
 
 }  // namespace e10::obs

@@ -48,6 +48,10 @@ Json run_report_json(const RunReportInputs& inputs) {
     derived.set(key, Json::number(value));
   }
   report.set("derived", std::move(derived));
+
+  if (!inputs.analysis.is_null()) {
+    report.set("analysis", inputs.analysis);
+  }
   return report;
 }
 

@@ -26,9 +26,13 @@ struct RunReportInputs {
   const MetricsRegistry* metrics = nullptr;
   /// Derived quantities (perceived_bandwidth_gib, flush_overlap_ratio, ...).
   std::map<std::string, double> derived;
+  /// Concurrency-checker section (analysis::ConcurrencyChecker::to_json());
+  /// omitted from the report while null (checker not enabled).
+  Json analysis;
 };
 
-/// {"config": {...}, "phases": {...}, "metrics": {...}, "derived": {...}}.
+/// {"config": {...}, "phases": {...}, "metrics": {...}, "derived": {...}}
+/// plus "analysis" when the concurrency checker ran.
 Json run_report_json(const RunReportInputs& inputs);
 
 /// Fraction of the background cache-sync work hidden behind compute:

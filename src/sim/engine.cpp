@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "common/units.h"
+#include "sim/concurrency.h"
 
 namespace e10::sim {
 
@@ -173,7 +175,14 @@ void Engine::run() {
     for (const auto& p : processes_) {
       if (p->state == Process::State::blocked) {
         os << " [" << p->name << " blocked on "
-           << (p->block_reason != nullptr ? p->block_reason : "?") << "]";
+           << (p->block_reason != nullptr ? p->block_reason : "?") << " at t="
+           << format_time(p->clock);
+        if (concurrency_observer_ != nullptr) {
+          const std::string locks =
+              concurrency_observer_->describe_process(p->id);
+          if (!locks.empty()) os << " " << locks;
+        }
+        os << "]";
       }
     }
     cancel_all();
@@ -228,6 +237,10 @@ void Engine::block(const char* why) {
   p.state = Process::State::blocked;
   p.block_reason = why;
   switch_to_engine();
+}
+
+bool Engine::is_blocked(ProcessId pid) const {
+  return proc(pid).state == Process::State::blocked;
 }
 
 void Engine::make_ready(ProcessId pid, Time not_before) {

@@ -30,11 +30,15 @@
 namespace e10::sim {
 
 class Engine;
+class ConcurrencyObserver;  // concurrency.h
 
 using ProcessId = std::uint64_t;
 inline constexpr ProcessId kNoProcess = ~ProcessId{0};
 
-/// Thrown out of Engine::run() when every live process is blocked.
+/// Thrown out of Engine::run() when every live process is blocked. The
+/// message lists, per blocked process: its name, the primitive it blocks
+/// on, its virtual clock, and (when a concurrency observer is attached)
+/// the locks it holds and waits for.
 class DeadlockError : public std::runtime_error {
  public:
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
@@ -124,6 +128,22 @@ class Engine {
   /// by resource models, with not_before in the future).
   void make_ready(ProcessId pid, Time not_before);
 
+  /// True while `pid` is parked in block(). Lets primitives skip stale
+  /// waiter entries left behind by processes torn down mid-wait (error
+  /// unwinding after a deadlock cancels every fiber; waking one would be
+  /// fatal).
+  bool is_blocked(ProcessId pid) const;
+
+  /// Attaches (or detaches, with nullptr) the concurrency checker. The
+  /// synchronization primitives and E10_SHARED_* instrumentation report
+  /// through this hook; with no observer attached each hook is one branch.
+  void set_concurrency_observer(ConcurrencyObserver* observer) {
+    concurrency_observer_ = observer;
+  }
+  ConcurrencyObserver* concurrency_observer() const {
+    return concurrency_observer_;
+  }
+
   /// Number of processes whose body has not yet returned.
   std::size_t live_processes() const { return live_; }
 
@@ -171,6 +191,7 @@ class Engine {
   ucontext_t engine_context_{};
   bool running_ = false;
   std::size_t live_ = 0;
+  ConcurrencyObserver* concurrency_observer_ = nullptr;
 };
 
 }  // namespace e10::sim

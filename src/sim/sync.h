@@ -1,39 +1,53 @@
 // Blocking primitives for simulated processes: mutex, condition variable,
 // semaphore, one-shot event, and cyclic barrier — all in virtual time.
+//
+// SimMutex carries Clang thread-safety annotations (E10_CAPABILITY et al.,
+// common/thread_safety.h) so state guarded by a simulated mutex can be
+// declared E10_GUARDED_BY and checked at compile time, and reports its
+// acquisitions to the engine's ConcurrencyObserver (sim/concurrency.h) so
+// the runtime lockset checker sees it too.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "common/units.h"
 #include "sim/engine.h"
 
 namespace e10::sim {
 
-/// Mutual exclusion between simulated processes; FIFO hand-off.
-class SimMutex {
+/// Mutual exclusion between simulated processes; FIFO hand-off. The
+/// optional name labels the mutex in race/deadlock reports.
+class E10_CAPABILITY("mutex") SimMutex {
  public:
-  explicit SimMutex(Engine& engine) : engine_(engine) {}
+  explicit SimMutex(Engine& engine, std::string name = "mutex")
+      : engine_(engine), name_(std::move(name)) {}
   SimMutex(const SimMutex&) = delete;
   SimMutex& operator=(const SimMutex&) = delete;
 
-  void lock();
-  void unlock();
+  void lock() E10_ACQUIRE();
+  void unlock() E10_RELEASE();
   bool locked() const { return locked_; }
+  const std::string& name() const { return name_; }
 
  private:
   friend class SimCondVar;
   Engine& engine_;
+  std::string name_;
   bool locked_ = false;
   std::deque<ProcessId> waiters_;
 };
 
 /// RAII lock for SimMutex.
-class SimLock {
+class E10_SCOPED_CAPABILITY SimLock {
  public:
-  explicit SimLock(SimMutex& mutex) : mutex_(mutex) { mutex_.lock(); }
-  ~SimLock() { mutex_.unlock(); }
+  explicit SimLock(SimMutex& mutex) E10_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~SimLock() E10_RELEASE() { mutex_.unlock(); }
   SimLock(const SimLock&) = delete;
   SimLock& operator=(const SimLock&) = delete;
 
@@ -49,7 +63,7 @@ class SimCondVar {
   SimCondVar(const SimCondVar&) = delete;
   SimCondVar& operator=(const SimCondVar&) = delete;
 
-  void wait(SimMutex& mutex);
+  void wait(SimMutex& mutex) E10_REQUIRES(mutex);
   void notify_one();
   void notify_all();
 

@@ -1,5 +1,8 @@
 #include "workloads/experiment.h"
 
+#include <memory>
+
+#include "analysis/checker.h"
 #include "obs/report.h"
 
 namespace e10::workloads {
@@ -54,6 +57,11 @@ mpi::Info experiment_hints(const ExperimentSpec& spec) {
 ExperimentResult run_experiment(const ExperimentSpec& spec,
                                 const WorkloadFactory& factory) {
   Platform platform(spec.testbed);
+  // Attach before anything runs so the checker sees every acquisition.
+  std::unique_ptr<analysis::ConcurrencyChecker> checker;
+  if (spec.check_concurrency) {
+    checker = std::make_unique<analysis::ConcurrencyChecker>(platform.engine);
+  }
   platform.tracer.set_enabled(spec.trace);
   if (!spec.faults.empty()) platform.faults.arm(spec.faults);
   const std::unique_ptr<Workload> workload = factory(spec.testbed);
@@ -128,6 +136,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
         static_cast<double>(result.sync.retries);
     inputs.derived["sync_abandoned"] =
         static_cast<double>(result.sync.abandoned);
+  }
+  if (checker != nullptr) {
+    const analysis::AnalysisSummary analysis = checker->summary();
+    result.analysis_races = analysis.races.size();
+    result.analysis_cycles = analysis.cycles.size();
+    result.analysis_shared_accesses = analysis.shared_accesses;
+    inputs.derived["analysis_races"] =
+        static_cast<double>(result.analysis_races);
+    inputs.derived["analysis_lock_order_cycles"] =
+        static_cast<double>(result.analysis_cycles);
+    inputs.analysis = checker->to_json();
   }
   result.report = obs::run_report_json(inputs);
 

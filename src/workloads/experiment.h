@@ -37,6 +37,11 @@ struct ExperimentSpec {
   fault::FaultPlan faults;
   /// Record a Chrome trace of this run (ExperimentResult::trace_json).
   bool trace = false;
+  /// Attach the concurrency checker (analysis::ConcurrencyChecker) for the
+  /// run: lockset race detection + lock-order cycle analysis, reported in
+  /// the run report's "analysis" section. Off by default — with the flag
+  /// off every instrumentation hook is a single null-pointer branch.
+  bool check_concurrency = false;
 };
 
 /// "<aggregators>_<cb size>" label, e.g. "64_4m", as the paper's x axes.
@@ -61,6 +66,11 @@ struct ExperimentResult {
   obs::Json report;
   /// Chrome trace JSON; empty unless ExperimentSpec::trace was set.
   std::string trace_json;
+  /// Concurrency-checker findings (ExperimentSpec::check_concurrency):
+  /// lockset races and lock-order cycles. Both 0 on a clean run.
+  std::size_t analysis_races = 0;
+  std::size_t analysis_cycles = 0;
+  std::size_t analysis_shared_accesses = 0;
 };
 
 using WorkloadFactory =

@@ -113,11 +113,11 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 3, 4),          // aggregators
                        ::testing::Values(128 * KiB, 1 * MiB),  // cb size
                        ::testing::Values("disable", "enable")),
-    [](const ::testing::TestParamInfo<PropertyParam>& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_aggs" +
-             std::to_string(std::get<1>(info.param)) + "_cb" +
-             std::to_string(std::get<2>(info.param) / KiB) + "k_" +
-             std::get<3>(info.param);
+    [](const ::testing::TestParamInfo<PropertyParam>& p) {
+      return "seed" + std::to_string(std::get<0>(p.param)) + "_aggs" +
+             std::to_string(std::get<1>(p.param)) + "_cb" +
+             std::to_string(std::get<2>(p.param) / KiB) + "k_" +
+             std::get<3>(p.param);
     });
 
 // Determinism property: identical configurations produce identical virtual
@@ -209,8 +209,8 @@ TEST_P(ViewRoundTrip, WriteAllThenReadAllMatches) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, ViewRoundTrip, ::testing::Values(0, 1, 2),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<int>& p) {
+                           switch (p.param) {
                              case 0: return "contiguous";
                              case 1: return "vector";
                              default: return "subarray2d";
