@@ -60,6 +60,17 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       }
     } else if (arg == "--check-concurrency") {
       options.check_concurrency = true;
+    } else if (arg.starts_with("--pipeline=")) {
+      const std::string value = arg.substr(11);
+      if (value == "on") {
+        options.pipeline = true;
+      } else if (value == "off") {
+        options.pipeline = false;
+      } else {
+        std::fprintf(stderr, "--pipeline: expected on or off, got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
     } else if (arg.starts_with("--faults=")) {
       options.faults_spec = arg.substr(9);
       // Validate up front so a typo fails before any experiment runs.
@@ -146,6 +157,7 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       spec.aggregators = aggregators;
       spec.cb_buffer_size = cb;
       spec.cache_case = cache_case;
+      spec.pipeline = options.pipeline;
       spec.workflow.base_path = "/pfs/" + figure.benchmark;
       spec.workflow.num_files = options.files;
       spec.workflow.compute_delay = compute_delay_for(options);

@@ -23,6 +23,10 @@
 //                      race detection + lock-order cycle analysis); findings
 //                      are printed per run and land in the report's
 //                      "analysis" section. See docs/static_analysis.md.
+//   --pipeline=on|off  double-buffer the collective write's round loop
+//                      (default on); off restores the classic synchronous
+//                      ext2ph round loop for ablations. See
+//                      docs/pipeline.md.
 #pragma once
 
 #include <cstdio>
@@ -45,6 +49,7 @@ struct BenchOptions {
   std::string report_path;          // empty = no report
   std::string faults_spec;          // empty = no fault scenario
   bool check_concurrency = false;   // attach the concurrency checker
+  bool pipeline = true;             // double-buffered round loop
 
   static BenchOptions parse(int argc, char** argv);
   bool combo_selected(const std::string& label) const;

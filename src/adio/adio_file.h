@@ -102,10 +102,27 @@ Status write_contig(AdioFile& fd, Offset offset, const DataView& data);
 /// call blocks while any overlapping extent is in transit.
 Result<DataView> read_contig(AdioFile& fd, Offset offset, Offset length);
 
-/// Aggregator-side helper: one contiguous write whose content is the
-/// concatenation of `pieces` (already file-ordered and gap-free).
-Status write_contig_run(AdioFile& fd, const Extent& run,
-                        const std::vector<mpi::IoPiece>& pieces);
+/// Handle for a nonblocking contiguous write (iwrite_contig). The status is
+/// fully determined at issue time in this model — the cache/PFS layers
+/// validate and reserve their resource timelines synchronously and return
+/// the completion time — so `request` only carries *when* the write
+/// finishes. Waiting on it advances the caller's clock to `done`; an
+/// invalid request means the write completed (or failed) synchronously.
+struct WriteHandle {
+  Status status = Status::ok();
+  mpi::Request request;
+  Time issued = 0;
+  Time done = 0;
+  Offset bytes = 0;
+};
+
+/// Nonblocking contiguous write at an absolute file offset: same routing as
+/// write_contig (cache first, PFS write-through fallback), but the caller's
+/// clock does not advance to the device completion — join through the
+/// returned handle before reusing the source buffer. The written content is
+/// applied at issue time (single-active-process invariant), so issue order
+/// defines content order exactly as for blocking writes.
+WriteHandle iwrite_contig(AdioFile& fd, Offset offset, const DataView& data);
 
 /// Collective write of this rank's flattened access list (extended
 /// two-phase). Empty lists are fine — the rank still participates in the

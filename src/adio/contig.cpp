@@ -27,27 +27,45 @@ Status write_contig(AdioFile& fd, Offset offset, const DataView& data) {
   return fd.ctx->pfs.write(fd.handle, offset, data);
 }
 
-Status write_contig_run(AdioFile& fd, const Extent& run,
-                        const std::vector<mpi::IoPiece>& pieces) {
-  if (pieces.empty()) return Status::ok();
-  Offset cursor = run.offset;
-  std::vector<DataView> parts;
-  parts.reserve(pieces.size());
-  Offset total = 0;
-  for (const mpi::IoPiece& piece : pieces) {
-    if (piece.file.offset != cursor) {
-      return Status::error(Errc::invalid_argument,
-                           "write_contig_run: pieces not contiguous");
+WriteHandle iwrite_contig(AdioFile& fd, Offset offset, const DataView& data) {
+  WriteHandle handle;
+  handle.issued = fd.ctx->engine.now();
+  handle.done = handle.issued;
+  handle.bytes = data.size();
+  if (offset < 0) {
+    handle.status =
+        Status::error(Errc::invalid_argument, "iwrite_contig: offset < 0");
+    return handle;
+  }
+  if (data.empty()) return handle;
+
+  std::optional<Time> done;
+  if (fd.cache != nullptr) {
+    const auto cached = fd.cache->iwrite(Extent{offset, data.size()}, data);
+    if (cached.is_ok()) {
+      done = cached.value();
+    } else {
+      // Cache cannot take the data: write through to the global file so no
+      // data is lost, same as the blocking path.
+      log::warn("adio", "cache write failed (", cached.status().to_string(),
+                "), writing through to the global file");
+      if (fd.ctx->metrics != nullptr) {
+        fd.ctx->metrics->counter(obs::names::kCacheFallbackWrites).increment();
+      }
     }
-    parts.push_back(piece.data);
-    cursor += piece.file.length;
-    total += piece.file.length;
   }
-  if (total != run.length || run.offset + run.length != cursor) {
-    return Status::error(Errc::invalid_argument,
-                         "write_contig_run: run/pieces mismatch");
+  if (!done) {
+    const auto direct = fd.ctx->pfs.write_async(fd.handle, offset, data);
+    if (!direct.is_ok()) {
+      handle.status = direct.status();
+      return handle;
+    }
+    done = direct.value();
   }
-  return write_contig(fd, run.offset, DataView::concat(parts));
+  handle.done = *done;
+  handle.request = mpi::Request::grequest(fd.ctx->engine);
+  handle.request.complete_at(handle.done);
+  return handle;
 }
 
 Result<DataView> read_contig(AdioFile& fd, Offset offset, Offset length) {

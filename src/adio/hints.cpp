@@ -174,6 +174,16 @@ Result<Hints> Hints::parse(const mpi::Info& info) {
                            "e10_cache_journal: bad value " + *v);
     }
   }
+  if (const auto v = info.get("e10_pipeline_flag")) {
+    if (*v == "enable") {
+      hints.e10_pipeline = true;
+    } else if (*v == "disable") {
+      hints.e10_pipeline = false;
+    } else {
+      return Status::error(Errc::invalid_argument,
+                           "e10_pipeline_flag: bad value " + *v);
+    }
+  }
   if (const auto v = info.get("ind_wr_buffer_size")) {
     auto b = parse_bytes("ind_wr_buffer_size", *v);
     if (!b.is_ok()) return b.status();
@@ -204,6 +214,7 @@ mpi::Info Hints::to_info() const {
   info.set("ind_wr_buffer_size", std::to_string(ind_wr_buffer_size));
   info.set("e10_cache_read", e10_cache_read ? "enable" : "disable");
   info.set("e10_cache_journal", e10_cache_journal ? "enable" : "disable");
+  info.set("e10_pipeline_flag", e10_pipeline ? "enable" : "disable");
   return info;
 }
 

@@ -60,6 +60,11 @@ struct Hints {
   /// default — the appends cost local-device time; fault scenarios with
   /// rank crashes enable it automatically.
   bool e10_cache_journal = false;
+  /// EXTENSION (e10_pipeline_flag): double-buffer the collective write's
+  /// round loop so round r's aggregator write stays in flight while round
+  /// r+1's dissemination and shuffle proceed (docs/pipeline.md). "disable"
+  /// restores the classic synchronous ext2ph round loop for ablations.
+  bool e10_pipeline = true;
 
   /// Parses an Info object. Unknown keys are ignored (MPI semantics);
   /// malformed values of known keys are reported.

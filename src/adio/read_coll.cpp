@@ -8,7 +8,7 @@
 #include <optional>
 
 #include "adio/adio_file.h"
-#include "adio/aggregation.h"
+#include "adio/pipeline.h"
 
 namespace e10::adio {
 
@@ -83,34 +83,19 @@ Result<std::vector<DataView>> read_strided_coll(
   if (fd.driver == Driver::beegfs && fd.stripe_unit > 0) {
     align = fd.stripe_unit;
   }
-  const std::vector<Extent> domains = partition_file_domains(
-      Extent{gmin, gmax - gmin}, fd.aggregators.size(), align);
-  const Offset cb = fd.hints.cb_buffer_size;
-  Offset ntimes = 0;
-  for (const Extent& d : domains) {
-    ntimes = std::max(ntimes, (d.length + cb - 1) / cb);
-  }
+  RoundPlanner planner(Extent{gmin, gmax - gmin}, fd.aggregators.size(),
+                       fd.hints.cb_buffer_size, align);
+  const Offset ntimes = planner.rounds();
 
-  // Which (aggregator, round) serves each part of my request list.
+  // Which (aggregator, round) serves each part of my request list. Sorted
+  // requests keep the planner's domain cursor monotonic.
   std::vector<std::map<std::size_t, std::vector<Extent>>> plan(
       static_cast<std::size_t>(ntimes));
-  std::size_t a = 0;
   for (const Extent& want : sorted) {
-    Offset cursor = want.offset;
-    while (cursor < want.end()) {
-      while (a + 1 < domains.size() &&
-             (domains[a].empty() || cursor >= domains[a].end())) {
-        ++a;
-      }
-      const Extent& dom = domains[a];
-      const Offset round = (cursor - dom.offset) / cb;
-      const Offset window_end =
-          std::min(dom.offset + (round + 1) * cb, dom.end());
-      const Offset take = std::min(want.end(), window_end) - cursor;
-      plan[static_cast<std::size_t>(round)][a].push_back(
-          Extent{cursor, take});
-      cursor += take;
-    }
+    planner.split(want, [&](Offset round, std::size_t agg_index,
+                            const Extent& sub) {
+      plan[static_cast<std::size_t>(round)][agg_index].push_back(sub);
+    });
   }
 
   Status my_status = Status::ok();

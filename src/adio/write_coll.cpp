@@ -2,23 +2,25 @@
 // ADIOI_Exch_and_write + ADIOI_W_Exchange_data), the paper's Fig. 2:
 //
 //   1. all ranks exchange access-pattern offsets        (MPI_Allgather)
-//   2. file domains are computed from the global region
+//   2. file domains are computed from the global region (RoundPlanner)
 //   3. per round: dissemination of send sizes           (MPI_Alltoall)
 //                 data shuffle to aggregators           (isend/irecv/waitall)
-//                 aggregators write the collective buffer (ADIO_WriteContig)
+//                 aggregators write the collective buffer (WritePipeline)
 //   4. error codes are exchanged                        (MPI_Allreduce)
 //
 // Steps 1, 3a and 4 are the global synchronisation points whose cost the
-// paper's breakdown figures measure.
+// paper's breakdown figures measure. The aggregator write in step 3 is
+// double-buffered (e10_pipeline_flag, docs/pipeline.md): round r's write
+// stays in flight while round r+1's dissemination and shuffle proceed, and
+// the aggregator joins it before reusing the collective buffer.
 #include <algorithm>
 #include <limits>
 #include <map>
 #include <optional>
-#include <cstdio>
-#include <cstdlib>
 
 #include "adio/adio_file.h"
-#include "adio/aggregation.h"
+#include "adio/pipeline.h"
+#include "common/log.h"
 
 namespace e10::adio {
 
@@ -42,29 +44,6 @@ std::vector<mpi::IoPiece> sorted_by_offset(std::vector<mpi::IoPiece> pieces) {
               return a.file.offset < b.file.offset;
             });
   return pieces;
-}
-
-/// Writes `pieces` (sorted by offset) as maximal contiguous runs, one
-/// ADIO_WriteContig per run — exactly what flushing the collective buffer
-/// does in ROMIO (holes split the write).
-Status write_runs(AdioFile& fd, const std::vector<mpi::IoPiece>& pieces) {
-  std::size_t i = 0;
-  while (i < pieces.size()) {
-    std::size_t j = i + 1;
-    Offset run_end = pieces[i].file.end();
-    while (j < pieces.size() && pieces[j].file.offset == run_end) {
-      run_end = pieces[j].file.end();
-      ++j;
-    }
-    const Extent run{pieces[i].file.offset, run_end - pieces[i].file.offset};
-    const std::vector<mpi::IoPiece> run_pieces(pieces.begin() + static_cast<std::ptrdiff_t>(i),
-                                               pieces.begin() + static_cast<std::ptrdiff_t>(j));
-    if (const Status s = write_contig_run(fd, run, run_pieces); !s.is_ok()) {
-      return s;
-    }
-    i = j;
-  }
-  return Status::ok();
 }
 
 }  // namespace
@@ -109,7 +88,7 @@ Status write_strided_coll(AdioFile& fd,
     return agree_status(comm, independent);
   }
 
-  // --- Step 2: global region and file domains -----------------------------
+  // --- Step 2: global region, file domains, round plan ---------------------
   Offset gmin = kNoOffset;
   Offset gmax = -1;
   for (const auto& [start, end] : all_offsets) {
@@ -123,9 +102,7 @@ Status write_strided_coll(AdioFile& fd,
     return agree_status(comm, Status::ok());
   }
 
-  std::vector<Extent> domains;
   Offset ntimes = 0;
-  const Offset cb = fd.hints.cb_buffer_size;
   std::vector<std::map<std::size_t, std::vector<mpi::IoPiece>>> plan;
   {
     PhaseScope scope(ctx, me, prof::Phase::calc);
@@ -136,48 +113,35 @@ Status write_strided_coll(AdioFile& fd,
     if (fd.driver == Driver::beegfs && fd.stripe_unit > 0) {
       align = fd.stripe_unit;
     }
-    domains = partition_file_domains(Extent{gmin, gmax - gmin},
-                                     fd.aggregators.size(), align);
-    for (const Extent& d : domains) {
-      ntimes = std::max(ntimes, (d.length + cb - 1) / cb);
-    }
+    RoundPlanner planner(Extent{gmin, gmax - gmin}, fd.aggregators.size(),
+                         fd.hints.cb_buffer_size, align);
+    ntimes = planner.rounds();
 
     // --- Step 3 (local part): which (aggregator, round) each of my pieces
-    // feeds. Domains are contiguous in file order.
+    // feeds. Pieces are sorted, so the planner's monotonic domain cursor
+    // never needs to rewind.
     plan.resize(static_cast<std::size_t>(ntimes));
-    std::size_t a = 0;
     for (const mpi::IoPiece& piece : mine) {
-      Offset cursor = piece.file.offset;
-      while (cursor < piece.file.end()) {
-        while (a + 1 < domains.size() &&
-               (domains[a].empty() || cursor >= domains[a].end())) {
-          ++a;
-        }
-        const Extent& dom = domains[a];
-        const Offset round = (cursor - dom.offset) / cb;
-        const Offset window_end =
-            std::min(dom.offset + (round + 1) * cb, dom.end());
-        const Offset take = std::min(piece.file.end(), window_end) - cursor;
-        mpi::IoPiece sub;
-        sub.file = Extent{cursor, take};
-        sub.data = piece.data.slice(cursor - piece.file.offset, take);
-        plan[static_cast<std::size_t>(round)][a].push_back(std::move(sub));
-        cursor += take;
-      }
-      // Pieces are sorted, but the next piece may start before the current
-      // domain index if domains are tiny; rewind is never needed because
-      // offsets are nondecreasing across sorted pieces.
+      planner.split(piece.file, [&](Offset round, std::size_t agg_index,
+                                    const Extent& sub) {
+        mpi::IoPiece part;
+        part.file = sub;
+        part.data = piece.data.slice(sub.offset - piece.file.offset,
+                                     sub.length);
+        plan[static_cast<std::size_t>(round)][agg_index].push_back(
+            std::move(part));
+      });
     }
   }
 
   // --- Step 3: rounds of dissemination + shuffle + write -------------------
   Status my_status = Status::ok();
-  const bool trace = std::getenv("E10_TRACE_ROUNDS") != nullptr && me == 0;
   obs::Histogram* a2a_hist = nullptr;
   if (ctx.metrics != nullptr) {
     a2a_hist = &ctx.metrics->histogram(obs::names::kAlltoallSendBytes,
                                        obs::exponential_bounds(4096, 14));
   }
+  WritePipeline pipeline(fd, fd.hints.e10_pipeline);
   for (Offset round = 0; round < ntimes; ++round) {
     const Time tr0 = ctx.engine.now();
     auto& round_plan = plan[static_cast<std::size_t>(round)];
@@ -187,6 +151,8 @@ Status write_strided_coll(AdioFile& fd,
       round_span =
           obs::Span(ctx.tracer, ctx.tracer->rank_track(me), "write_round");
       round_span.arg("round", static_cast<std::int64_t>(round));
+      round_span.arg("pipelined",
+                     static_cast<std::int64_t>(pipeline.enabled() ? 1 : 0));
     }
 
     std::vector<Offset> send_counts(static_cast<std::size_t>(p), 0);
@@ -205,6 +171,11 @@ Status write_strided_coll(AdioFile& fd,
       PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
       recv_counts = comm.alltoall(send_counts, sizeof(Offset));
     }
+
+    // The shuffle lands in a collective buffer; with the pipeline enabled
+    // the oldest in-flight round's write must be joined before its buffer
+    // is reused for this round's receives.
+    pipeline.acquire_buffer();
 
     std::vector<mpi::Request> requests;
     std::size_t nrecv = 0;
@@ -241,16 +212,18 @@ Status write_strided_coll(AdioFile& fd,
                         std::make_move_iterator(pieces.end()));
       }
       received = sorted_by_offset(std::move(received));
-      const Status written = write_runs(fd, received);
+      const Status written = pipeline.issue_round(round, received);
       if (my_status.is_ok()) my_status = written;
     }
-    if (trace && round < 12) {
-      std::fprintf(stderr, "round %lld: a2a+exch=%.1fms write=%.1fms\n",
-                   static_cast<long long>(round),
-                   units::to_milliseconds(tr1 - tr0),
-                   units::to_milliseconds(ctx.engine.now() - tr1));
-    }
+    log::debug("adio", "write_coll round ", round,
+               ": a2a+exch=", units::to_milliseconds(tr1 - tr0),
+               "ms write=", units::to_milliseconds(ctx.engine.now() - tr1),
+               "ms");
   }
+
+  // Join every in-flight write before agreeing on the outcome; the drain
+  // stalls (if any) are charged to the write phase by the pipeline.
+  pipeline.drain();
 
   // --- Step 4: error-code exchange -----------------------------------------
   {

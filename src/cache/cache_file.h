@@ -115,6 +115,16 @@ class CacheFile {
   /// is quarantined — the caller falls back to a direct global write.
   Status write(const Extent& global, const DataView& data);
 
+  /// Nonblocking variant of write(): identical validation, bookkeeping and
+  /// sync-request creation, but the local-device time is not charged to the
+  /// caller — the returned completion time says when the cache (and, with
+  /// journaling, the journal sidecar) has the data and the source buffer
+  /// may be reused. The sync thread's staging reads serialize after the
+  /// in-flight write on the device's FIFO timeline, so dispatching the sync
+  /// request at issue time is safe. Callers join via a generalized request
+  /// completed at the returned time (adio::iwrite_contig).
+  Result<Time> iwrite(const Extent& global, const DataView& data);
+
   /// Serves a read from the cache if (and only if) the extent is fully
   /// covered by data this cache holds; returns nullopt otherwise. Charges
   /// local-device read time. This implements the paper's §VI future work

@@ -113,6 +113,14 @@ Status LocalFs::fallocate(FileHandle handle, Offset length) {
 }
 
 Status LocalFs::write(FileHandle handle, Offset offset, const DataView& data) {
+  const auto done = write_async(handle, offset, data);
+  if (!done.is_ok()) return done.status();
+  engine_.advance_to(done.value());
+  return Status::ok();
+}
+
+Result<Time> LocalFs::write_async(FileHandle handle, Offset offset,
+                                  const DataView& data) {
   const auto it = handles_.find(handle);
   if (it == handles_.end()) {
     return Status::error(Errc::invalid_argument, "lfs: bad handle");
@@ -120,7 +128,7 @@ Status LocalFs::write(FileHandle handle, Offset offset, const DataView& data) {
   if (offset < 0) {
     return Status::error(Errc::invalid_argument, "lfs: negative offset");
   }
-  if (data.empty()) return Status::ok();
+  if (data.empty()) return engine_.now();
   if (has_faults()) {
     if (Status s = check_fault(fault::FaultOp::lfs_write); !s) return s;
   }
@@ -135,8 +143,7 @@ Status LocalFs::write(FileHandle handle, Offset offset, const DataView& data) {
                      storage::IoKind::write, offset, data.size());
   inode.data.write(offset, data);
   inode.size = std::max(inode.size, offset + data.size());
-  engine_.advance_to(done);
-  return Status::ok();
+  return done;
 }
 
 Result<DataView> LocalFs::read(FileHandle handle, Offset offset,

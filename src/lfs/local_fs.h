@@ -64,6 +64,13 @@ class LocalFs {
   /// Reserves space so subsequent writes cannot fail with no_space.
   Status fallocate(FileHandle handle, Offset length);
   Status write(FileHandle handle, Offset offset, const DataView& data);
+  /// Nonblocking write: validates, applies the content, reserves the device
+  /// timeline and returns the completion time *without* advancing the
+  /// caller's clock. The device timeline is FIFO, so an operation issued
+  /// later still serializes after this write on the media. write() is
+  /// write_async() + advance_to().
+  Result<Time> write_async(FileHandle handle, Offset offset,
+                           const DataView& data);
   Result<DataView> read(FileHandle handle, Offset offset, Offset length);
   Result<Offset> file_size(FileHandle handle) const;
   Status unlink(const std::string& path);

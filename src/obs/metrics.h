@@ -125,6 +125,15 @@ inline constexpr const char* kCacheReadHitBytes = "cache.read_hit_bytes";
 inline constexpr const char* kCacheReadMisses = "cache.read_misses";
 inline constexpr const char* kCacheWriteBytesHist = "cache.write_bytes";
 inline constexpr const char* kAlltoallSendBytes = "coll.alltoall_send_bytes";
+/// Write-pipeline occupancy (adio::WritePipeline): issued aggregator
+/// writes, join stalls, and the virtual-time split of the in-flight write
+/// service time into hidden (overlapped the next round's shuffle) and
+/// stalled (the joiner waited). overlap = hidden_ns / write_ns.
+inline constexpr const char* kPipelineWrites = "coll.pipeline.writes";
+inline constexpr const char* kPipelineStalls = "coll.pipeline.stalls";
+inline constexpr const char* kPipelineStallNs = "coll.pipeline.stall_ns";
+inline constexpr const char* kPipelineWriteNs = "coll.pipeline.write_ns";
+inline constexpr const char* kPipelineHiddenNs = "coll.pipeline.hidden_ns";
 inline constexpr const char* kLockWaits = "pfs.lock.waits";
 inline constexpr const char* kLockWaitNs = "pfs.lock.wait_ns";
 inline constexpr const char* kLockHandoffs = "pfs.lock.handoffs";

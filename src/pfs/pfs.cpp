@@ -184,8 +184,21 @@ Status Pfs::write_durable(FileHandle handle, Offset offset,
   return write_impl(handle, offset, data, /*durable=*/true);
 }
 
+Result<Time> Pfs::write_async(FileHandle handle, Offset offset,
+                              const DataView& data) {
+  return write_async_impl(handle, offset, data, /*durable=*/false);
+}
+
 Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
                        bool durable) {
+  const auto completion = write_async_impl(handle, offset, data, durable);
+  if (!completion.is_ok()) return completion.status();
+  engine_.advance_to(completion.value());
+  return Status::ok();
+}
+
+Result<Time> Pfs::write_async_impl(FileHandle handle, Offset offset,
+                                   const DataView& data, bool durable) {
   OpenFile* file = lookup(handle);
   if (file == nullptr) {
     return Status::error(Errc::invalid_argument, "pfs: bad handle");
@@ -196,7 +209,7 @@ Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
   if (offset < 0) {
     return Status::error(Errc::invalid_argument, "pfs: negative offset");
   }
-  if (data.empty()) return Status::ok();
+  if (data.empty()) return engine_.now();
 
   Inode& inode = *file->inode;
   if (fault_ != nullptr) {
@@ -277,8 +290,7 @@ Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
 
   inode.data.write(offset, data);
   inode.size = std::max(inode.size, offset + data.size());
-  engine_.advance_to(completion);
-  return Status::ok();
+  return completion;
 }
 
 Result<DataView> Pfs::read(FileHandle handle, Offset offset, Offset length) {

@@ -125,6 +125,14 @@ class Pfs {
   /// cache sync thread uses this — completing a sync grequest *promises*
   /// the extent is persistent in the global file (paper §III-A).
   Status write_durable(FileHandle handle, Offset offset, const DataView& data);
+  /// Nonblocking ordinary write: validates, applies the content, reserves
+  /// the fabric/server/device timelines and returns the acknowledgement
+  /// time *without* advancing the caller's clock. Stripe-lock and device
+  /// reservations are made at issue time, so later operations serialize
+  /// after this write exactly as if it had blocked. write() is
+  /// write_async() + advance_to().
+  Result<Time> write_async(FileHandle handle, Offset offset,
+                           const DataView& data);
   Result<DataView> read(FileHandle handle, Offset offset, Offset length);
   Result<FileInfo> stat(FileHandle handle);
   /// Flush is a metadata round-trip in this model (servers are synchronous).
@@ -184,6 +192,8 @@ class Pfs {
   Time metadata_roundtrip(std::size_t client_node, Time now);
   Status write_impl(FileHandle handle, Offset offset, const DataView& data,
                     bool durable);
+  Result<Time> write_async_impl(FileHandle handle, Offset offset,
+                                const DataView& data, bool durable);
   /// Fault hooks for one data operation: the per-op transient draw, then a
   /// hard-outage scan over the chunk targets (a rejection costs one control
   /// round trip to the dead server). ok when no injector is armed.

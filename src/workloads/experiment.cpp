@@ -1,11 +1,55 @@
 #include "workloads/experiment.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 
 #include "analysis/checker.h"
 #include "obs/report.h"
 
 namespace e10::workloads {
+
+namespace {
+
+/// Sampled FNV-1a fingerprint of the run's output files in the global
+/// namespace. Synthetic data at GiB scale makes a full byte walk too slow,
+/// so up to 64 Ki evenly-strided positions per file are hashed, plus each
+/// file's extent end — enough to catch misplaced, reordered or lost round
+/// writes when comparing pipelined against synchronous runs.
+std::string content_fingerprint(const pfs::Pfs& pfs,
+                                const WorkflowParams& workflow) {
+  constexpr std::uint64_t kOffsetBasis = 1469598103934665603ULL;
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t hash = kOffsetBasis;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xff;
+      hash *= kPrime;
+    }
+  };
+  for (int k = 0; k < workflow.num_files; ++k) {
+    const std::string path = workflow.base_path + "_" + std::to_string(k);
+    const ByteStore* store = pfs.peek(path);
+    if (store == nullptr) {
+      mix(0);
+      continue;
+    }
+    const Offset end = store->extent_end();
+    mix(static_cast<std::uint64_t>(end));
+    if (end <= 0) continue;
+    const Offset stride = std::max<Offset>(1, end / 65536);
+    for (Offset pos = 0; pos < end; pos += stride) {
+      mix(static_cast<std::uint64_t>(store->byte_at(pos)));
+    }
+    mix(static_cast<std::uint64_t>(store->byte_at(end - 1)));
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace
 
 const char* to_string(CacheCase c) {
   switch (c) {
@@ -34,6 +78,7 @@ mpi::Info experiment_hints(const ExperimentSpec& spec) {
   info.set("striping_factor",
            std::to_string(spec.testbed.pfs.default_stripe_count));
   info.set("ind_wr_buffer_size", std::to_string(512 * units::KiB));
+  info.set("e10_pipeline_flag", spec.pipeline ? "enable" : "disable");
   switch (spec.cache_case) {
     case CacheCase::disabled:
       info.set("e10_cache", "disable");
@@ -106,6 +151,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   obs::RunReportInputs inputs;
   inputs.config.emplace_back("combo", result.combo);
   inputs.config.emplace_back("cache_case", to_string(spec.cache_case));
+  inputs.config.emplace_back("pipeline", spec.pipeline ? "on" : "off");
+  // Output-content fingerprint: pipelined and synchronous runs of the same
+  // spec must agree on it (CI asserts this).
+  inputs.config.emplace_back("content_checksum",
+                             content_fingerprint(platform.pfs, workflow));
   inputs.config.emplace_back("ranks", std::to_string(platform.ranks()));
   inputs.config.emplace_back(
       "num_files", std::to_string(spec.workflow.num_files));
@@ -123,6 +173,18 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   inputs.derived["total_bytes"] =
       static_cast<double>(result.workflow.total_bytes);
   inputs.derived["io_time_s"] = units::to_seconds(result.workflow.io_time);
+  {
+    // Write-pipeline occupancy: how much of the aggregator write service
+    // time the round loop hid behind the next round's shuffle.
+    const double write_ns = static_cast<double>(
+        metrics.counter_value(names::kPipelineWriteNs));
+    const double hidden_ns = static_cast<double>(
+        metrics.counter_value(names::kPipelineHiddenNs));
+    inputs.derived["write_round.overlap_ratio"] =
+        write_ns > 0 ? hidden_ns / write_ns : 0.0;
+    inputs.derived["write_round.stalls"] = static_cast<double>(
+        metrics.counter_value(names::kPipelineStalls));
+  }
   if (!spec.faults.empty()) {
     // Fault-scenario summary: the plan and what it actually did. The full
     // per-op counters are already in the metrics snapshot (fault.*).

@@ -33,6 +33,10 @@ struct ExperimentSpec {
   Offset cb_buffer_size = 4 * units::MiB;
   CacheCase cache_case = CacheCase::disabled;
   WorkflowParams workflow;       // hints field is filled by the harness
+  /// Double-buffer the collective write's round loop (e10_pipeline_flag,
+  /// docs/pipeline.md); false restores the classic synchronous ext2ph
+  /// round loop for ablations.
+  bool pipeline = true;
   /// Fault scenario armed on the platform before the run (empty = none).
   fault::FaultPlan faults;
   /// Record a Chrome trace of this run (ExperimentResult::trace_json).

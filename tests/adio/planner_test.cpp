@@ -1,0 +1,157 @@
+// RoundPlanner unit tests: domain/round maths shared by the collective
+// write and read paths, including the degenerate shapes (empty region,
+// zero-length extents, single aggregator, hole-heavy patterns) and
+// equivalence with the planning loop it replaced.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "adio/aggregation.h"
+#include "adio/pipeline.h"
+#include "common/units.h"
+
+namespace e10::adio {
+namespace {
+
+using namespace e10::units;
+
+using Window = std::tuple<Offset, std::size_t, Offset, Offset>;
+
+std::vector<Window> collect(RoundPlanner& planner,
+                            const std::vector<Extent>& extents) {
+  std::vector<Window> out;
+  for (const Extent& e : extents) {
+    planner.split(e, [&](Offset round, std::size_t agg, const Extent& sub) {
+      out.emplace_back(round, agg, sub.offset, sub.length);
+    });
+  }
+  return out;
+}
+
+TEST(RoundPlanner, EmptyRegionHasNoRoundsAndNoDomains) {
+  RoundPlanner planner(Extent{0, 0}, 4, 1 * MiB, std::nullopt);
+  EXPECT_EQ(planner.rounds(), 0);
+  EXPECT_TRUE(planner.domains().empty());
+}
+
+TEST(RoundPlanner, ZeroLengthExtentEmitsNothing) {
+  RoundPlanner planner(Extent{0, 4 * MiB}, 2, 1 * MiB, std::nullopt);
+  const auto windows = collect(planner, {Extent{64, 0}, Extent{2 * MiB, 0}});
+  EXPECT_TRUE(windows.empty());
+}
+
+TEST(RoundPlanner, SingleAggregatorOwnsEveryRound) {
+  // One domain covering the region: rounds = ceil(len / cb).
+  RoundPlanner planner(Extent{0, 10 * MiB}, 1, 4 * MiB, std::nullopt);
+  ASSERT_EQ(planner.domains().size(), 1u);
+  EXPECT_EQ(planner.rounds(), 3);
+  const auto windows = collect(planner, {Extent{0, 10 * MiB}});
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], Window(0, 0, 0, 4 * MiB));
+  EXPECT_EQ(windows[1], Window(1, 0, 4 * MiB, 4 * MiB));
+  EXPECT_EQ(windows[2], Window(2, 0, 8 * MiB, 2 * MiB));
+}
+
+TEST(RoundPlanner, SingleRoundWhenBufferCoversTheDomain) {
+  // cb >= domain size: the pipeline degenerates to one round.
+  RoundPlanner planner(Extent{0, 8 * MiB}, 4, 16 * MiB, std::nullopt);
+  EXPECT_EQ(planner.rounds(), 1);
+}
+
+TEST(RoundPlanner, WindowsPartitionTheInputExactly) {
+  RoundPlanner planner(Extent{3, 1000000}, 3, 65536, std::nullopt);
+  const auto windows = collect(planner, {Extent{3, 1000000}});
+  Offset cursor = 3;
+  Offset total = 0;
+  for (const auto& [round, agg, off, len] : windows) {
+    EXPECT_EQ(off, cursor);  // contiguous, in file order
+    EXPECT_GT(len, 0);
+    ASSERT_LT(agg, planner.domains().size());
+    const Extent& dom = planner.domains()[agg];
+    EXPECT_GE(off, dom.offset);
+    EXPECT_LE(off + len, dom.end());
+    EXPECT_EQ(round, (off - dom.offset) / 65536);
+    cursor += len;
+    total += len;
+  }
+  EXPECT_EQ(total, 1000000);
+}
+
+TEST(RoundPlanner, HoleHeavyPatternKeepsRoundAndDomainMaths) {
+  // Sparse extents with large holes; cursor must skip domains cleanly.
+  RoundPlanner planner(Extent{0, 64 * MiB}, 4, 4 * MiB, std::nullopt);
+  ASSERT_EQ(planner.domains().size(), 4u);
+  std::vector<Extent> sparse;
+  for (Offset off = 0; off < 64 * MiB; off += 8 * MiB) {
+    sparse.push_back(Extent{off, 4 * KiB});  // 4 KiB every 8 MiB
+  }
+  const auto windows = collect(planner, sparse);
+  ASSERT_EQ(windows.size(), sparse.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto& [round, agg, off, len] = windows[i];
+    EXPECT_EQ(off, sparse[i].offset);
+    EXPECT_EQ(len, sparse[i].length);
+    const Extent& dom = planner.domains()[agg];
+    EXPECT_TRUE(dom.contains(off));
+  }
+}
+
+TEST(RoundPlanner, RewindAllowsASecondSortedPass) {
+  RoundPlanner planner(Extent{0, 8 * MiB}, 2, 1 * MiB, std::nullopt);
+  const auto first = collect(planner, {Extent{5 * MiB, 1 * MiB}});
+  planner.rewind();
+  const auto second = collect(planner, {Extent{1 * MiB, 1 * MiB}});
+  EXPECT_FALSE(first.empty());
+  EXPECT_FALSE(second.empty());
+  EXPECT_EQ(std::get<2>(second.front()), 1 * MiB);
+}
+
+TEST(RoundPlanner, MatchesTheLegacyPlanningLoop) {
+  // The planner replaced an inline loop in write_coll/read_coll; replicate
+  // that loop here and require identical (round, aggregator, window) splits.
+  const Extent region{4097, 33 * MiB + 131};
+  const std::size_t aggregators = 5;
+  const Offset cb = 3 * MiB;
+  const std::optional<Offset> align = 4 * MiB;  // beegfs stripe alignment
+
+  std::vector<Extent> extents;
+  for (Offset off = region.offset; off < region.end(); off += 2 * MiB + 7) {
+    extents.push_back(
+        Extent{off, std::min<Offset>(1 * MiB + 13, region.end() - off)});
+  }
+
+  RoundPlanner planner(region, aggregators, cb, align);
+  const auto windows = collect(planner, extents);
+
+  const std::vector<Extent> domains =
+      partition_file_domains(region, aggregators, align);
+  EXPECT_EQ(domains, planner.domains());
+  std::vector<Window> legacy;
+  std::size_t a = 0;
+  for (const Extent& e : extents) {
+    Offset cursor = e.offset;
+    while (cursor < e.end()) {
+      while (a + 1 < domains.size() &&
+             (domains[a].empty() || cursor >= domains[a].end())) {
+        ++a;
+      }
+      const Extent& dom = domains[a];
+      const Offset round = (cursor - dom.offset) / cb;
+      const Offset window_end =
+          std::min(dom.offset + (round + 1) * cb, dom.end());
+      const Offset take = std::min(e.end(), window_end) - cursor;
+      legacy.emplace_back(round, a, cursor, take);
+      cursor += take;
+    }
+  }
+  EXPECT_EQ(windows, legacy);
+
+  Offset max_round = -1;
+  for (const auto& w : windows) max_round = std::max(max_round, std::get<0>(w));
+  EXPECT_LT(max_round, planner.rounds());
+}
+
+}  // namespace
+}  // namespace e10::adio
