@@ -71,6 +71,23 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
                      value.c_str());
         std::exit(2);
       }
+    } else if (arg.starts_with("--sync-streams=")) {
+      options.sync_streams = std::stoi(arg.substr(15));
+      if (options.sync_streams < 1) {
+        std::fprintf(stderr, "--sync-streams: expected a positive count\n");
+        std::exit(2);
+      }
+    } else if (arg.starts_with("--coalesce=")) {
+      const std::string value = arg.substr(11);
+      if (value == "on") {
+        options.coalesce = true;
+      } else if (value == "off") {
+        options.coalesce = false;
+      } else {
+        std::fprintf(stderr, "--coalesce: expected on or off, got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
     } else if (arg.starts_with("--faults=")) {
       options.faults_spec = arg.substr(9);
       // Validate up front so a typo fails before any experiment runs.
@@ -158,6 +175,8 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       spec.cb_buffer_size = cb;
       spec.cache_case = cache_case;
       spec.pipeline = options.pipeline;
+      spec.sync_streams = options.sync_streams;
+      spec.flush_coalesce = options.coalesce;
       spec.workflow.base_path = "/pfs/" + figure.benchmark;
       spec.workflow.num_files = options.files;
       spec.workflow.compute_delay = compute_delay_for(options);
@@ -285,18 +304,21 @@ void print_breakdown_table(const std::string& title, CacheCase cache_case,
 void print_sync_table(const std::string& title,
                       const std::vector<ExperimentResult>& results) {
   std::printf("\n### %s\n", title.c_str());
-  std::printf("%-10s %10s %12s %10s %10s %10s %10s\n", "combo", "requests",
-              "synced_gib", "chunks", "queue_hwm", "busy_s", "overlap");
+  std::printf("%-10s %10s %12s %10s %10s %10s %10s %10s %10s %10s\n", "combo",
+              "requests", "synced_gib", "chunks", "queue_hwm", "busy_s",
+              "overlap", "coalesce", "drain_gib", "stream_ovl");
   for (const ExperimentResult& r : results) {
     if (r.cache_case != CacheCase::enabled) continue;
-    std::printf("%-10s %10llu %12.2f %10llu %10llu %10.3f %10.3f\n",
-                r.combo.c_str(),
-                static_cast<unsigned long long>(r.sync.requests),
-                static_cast<double>(r.sync.bytes_synced) /
-                    static_cast<double>(GiB),
-                static_cast<unsigned long long>(r.sync.staging_chunks),
-                static_cast<unsigned long long>(r.sync.queue_depth_high_water),
-                units::to_seconds(r.sync.busy_time), r.flush_overlap_ratio);
+    std::printf(
+        "%-10s %10llu %12.2f %10llu %10llu %10.3f %10.3f %10.2f %10.2f "
+        "%10.3f\n",
+        r.combo.c_str(), static_cast<unsigned long long>(r.sync.requests),
+        static_cast<double>(r.sync.bytes_synced) / static_cast<double>(GiB),
+        static_cast<unsigned long long>(r.sync.staging_chunks),
+        static_cast<unsigned long long>(r.sync.queue_depth_high_water),
+        units::to_seconds(r.sync.busy_time), r.flush_overlap_ratio,
+        r.sync_coalesce_ratio, r.sync_flush_bandwidth_gib,
+        r.sync_stream_overlap_ratio);
   }
   std::fflush(stdout);
 }

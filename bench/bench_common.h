@@ -27,6 +27,12 @@
 //                      (default on); off restores the classic synchronous
 //                      ext2ph round loop for ablations. See
 //                      docs/pipeline.md.
+//   --sync-streams=N   concurrent in-flight flush streams per sync thread
+//                      (default 4); 1 restores the serial read-back→write
+//                      drain. See docs/flush_scheduler.md.
+//   --coalesce=on|off  coalesce adjacent queued sync requests into shared
+//                      stripe-aligned flush dispatches (default on); off
+//                      flushes each request separately for ablations.
 #pragma once
 
 #include <cstdio>
@@ -50,6 +56,8 @@ struct BenchOptions {
   std::string faults_spec;          // empty = no fault scenario
   bool check_concurrency = false;   // attach the concurrency checker
   bool pipeline = true;             // double-buffered round loop
+  int sync_streams = 4;             // in-flight flush streams per sync thread
+  bool coalesce = true;             // coalesce adjacent sync requests
 
   static BenchOptions parse(int argc, char** argv);
   bool combo_selected(const std::string& label) const;
@@ -87,7 +95,9 @@ void print_breakdown_table(
     const std::vector<workloads::ExperimentResult>& results);
 
 /// Sync-thread totals per combo (cache-enabled runs only): requests, bytes,
-/// staging chunks, queue high-water mark, busy time, flush-overlap ratio.
+/// staging dispatches, queue high-water mark, busy time, flush-overlap
+/// ratio, plus the flush-scheduler figures (coalesce ratio, drain
+/// bandwidth, stream overlap).
 void print_sync_table(
     const std::string& title,
     const std::vector<workloads::ExperimentResult>& results);

@@ -184,6 +184,21 @@ Result<Hints> Hints::parse(const mpi::Info& info) {
                            "e10_pipeline_flag: bad value " + *v);
     }
   }
+  if (const auto v = info.get("e10_sync_streams")) {
+    auto n = parse_int("e10_sync_streams", *v);
+    if (!n.is_ok()) return n.status();
+    hints.e10_sync_streams = n.value();
+  }
+  if (const auto v = info.get("e10_flush_coalesce_flag")) {
+    if (*v == "enable") {
+      hints.e10_flush_coalesce = true;
+    } else if (*v == "disable") {
+      hints.e10_flush_coalesce = false;
+    } else {
+      return Status::error(Errc::invalid_argument,
+                           "e10_flush_coalesce_flag: bad value " + *v);
+    }
+  }
   if (const auto v = info.get("ind_wr_buffer_size")) {
     auto b = parse_bytes("ind_wr_buffer_size", *v);
     if (!b.is_ok()) return b.status();
@@ -215,6 +230,9 @@ mpi::Info Hints::to_info() const {
   info.set("e10_cache_read", e10_cache_read ? "enable" : "disable");
   info.set("e10_cache_journal", e10_cache_journal ? "enable" : "disable");
   info.set("e10_pipeline_flag", e10_pipeline ? "enable" : "disable");
+  info.set("e10_sync_streams", std::to_string(e10_sync_streams));
+  info.set("e10_flush_coalesce_flag",
+           e10_flush_coalesce ? "enable" : "disable");
   return info;
 }
 

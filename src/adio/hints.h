@@ -65,6 +65,14 @@ struct Hints {
   /// r+1's dissemination and shuffle proceed (docs/pipeline.md). "disable"
   /// restores the classic synchronous ext2ph round loop for ablations.
   bool e10_pipeline = true;
+  /// EXTENSION (e10_sync_streams): concurrent in-flight flush streams the
+  /// sync thread keeps outstanding against the PFS while draining the cache
+  /// (docs/flush_scheduler.md). 1 restores the serial read-back→write drain.
+  int e10_sync_streams = 4;
+  /// EXTENSION (e10_flush_coalesce_flag): coalesce adjacent queued sync
+  /// requests into shared stripe-aligned flush dispatches. "disable" flushes
+  /// each request separately for ablations.
+  bool e10_flush_coalesce = true;
 
   /// Parses an Info object. Unknown keys are ignored (MPI semantics);
   /// malformed values of known keys are reported.

@@ -143,6 +143,11 @@ Result<std::unique_ptr<AdioFile>> open_coll(IoContext& ctx, mpi::Comm comm,
     params.coherent = fd->hints.e10_cache == CacheMode::coherent;
     params.discard = fd->hints.e10_cache_discard;
     params.staging_bytes = fd->hints.ind_wr_buffer_size;
+    params.sync_streams = fd->hints.e10_sync_streams;
+    params.flush_coalesce = fd->hints.e10_flush_coalesce;
+    // Stripe-align flush dispatches to the global file's layout so no
+    // flush write crosses a data server.
+    params.stripe_unit = fd->stripe_unit;
     // Fault tolerance: the scenario injector supplies the crash schedule;
     // journaling is on when asked for by hint, or automatically whenever
     // the armed plan contains rank crashes (a crash without a journal

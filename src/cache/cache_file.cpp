@@ -37,6 +37,14 @@ Result<std::unique_ptr<CacheFile>> CacheFile::open(
     return Status::error(Errc::invalid_argument,
                          "cache: quarantine_after must be >= 1");
   }
+  if (params.sync_streams < 1) {
+    return Status::error(Errc::invalid_argument,
+                         "cache: sync_streams must be >= 1");
+  }
+  if (params.stripe_unit < 0) {
+    return Status::error(Errc::invalid_argument,
+                         "cache: negative stripe unit");
+  }
   const auto handle =
       local_fs.open(params.cache_path, /*create=*/true, /*truncate=*/true);
   if (!handle.is_ok()) return handle.status();
@@ -82,6 +90,11 @@ CacheFile::CacheFile(sim::Engine& engine, lfs::LocalFs& local_fs,
       params.staging_bytes, locks);
   sync_->set_observability(params.metrics, params.tracer, params.rank);
   sync_->set_retry_policy(params.retry);
+  FlushSchedulerParams flush;
+  flush.streams = params.sync_streams;
+  flush.coalesce = params.flush_coalesce;
+  flush.stripe_unit = params.stripe_unit;
+  sync_->set_flush_params(flush);
   if (params.metrics != nullptr) {
     // Instrument resolution mutates the shared registry from every rank's
     // open path; claim the registry monitor for the checker.

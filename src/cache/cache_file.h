@@ -55,6 +55,16 @@ struct CacheFileParams {
   /// fallocate granularity: space is reserved in chunks this big so that
   /// most writes pay no allocation cost.
   Offset alloc_chunk = 64 * units::MiB;
+  /// Concurrent in-flight flush streams per sync thread (e10_sync_streams):
+  /// how many durable PFS writes the drain keeps outstanding. 1 restores
+  /// the serial read-back→write loop.
+  int sync_streams = 4;
+  /// Coalesce adjacent queued sync requests into shared stripe-aligned
+  /// dispatches (e10_flush_coalesce_flag); see docs/flush_scheduler.md.
+  bool flush_coalesce = true;
+  /// PFS stripe unit of the global file: flush dispatches are split on its
+  /// boundaries so no flush write crosses a data server (0 = no alignment).
+  Offset stripe_unit = 0;
   /// Record journal for crash recovery: append one WriteRecord per cache
   /// write to `<cache_path>.journal` and one CommitRecord per durable
   /// extent to `<cache_path>.commits`. Off by default — the sidecar

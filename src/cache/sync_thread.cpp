@@ -52,6 +52,16 @@ void SyncThread::set_retry_policy(const RetryPolicy& policy) {
   retry_ = policy;
 }
 
+void SyncThread::set_flush_params(const FlushSchedulerParams& params) {
+  if (handle_.valid()) {
+    throw std::logic_error("SyncThread: set_flush_params after start");
+  }
+  if (params.streams < 1 || params.stripe_unit < 0) {
+    throw std::logic_error("SyncThread: bad flush-scheduler params");
+  }
+  flush_params_ = params;
+}
+
 void SyncThread::enable_commit_journal(lfs::FileHandle commits_handle) {
   if (handle_.valid()) {
     throw std::logic_error("SyncThread: enable_commit_journal after start");
@@ -65,6 +75,12 @@ void SyncThread::start() {
   backoff_rng_ = std::make_unique<Rng>(Rng::derive(
       Rng::derive(static_cast<std::uint64_t>(rank_), global_path_),
       "sync-backoff"));
+  FlushSchedulerParams params = flush_params_;
+  params.staging_bytes = staging_bytes_;
+  scheduler_ = std::make_unique<FlushScheduler>(engine_, local_fs_,
+                                                cache_handle_, pfs_,
+                                                global_handle_, global_path_,
+                                                params);
   handle_ = engine_.spawn("sync:" + global_path_, [this] { run(); });
 }
 
@@ -140,6 +156,23 @@ void SyncThread::fold_stats_and_join() {
     metrics_->counter(names::kSyncBusyNs).add(totals.busy_time);
     metrics_->gauge(names::kSyncQueueDepth)
         .set(static_cast<std::int64_t>(totals.queue_depth_high_water));
+    // Flush-scheduler totals: coalescing shape and the stream window's
+    // write/hidden/stall split (docs/flush_scheduler.md).
+    const FlushSchedulerStats& sched = scheduler_->stats();
+    const sim::OverlapAccumulator& window = scheduler_->overlap();
+    metrics_->counter(names::kSyncBatches)
+        .add(static_cast<std::int64_t>(sched.batches));
+    metrics_->counter(names::kSyncBatchMembers)
+        .add(static_cast<std::int64_t>(sched.members));
+    metrics_->counter(names::kSyncDispatches)
+        .add(static_cast<std::int64_t>(sched.dispatches));
+    metrics_->counter(names::kSyncStreamWriteNs).add(window.service_time());
+    metrics_->counter(names::kSyncStreamHiddenNs).add(window.hidden_time());
+    metrics_->counter(names::kSyncStreamStalls)
+        .add(static_cast<std::int64_t>(window.stalls()));
+    metrics_->counter(names::kSyncStreamStallNs).add(window.stall_time());
+    metrics_->gauge(names::kSyncStreamInflight)
+        .set(static_cast<std::int64_t>(sched.inflight_high_water));
   }
 }
 
@@ -154,61 +187,108 @@ void SyncThread::cancel_drain_and_join() {
   fold_stats_and_join();
 }
 
-Time SyncThread::backoff_delay(int attempt) {
-  Time delay = retry_.backoff_base;
-  for (int i = 1; i < attempt && delay < retry_.backoff_cap; ++i) {
-    delay *= 2;
+SyncThread::Gather SyncThread::gather_batch(std::vector<SyncRequest>& batch,
+                                            bool may_block) {
+  SyncRequest first;
+  if (pending_.has_value()) {
+    first = std::move(*pending_);
+    pending_.reset();
+  } else if (shutdown_seen_ || !may_block) {
+    // After the sentinel only requeued work can still be queued; with
+    // deferred completions outstanding the caller must not block either —
+    // either way, drain what is there without waiting.
+    std::optional<SyncRequest> next;
+    {
+      const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
+      E10_SHARED_WRITE(inbox_var_);
+      next = inbox_.try_recv();
+    }
+    if (!next.has_value()) {
+      return shutdown_seen_ ? Gather::kShutdown : Gather::kEmpty;
+    }
+    if (next->shutdown) return Gather::kShutdown;
+    first = std::move(*next);
+  } else {
+    first = [this] {
+      // The monitor is claimed across the (possibly blocking) recv — the
+      // classic condition-wait-inside-monitor shape; see concurrency.h.
+      const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
+      E10_SHARED_WRITE(inbox_var_);
+      return inbox_.recv();
+    }();
+    if (first.shutdown) return Gather::kShutdown;
   }
-  delay = std::min(delay, retry_.backoff_cap);
-  if (retry_.jitter > 0.0 && delay > 0) {
-    delay += static_cast<Time>(static_cast<double>(delay) *
-                               backoff_rng_->uniform(0.0, retry_.jitter));
+  batch.push_back(std::move(first));
+
+  // The cancelled drain does no I/O, so there is nothing to coalesce.
+  if (!scheduler_->params().coalesce || cancelled_) return Gather::kBatch;
+
+  // Request aggregation: pull everything already queued into the batch, as
+  // long as its remaining extent does not overlap the batch's coverage. An
+  // overlapping request must dispatch *after* this batch (later writes
+  // shadow earlier ones in queue order), so it parks in pending_ and seeds
+  // the next batch.
+  ExtentList coverage;
+  coverage.add(batch.front().remaining());
+  while (batch.size() < scheduler_->params().max_batch) {
+    std::optional<SyncRequest> next;
+    {
+      const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
+      E10_SHARED_WRITE(inbox_var_);
+      next = inbox_.try_recv();
+    }
+    if (!next.has_value()) break;
+    if (next->shutdown) {
+      shutdown_seen_ = true;
+      break;
+    }
+    if (!coverage.clipped_to(next->remaining()).empty()) {
+      pending_ = std::move(next);
+      break;
+    }
+    coverage.add(next->remaining());
+    coverage.coalesce();
+    batch.push_back(std::move(*next));
   }
-  return delay;
+  return Gather::kBatch;
 }
 
-Status SyncThread::sync_extent(const SyncRequest& request, Offset& done,
-                               int& attempts) {
-  // Stage the extent through the ind_wr_buffer_size buffer: read back from
-  // the cache file, write to the global file, chunk by chunk. A retryable
-  // failure backs off and resumes from `done` — already-durable chunks are
-  // never re-sent.
-  while (done < request.global.length) {
-    const Offset chunk =
-        std::min(staging_bytes_, request.global.length - done);
-    Status failure = Status::ok();
-    auto data = local_fs_.read(cache_handle_, request.cache_offset + done,
-                               chunk);
-    if (!data.is_ok()) {
-      failure = data.status();
-    } else {
-      // Durable: completing the grequest promises persistence (§III-A).
-      failure = pfs_.write_durable(global_handle_,
-                                   request.global.offset + done, data.value());
+void SyncThread::reap_deferred() {
+  while (!deferred_.empty() &&
+         deferred_.front().done_time <= engine_.now()) {
+    for (SyncRequest& member : deferred_.front().members) {
+      finish_member(member, /*durable=*/true);
     }
-    if (failure.is_ok()) {
-      done += chunk;
-      const sim::SimLock lock(stats_mutex_);
-      E10_SHARED_WRITE(stats_var_);
-      ++stats_.staging_chunks;
-      continue;
-    }
-    if (!is_retryable(failure.code()) || attempts >= retry_.max_attempts) {
-      return failure;
-    }
-    ++attempts;
-    {
-      const sim::SimLock lock(stats_mutex_);
-      E10_SHARED_WRITE(stats_var_);
-      ++stats_.retries;
-    }
-    const Time wait = backoff_delay(attempts);
-    log::warn("sync", "extent @", request.global.offset, " attempt ",
-              attempts, " failed (", failure.to_string(), "), backing off ",
-              format_time(wait));
-    engine_.delay(wait);
+    deferred_.pop_front();
   }
-  return Status::ok();
+}
+
+void SyncThread::finalize_deferred() {
+  if (deferred_.empty()) return;
+  Time last = 0;
+  for (const DeferredBatch& batch : deferred_) {
+    last = std::max(last, batch.done_time);
+  }
+  if (last > engine_.now()) engine_.advance_to(last);
+  reap_deferred();
+}
+
+void SyncThread::finish_member(SyncRequest& member, bool durable) {
+  if (durable && commit_journal_ && member.seq != 0) {
+    const Status committed = local_fs_.write(
+        commits_handle_, commits_cursor_, encode_commit_record(member.seq));
+    if (committed.is_ok()) {
+      commits_cursor_ += kCommitRecordBytes;
+    } else {
+      // A missed commit only means recovery replays an already-durable
+      // extent — safe (replay is idempotent), so log and move on.
+      log::warn("sync", "commit record failed: ", committed.to_string());
+    }
+  }
+  if (member.release_lock && locks_ != nullptr) {
+    locks_->unlock(global_path_, member.global);
+  }
+  if (member.grequest.valid()) member.grequest.complete();
 }
 
 void SyncThread::run() {
@@ -218,64 +298,90 @@ void SyncThread::run() {
         "sync r" + std::to_string(rank_) + " " + global_path_, 1000 + rank_);
   }
   for (;;) {
-    SyncRequest request = [this] {
-      // The monitor is claimed across the (possibly blocking) recv — the
-      // classic condition-wait-inside-monitor shape; see concurrency.h.
-      const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
-      E10_SHARED_WRITE(inbox_var_);
-      return inbox_.recv();
-    }();
-    if (request.shutdown) break;
+    // Completions the clock has already passed are free; collect them
+    // before the next batch so waiters never lag further than one drain.
+    reap_deferred();
+    std::vector<SyncRequest> batch;
+    Gather got = gather_batch(batch, /*may_block=*/deferred_.empty());
+    if (got == Gather::kEmpty) {
+      // Nothing queued but batches still awaiting their media time: wait
+      // those writes out now — the stall overlaps what would otherwise be
+      // idle blocking on the inbox — then block for real.
+      finalize_deferred();
+      got = gather_batch(batch, /*may_block=*/true);
+    }
+    if (got == Gather::kShutdown) break;
     note_queue_depth(inbox_.size());
 
     if (cancelled_) {
-      // Crash drain: no more I/O — just release waiters. The extent stays
+      // Crash drain: no more I/O — just release waiters. The extents stay
       // un-synced in the (persistent) cache file for recover() to replay.
-      if (request.release_lock && locks_ != nullptr) {
-        locks_->unlock(global_path_, request.global);
+      for (SyncRequest& member : batch) {
+        if (member.release_lock && locks_ != nullptr) {
+          locks_->unlock(global_path_, member.global);
+        }
+        if (member.grequest.valid()) member.grequest.complete();
       }
-      if (request.grequest.valid()) request.grequest.complete();
-      continue;
+      continue;  // gather_batch ends the loop once the queue is empty
     }
 
-    if (request.requeues == 0) {
-      const sim::SimLock lock(stats_mutex_);
-      E10_SHARED_WRITE(stats_var_);
-      ++stats_.requests;
-    }
-    const Time busy_start = engine_.now();
-    obs::Span span(tracer_, track_, "sync_extent");
-    span.arg("offset", request.global.offset);
-    span.arg("bytes", request.global.length);
-
-    Offset done = request.synced;
-    int attempts = 0;
-    const Status result = sync_extent(request, done, attempts);
-    if (attempts > 0) span.arg("retries", attempts);
     {
       const sim::SimLock lock(stats_mutex_);
       E10_SHARED_WRITE(stats_var_);
-      stats_.bytes_synced += done - request.synced;
+      for (const SyncRequest& member : batch) {
+        if (member.requeues == 0) ++stats_.requests;
+      }
+    }
+    const Time busy_start = engine_.now();
+    obs::Span span(tracer_, track_, "flush_batch");
+    span.arg("offset", batch.front().global.offset);
+    span.arg("members", static_cast<Offset>(batch.size()));
+
+    const BatchOutcome outcome =
+        scheduler_->drain(batch, retry_, *backoff_rng_);
+    span.arg("dispatches", static_cast<Offset>(outcome.dispatches));
+    span.arg("bytes", outcome.bytes_written);
+    if (outcome.retries > 0) span.arg("retries", outcome.retries);
+    {
+      const sim::SimLock lock(stats_mutex_);
+      E10_SHARED_WRITE(stats_var_);
+      stats_.bytes_synced += outcome.bytes_written;
+      stats_.staging_chunks += outcome.dispatches;
+      stats_.retries += static_cast<std::uint64_t>(outcome.retries);
       stats_.busy_time += engine_.now() - busy_start;
     }
 
-    if (!result.is_ok()) {
-      const bool retryable = is_retryable(result.code());
-      if (retryable && request.requeues < retry_.max_requeues) {
+    if (outcome.status.is_ok()) {
+      // Fully drained: every member's bytes are issued durably (resume
+      // offsets at full length); completion waits for the media time so
+      // the durability promise holds, without stalling the drain here.
+      deferred_.push_back(DeferredBatch{std::move(batch), outcome.done_time});
+      continue;
+    }
+    // Failure: the drain joined everything. Earlier batches complete first
+    // so commit records and lock releases keep queue order.
+    finalize_deferred();
+    bool requeued = false;
+    for (SyncRequest& member : batch) {
+      if (member.synced >= member.global.length) {
+        finish_member(member, /*durable=*/true);
+        continue;
+      }
+      const bool retryable = is_retryable(outcome.status.code());
+      if (retryable && member.requeues < retry_.max_requeues) {
         // Out of in-place attempts: go to the back of the queue and let
         // other requests (possibly targeting healthy servers) proceed.
-        // Progress is kept — the requeued request resumes past the chunks
-        // that are already durable.
+        // Progress is kept — the requeued request resumes past the bytes
+        // that are already durable, even when a later batch coalesces it.
         {
           const sim::SimLock lock(stats_mutex_);
           E10_SHARED_WRITE(stats_var_);
           ++stats_.requeues;
         }
-        log::warn("sync", "extent @", request.global.offset,
-                  " requeued after ", attempts + 1, " attempts (",
-                  result.to_string(), ")");
-        SyncRequest retry = std::move(request);
-        retry.synced = done;
+        log::warn("sync", "extent @", member.global.offset,
+                  " requeued after ", outcome.retries + 1, " attempts (",
+                  outcome.status.to_string(), ")");
+        SyncRequest retry = std::move(member);
         ++retry.requeues;
         {
           const sim::MonitorGuard monitor(engine_, &inbox_,
@@ -283,7 +389,7 @@ void SyncThread::run() {
           E10_SHARED_WRITE(inbox_var_);
           inbox_.send(std::move(retry));
         }
-        note_queue_depth(inbox_.size());
+        requeued = true;
         continue;
       }
       // Abandoned: the extent could not be made durable. Complete the
@@ -294,26 +400,20 @@ void SyncThread::run() {
         E10_SHARED_WRITE(stats_var_);
         ++stats_.abandoned;
       }
-      log::error("sync", "extent @", request.global.offset, " abandoned (",
-                 result.to_string(), ")");
-      span.arg("abandoned", result.to_string());
-    } else if (commit_journal_ && request.seq != 0) {
-      const Status committed = local_fs_.write(
-          commits_handle_, commits_cursor_, encode_commit_record(request.seq));
-      if (committed.is_ok()) {
-        commits_cursor_ += kCommitRecordBytes;
-      } else {
-        // A missed commit only means recovery replays an already-durable
-        // extent — safe (replay is idempotent), so log and move on.
-        log::warn("sync", "commit record failed: ", committed.to_string());
-      }
+      log::error("sync", "extent @", member.global.offset, " abandoned (",
+                 outcome.status.to_string(), ")");
+      span.arg("abandoned", outcome.status.to_string());
+      finish_member(member, /*durable=*/false);
     }
-
-    if (request.release_lock && locks_ != nullptr) {
-      locks_->unlock(global_path_, request.global);
-    }
-    if (request.grequest.valid()) request.grequest.complete();
+    if (requeued) note_queue_depth(inbox_.size());
+    // After the sentinel, gather_batch keeps draining pending_/requeued
+    // work without blocking and ends the loop once nothing is left.
   }
+  // Exit: wait out and complete everything still deferred, and join any
+  // writes a later drain never recycled so the overlap window accounts for
+  // every issued byte.
+  finalize_deferred();
+  scheduler_->join_all();
 }
 
 }  // namespace e10::cache

@@ -2,25 +2,37 @@
 //
 // One SyncThread runs per open cached file per rank, as a dedicated
 // simulated process (the paper uses a POSIX thread). It consumes sync
-// requests from a queue; for each, it reads the cached extent back from the
-// local NVM file through a staging buffer of `ind_wr_buffer_size` bytes and
-// writes it to the global parallel file system, then completes the
-// associated generalized MPI request (MPI_Grequest_complete) — which is what
-// ADIOI_GEN_Flush later waits on.
+// requests from a queue and drains them through the FlushScheduler
+// (flush_scheduler.h): adjacent requests coalesce into batches, each batch
+// is split into stripe-aligned staging dispatches, and up to
+// `e10_sync_streams` durable writes stay in flight concurrently. When a
+// request's extent is persistent in the global file its generalized MPI
+// request completes (MPI_Grequest_complete) — which is what
+// ADIOI_GEN_Flush later waits on. Completion is deferred, not rushed: a
+// drained batch waits for its writes' media time off the critical path
+// (free once the clock passes it; overlapping the idle inbox wait when the
+// queue empties) instead of stalling the drain loop on a join-all tail
+// after every batch.
 //
 // Transient failures (an unreachable data server, an injected timeout) are
 // retried in place with capped exponential backoff and deterministic jitter
 // over virtual time; a request that exhausts its attempts goes to the back
-// of the queue, and one that exhausts its requeues is abandoned — its
-// grequest still completes (so flush/close never hang) and the abandonment
-// is reported through SyncStats for CacheFile::flush() to surface.
+// of the queue (resuming past the bytes already durable), and one that
+// exhausts its requeues is abandoned — its grequest still completes (so
+// flush/close never hang) and the abandonment is reported through SyncStats
+// for CacheFile::flush() to surface.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "cache/flush_scheduler.h"
 #include "cache/lock_table.h"
+#include "cache/sync_thread_types.h"
 #include "common/extent.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -37,62 +49,6 @@
 #include "sim/sync.h"
 
 namespace e10::cache {
-
-struct SyncRequest {
-  /// Extent of the *global* file this data belongs to.
-  Extent global;
-  /// Where the bytes sit in the local cache file.
-  Offset cache_offset = 0;
-  /// Journal sequence number of the write that produced the extent (0 when
-  /// journaling is off); committed to the sidecar once durable.
-  std::uint64_t seq = 0;
-  /// Completed (MPI_Grequest_complete) when the extent is persistent in the
-  /// global file — or when the request is abandoned/cancelled, so waiters
-  /// never hang (the failure is reported out of band).
-  mpi::Request grequest;
-  /// Coherent mode: release this extent's lock once persistent.
-  bool release_lock = false;
-  /// Shutdown sentinel (internal).
-  bool shutdown = false;
-  /// Times this request went back to the queue after exhausting its
-  /// in-place retry attempts (internal).
-  int requeues = 0;
-  /// Bytes at the front of the extent already durable from earlier
-  /// dispatches (internal); a requeued request resumes here instead of
-  /// re-sending what already reached the media.
-  Offset synced = 0;
-};
-
-/// Retry/backoff knobs for the sync thread's write_durable loop. The
-/// backoff for attempt k is min(cap, base * 2^(k-1)) stretched by up to
-/// `jitter` drawn from a seeded stream — deterministic for a fixed seed,
-/// but decorrelated across ranks so retry storms do not synchronise.
-struct RetryPolicy {
-  int max_attempts = 6;  // in-place attempts per dispatch (>= 1)
-  int max_requeues = 8;  // re-dispatches before the request is abandoned
-  Time backoff_base = units::milliseconds(1);
-  Time backoff_cap = units::milliseconds(250);
-  double jitter = 0.25;  // max relative stretch of each backoff
-};
-
-struct SyncStats {
-  std::uint64_t requests = 0;
-  Offset bytes_synced = 0;
-  std::uint64_t staging_chunks = 0;
-  /// In-place retries after a retryable staging-read/global-write failure.
-  std::uint64_t retries = 0;
-  /// Requests sent to the back of the queue after exhausting attempts.
-  std::uint64_t requeues = 0;
-  /// Requests given up on entirely: grequest completed, extent NOT durable.
-  std::uint64_t abandoned = 0;
-  /// Deepest the inbox ever got (requests waiting behind the one in
-  /// service) — a sustained high value means the device or the PFS cannot
-  /// keep up with the write burst.
-  std::uint64_t queue_depth_high_water = 0;
-  /// Virtual time spent servicing requests (staging reads + global writes,
-  /// including backoff waits).
-  Time busy_time = 0;
-};
 
 class SyncThread {
  public:
@@ -114,6 +70,11 @@ class SyncThread {
   /// Overrides the retry policy (call before start()). The jitter stream is
   /// seeded from (rank, global path) so it is reproducible per thread.
   void set_retry_policy(const RetryPolicy& policy);
+
+  /// Overrides the flush-scheduler knobs (call before start()): stream
+  /// count, coalescing, stripe alignment. The staging size always follows
+  /// the constructor's `staging_bytes` (ind_wr_buffer_size).
+  void set_flush_params(const FlushSchedulerParams& params);
 
   /// Commits durable extents to the journal sidecar: after a request's
   /// extent is fully durable, a CommitRecord for its seq is appended
@@ -149,14 +110,42 @@ class SyncThread {
   const SyncStats& stats() const E10_NO_THREAD_SAFETY_ANALYSIS {
     return stats_;
   }
+  /// Scheduler totals; same joined-only caveat as stats().
+  const FlushSchedulerStats& scheduler_stats() const {
+    return scheduler_->stats();
+  }
   bool started() const { return handle_.valid(); }
 
  private:
+  /// What one gather attempt produced.
+  enum class Gather {
+    kBatch,     ///< `batch` holds at least one request
+    kEmpty,     ///< nothing queued right now (only when `may_block` is off)
+    kShutdown,  ///< the shutdown sentinel; the worker should exit
+  };
+  /// A drained batch whose writes are still in flight: its members'
+  /// completion (commit records, lock releases, grequests) waits until the
+  /// clock passes `done_time` — the media-durable time of its last write.
+  struct DeferredBatch {
+    std::vector<SyncRequest> members;
+    Time done_time = 0;
+  };
+
   void run();
-  /// One dispatch of `request`: staging loop with in-place retries.
-  /// `done` advances past durable bytes; ok when the extent is durable.
-  Status sync_extent(const SyncRequest& request, Offset& done, int& attempts);
-  Time backoff_delay(int attempt);
+  /// Gathers one batch for the scheduler: the first request (blocking only
+  /// when `may_block`) plus, with coalescing on, everything already queued
+  /// whose remaining extent does not overlap the batch's coverage.
+  Gather gather_batch(std::vector<SyncRequest>& batch, bool may_block);
+  /// Completes one finished member: journal commit, lock release,
+  /// grequest completion.
+  void finish_member(SyncRequest& member, bool durable);
+  /// Completes deferred batches the clock has already passed — free, no
+  /// waiting. FIFO so commit records keep queue order.
+  void reap_deferred();
+  /// Waits out every deferred batch's `done_time` and completes them all.
+  /// Called when the queue idles, before a failure's requeue/abandon
+  /// handling (completion order), and at shutdown.
+  void finalize_deferred();
   void fold_stats_and_join();
 
   sim::Engine& engine_;
@@ -184,8 +173,17 @@ class SyncThread {
   sim::SharedVar inbox_var_;
   std::string inbox_monitor_name_;
   RetryPolicy retry_;
-  std::unique_ptr<Rng> backoff_rng_;  // created at start()
-  bool cancelled_ = false;            // set by cancel_drain_and_join()
+  FlushSchedulerParams flush_params_;
+  std::unique_ptr<FlushScheduler> scheduler_;  // created at start()
+  std::unique_ptr<Rng> backoff_rng_;           // created at start()
+  /// A drained request that overlapped the gathering batch's coverage: it
+  /// must dispatch after that batch (queue order resolves shadowing), so
+  /// it waits here and seeds the next batch.
+  std::optional<SyncRequest> pending_;
+  /// Successfully drained batches awaiting their writes' media time.
+  std::deque<DeferredBatch> deferred_;
+  bool shutdown_seen_ = false;  // sentinel drained while gathering
+  bool cancelled_ = false;      // set by cancel_drain_and_join()
   bool commit_journal_ = false;
   lfs::FileHandle commits_handle_ = 0;
   Offset commits_cursor_ = 0;

@@ -46,6 +46,12 @@ class ExtentList {
   /// Sorts, drops empties, and merges overlapping/adjacent extents.
   void normalize();
 
+  /// The merge step by its access-coalescing name (Thakur et al.): the
+  /// flush scheduler's batch planner coalesces the remaining extents of
+  /// queued sync requests through this before splitting dispatches on
+  /// stripe boundaries. Identical to normalize().
+  void coalesce() { normalize(); }
+
   bool empty() const { return extents_.empty(); }
   std::size_t size() const { return extents_.size(); }
   const Extent& operator[](std::size_t i) const { return extents_[i]; }

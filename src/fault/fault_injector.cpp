@@ -55,10 +55,12 @@ void FaultInjector::mark(const std::string& label) {
   }
 }
 
-void FaultInjector::force_failures(FaultOp op, int count, Errc errc) {
+void FaultInjector::force_failures(FaultOp op, int count, Errc errc,
+                                   int after) {
   const std::size_t i = static_cast<std::size_t>(op);
   forced_[i] = count;
   forced_errc_[i] = errc;
+  forced_after_[i] = after;
   if (count > 0 && !armed_) {
     // Forced failures arm the injector even without a plan; the RNG streams
     // still need to exist for any probabilistic rules armed later.
@@ -76,8 +78,12 @@ void FaultInjector::force_failures(FaultOp op, int count, Errc errc) {
 Status FaultInjector::draw(FaultOp op) {
   const std::size_t i = static_cast<std::size_t>(op);
   if (forced_[i] > 0) {
-    --forced_[i];
-    return inject(op, forced_errc_[i], /*charge_latency=*/false);
+    if (forced_after_[i] > 0) {
+      --forced_after_[i];
+    } else {
+      --forced_[i];
+      return inject(op, forced_errc_[i], /*charge_latency=*/false);
+    }
   }
   const TransientRule& rule = plan_.transient[i];
   if (rule.probability > 0.0 && rngs_[i].bernoulli(rule.probability)) {

@@ -60,8 +60,11 @@ class FaultInjector {
   /// Deterministic "next n ops of this kind fail" — the generalized form of
   /// the old LocalFs::inject_open_failures test hook. Forced failures fire
   /// before probabilistic rules and carry no error latency (preserving the
-  /// legacy fail-immediately semantics existing tests rely on).
-  void force_failures(FaultOp op, int count, Errc errc = Errc::io_error);
+  /// legacy fail-immediately semantics existing tests rely on). `after`
+  /// lets the first ops pass, placing the failure mid-sequence (e.g. a
+  /// timeout in the middle of a multi-dispatch flush).
+  void force_failures(FaultOp op, int count, Errc errc = Errc::io_error,
+                      int after = 0);
   int forced_remaining(FaultOp op) const {
     return forced_[static_cast<std::size_t>(op)];
   }
@@ -99,6 +102,7 @@ class FaultInjector {
   std::vector<Rng> rngs_;                    // one stream per FaultOp
   std::array<int, kFaultOpCount> forced_{};  // pending forced failures
   std::array<Errc, kFaultOpCount> forced_errc_{};
+  std::array<int, kFaultOpCount> forced_after_{};  // ops to pass first
   std::vector<bool> crash_fired_;            // parallel to plan_.crashes
   Stats stats_;
 

@@ -146,6 +146,24 @@ inline constexpr const char* kSyncAbandoned = "cache.sync.abandoned";
 inline constexpr const char* kCacheDegraded = "cache.degraded";
 inline constexpr const char* kCacheRecoveredExtents = "cache.recover.extents";
 inline constexpr const char* kCacheRecoveredBytes = "cache.recover.bytes";
+/// Flush scheduler (cache::FlushScheduler, docs/flush_scheduler.md):
+/// request coalescing — batches drained from the inbox, the sync requests
+/// they carried, and the stripe-aligned dispatch writes they collapsed to
+/// (coalesce ratio = members / dispatches, 1.0 when nothing merged) — and
+/// the multi-stream drain's virtual-time split of the in-flight durable
+/// write service time into hidden (overlapped staging reads / other
+/// streams) and stalled (the completion loop waited on the oldest stream).
+inline constexpr const char* kSyncBatches = "cache.sync.coalesce.batches";
+inline constexpr const char* kSyncBatchMembers = "cache.sync.coalesce.members";
+inline constexpr const char* kSyncDispatches = "cache.sync.coalesce.dispatches";
+inline constexpr const char* kSyncStreamWriteNs = "cache.sync.streams.write_ns";
+inline constexpr const char* kSyncStreamHiddenNs =
+    "cache.sync.streams.hidden_ns";
+inline constexpr const char* kSyncStreamStalls = "cache.sync.streams.stalls";
+inline constexpr const char* kSyncStreamStallNs =
+    "cache.sync.streams.stall_ns";
+inline constexpr const char* kSyncStreamInflight =
+    "cache.sync.streams.inflight";
 /// Concurrency-checker registrations for the registry itself: every layer
 /// that creates/aggregates instruments from inside a simulated process
 /// claims this monitor (keyed by the registry's address) and reports the

@@ -189,6 +189,11 @@ Result<Time> Pfs::write_async(FileHandle handle, Offset offset,
   return write_async_impl(handle, offset, data, /*durable=*/false);
 }
 
+Result<Time> Pfs::write_durable_async(FileHandle handle, Offset offset,
+                                      const DataView& data) {
+  return write_async_impl(handle, offset, data, /*durable=*/true);
+}
+
 Status Pfs::write_impl(FileHandle handle, Offset offset, const DataView& data,
                        bool durable) {
   const auto completion = write_async_impl(handle, offset, data, durable);
@@ -248,9 +253,13 @@ Result<Time> Pfs::write_async_impl(FileHandle handle, Offset offset,
     // stripe-misaligned file domains.
     if (params_.extent_locking) {
       lock = &inode.stripe_locks[chunk.stripe_index];
-      Time granted = std::max(lock->free_at, cpu_done);
-      if (lock->holder != ~std::size_t{0} &&
-          lock->holder != file->client_node) {
+      // The grant is a lease: a client already holding the stripe lock
+      // pipelines further writes under it (the device timeline serializes
+      // the media), while a different client waits for the holder's I/O
+      // and pays the revoke/regrant round trip.
+      const bool held = lock->holder == file->client_node;
+      Time granted = held ? cpu_done : std::max(lock->free_at, cpu_done);
+      if (lock->holder != ~std::size_t{0} && !held) {
         granted += params_.lock_handoff_penalty;
         ++stats_.lock_handoffs;
         if (lock_handoffs_ != nullptr) lock_handoffs_->increment();
@@ -270,7 +279,9 @@ Result<Time> Pfs::write_async_impl(FileHandle handle, Offset offset,
         io_start, storage::IoKind::write, chunk.target_offset,
         chunk.extent.length);
     if (lock != nullptr) {
-      lock->free_at = io_done;
+      // Pipelined same-holder writes can complete out of order; the lock
+      // frees for other clients only after the last of them.
+      lock->free_at = std::max(lock->free_at, io_done);
       lock->holder = file->client_node;
     }
     // Durable writes are acknowledged when the media has the data; ordinary

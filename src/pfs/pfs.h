@@ -133,6 +133,13 @@ class Pfs {
   /// write_async() + advance_to().
   Result<Time> write_async(FileHandle handle, Offset offset,
                            const DataView& data);
+  /// Nonblocking durable write: same issue-time semantics as write_async(),
+  /// but the returned completion time is when the data is on the media (not
+  /// just in server memory). The cache flush scheduler drives its N
+  /// concurrent flush streams over this — a sync grequest may only complete
+  /// once the caller's clock has passed the returned time.
+  Result<Time> write_durable_async(FileHandle handle, Offset offset,
+                                   const DataView& data);
   Result<DataView> read(FileHandle handle, Offset offset, Offset length);
   Result<FileInfo> stat(FileHandle handle);
   /// Flush is a metadata round-trip in this model (servers are synchronous).

@@ -79,6 +79,9 @@ mpi::Info experiment_hints(const ExperimentSpec& spec) {
            std::to_string(spec.testbed.pfs.default_stripe_count));
   info.set("ind_wr_buffer_size", std::to_string(512 * units::KiB));
   info.set("e10_pipeline_flag", spec.pipeline ? "enable" : "disable");
+  info.set("e10_sync_streams", std::to_string(spec.sync_streams));
+  info.set("e10_flush_coalesce_flag",
+           spec.flush_coalesce ? "enable" : "disable");
   switch (spec.cache_case) {
     case CacheCase::disabled:
       info.set("e10_cache", "disable");
@@ -146,12 +149,38 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
       metrics.gauge_high_water(names::kSyncQueueDepth));
   result.flush_overlap_ratio =
       obs::flush_overlap_ratio(platform.metrics, platform.profiler);
+  {
+    // Flush-scheduler figures of merit (satellite of the paper's §III-A
+    // drain): how many sync requests coalesced into each batch, the drain
+    // bandwidth over sync-thread busy time, and how much stream write
+    // service time other streams hid.
+    const double members = static_cast<double>(
+        metrics.counter_value(names::kSyncBatchMembers));
+    const double batches = static_cast<double>(
+        metrics.counter_value(names::kSyncBatches));
+    result.sync_coalesce_ratio = batches > 0 ? members / batches : 0.0;
+    const double busy_s = units::to_seconds(result.sync.busy_time);
+    result.sync_flush_bandwidth_gib =
+        busy_s > 0
+            ? static_cast<double>(result.sync.bytes_synced) / units::GiB /
+                  busy_s
+            : 0.0;
+    const double stream_write_ns = static_cast<double>(
+        metrics.counter_value(names::kSyncStreamWriteNs));
+    const double stream_hidden_ns = static_cast<double>(
+        metrics.counter_value(names::kSyncStreamHiddenNs));
+    result.sync_stream_overlap_ratio =
+        stream_write_ns > 0 ? stream_hidden_ns / stream_write_ns : 0.0;
+  }
   platform.pfs.export_device_metrics(platform.metrics);
 
   obs::RunReportInputs inputs;
   inputs.config.emplace_back("combo", result.combo);
   inputs.config.emplace_back("cache_case", to_string(spec.cache_case));
   inputs.config.emplace_back("pipeline", spec.pipeline ? "on" : "off");
+  inputs.config.emplace_back("sync_streams",
+                             std::to_string(spec.sync_streams));
+  inputs.config.emplace_back("coalesce", spec.flush_coalesce ? "on" : "off");
   // Output-content fingerprint: pipelined and synchronous runs of the same
   // spec must agree on it (CI asserts this).
   inputs.config.emplace_back("content_checksum",
@@ -185,6 +214,13 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
     inputs.derived["write_round.stalls"] = static_cast<double>(
         metrics.counter_value(names::kPipelineStalls));
   }
+  inputs.derived["sync.coalesce_ratio"] = result.sync_coalesce_ratio;
+  inputs.derived["sync.flush_bandwidth_gib"] =
+      result.sync_flush_bandwidth_gib;
+  inputs.derived["sync.streams.overlap_ratio"] =
+      result.sync_stream_overlap_ratio;
+  inputs.derived["sync.streams.stalls"] = static_cast<double>(
+      metrics.counter_value(names::kSyncStreamStalls));
   if (!spec.faults.empty()) {
     // Fault-scenario summary: the plan and what it actually did. The full
     // per-op counters are already in the metrics snapshot (fault.*).

@@ -37,6 +37,13 @@ struct ExperimentSpec {
   /// docs/pipeline.md); false restores the classic synchronous ext2ph
   /// round loop for ablations.
   bool pipeline = true;
+  /// Concurrent in-flight flush streams per sync thread (e10_sync_streams,
+  /// docs/flush_scheduler.md); 1 restores the serial read-back→write drain.
+  int sync_streams = 4;
+  /// Coalesce adjacent queued sync requests into shared stripe-aligned
+  /// flush dispatches (e10_flush_coalesce_flag); false flushes each request
+  /// separately for ablations.
+  bool flush_coalesce = true;
   /// Fault scenario armed on the platform before the run (empty = none).
   fault::FaultPlan faults;
   /// Record a Chrome trace of this run (ExperimentResult::trace_json).
@@ -66,6 +73,14 @@ struct ExperimentResult {
   cache::SyncStats sync;
   /// hidden_sync / total_sync in [0, 1]; 0 when nothing was synced.
   double flush_overlap_ratio = 0.0;
+  /// Flush-scheduler derived figures (all zero when the cache was off):
+  /// sync requests coalesced per batch (1.0 with coalescing off, the
+  /// coalescing win above it), synced bytes over sync-thread busy time,
+  /// and the fraction of stream write service time hidden behind other
+  /// streams' work.
+  double sync_coalesce_ratio = 0.0;
+  double sync_flush_bandwidth_gib = 0.0;
+  double sync_stream_overlap_ratio = 0.0;
   /// Machine-readable run report (config + phases + metrics + derived).
   obs::Json report;
   /// Chrome trace JSON; empty unless ExperimentSpec::trace was set.

@@ -138,7 +138,10 @@ TEST(WritePipeline_, CachedPipelinedContentMatchesSynchronous) {
                                      coll_info(false, true), kBlock, kBlocks);
   expect_matches(on.pfs, "/pfs/cpipe_on", reference);
   expect_matches(off.pfs, "/pfs/cpipe_off", reference);
-  EXPECT_LE(t_on, t_off);
+  // Tolerance: the cached path ends on background-flush completions whose
+  // virtual-time arithmetic rounds per advance point, so the two schedules
+  // can differ by a few ns without either being slower in any real sense.
+  EXPECT_LE(t_on, t_off + units::microseconds(1));
 }
 
 TEST(WritePipeline_, PipelineOverlapIsObserved) {

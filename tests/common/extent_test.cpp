@@ -42,6 +42,42 @@ TEST(ExtentList, NormalizeMergesOverlapsAndAdjacency) {
   EXPECT_EQ(list.total_bytes(), 30);
 }
 
+TEST(ExtentList, CoalesceDropsZeroLengthExtentsBetweenAdjacentOnes) {
+  // A zero-length extent sitting exactly on the seam of two adjacent
+  // extents must neither survive nor block the merge.
+  ExtentList list;
+  list.add({0, 10});
+  list.add({10, 0});  // empty, at the seam
+  list.add({10, 10});
+  list.add({30, 0});  // empty, isolated
+  list.coalesce();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], (Extent{0, 20}));
+}
+
+TEST(ExtentList, CoalesceMergesAcrossAStripeBoundary) {
+  // Extents meeting exactly at a 4 MiB stripe boundary are adjacent and
+  // coalesce into one run — alignment splitting is the flush planner's
+  // job (plan_dispatches), not the extent list's.
+  constexpr Offset kStripe = 4 * 1024 * 1024;
+  ExtentList list;
+  list.add({kStripe - 512, 512});
+  list.add({kStripe, 512});
+  list.coalesce();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], (Extent{kStripe - 512, 1024}));
+  EXPECT_EQ(list.total_bytes(), 1024);
+}
+
+TEST(ExtentList, CoalesceOfOnlyEmptyExtentsIsEmpty) {
+  ExtentList list;
+  list.add({5, 0});
+  list.add({5, 0});
+  list.coalesce();
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_TRUE(list.bounding().empty());
+}
+
 TEST(ExtentList, Bounding) {
   ExtentList list;
   EXPECT_TRUE(list.bounding().empty());

@@ -122,7 +122,7 @@ TEST(ObsWorkload, TraceShowsThePipelinePerRank) {
   }
   // The collective-write pipeline phases, on every rank's track.
   for (const char* phase : {"shuffle_all2all", "exchange", "write_contig",
-                            "write_round", "compute", "sync_extent"}) {
+                            "write_round", "compute", "flush_batch"}) {
     EXPECT_TRUE(span_names.count(phase) == 1) << phase;
   }
   EXPECT_GE(span_tracks.size(), 8u);  // 8 ranks + sync-thread tracks
