@@ -45,6 +45,11 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
       options.trace_path = arg.substr(8);
     } else if (arg.starts_with("--report=")) {
       options.report_path = arg.substr(9);
+    } else if (arg == "--critical-path") {
+      options.critical_path = true;
+    } else if (arg.starts_with("--critical-path=")) {
+      options.critical_path = true;
+      options.critical_path_path = arg.substr(16);
     } else if (arg.starts_with("--combos=")) {
       split_list(arg.substr(9), options.combos);
     } else if (arg.starts_with("--cases=")) {
@@ -164,6 +169,10 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
   }
 
   bool trace_pending = !options.trace_path.empty();
+  // Prefer tracing a cache-enabled run (the case the paper's pipeline is
+  // about), but only when that case is actually selected — --trace must
+  // compose with --cases=disabled.
+  const bool prefer_enabled = options.case_selected(CacheCase::enabled);
   for (const CacheCase cache_case :
        {CacheCase::disabled, CacheCase::enabled, CacheCase::theoretical}) {
     if (!options.case_selected(cache_case)) continue;
@@ -183,9 +192,11 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       spec.workflow.include_last_phase = figure.include_last_phase;
       spec.check_concurrency = options.check_concurrency;
       if (!options.combo_selected(workloads::combo_label(spec))) continue;
-      // Trace exactly one run: the first cache-enabled combo (the case the
-      // paper's pipeline is about); tracing every run would be huge.
-      spec.trace = trace_pending && cache_case == CacheCase::enabled;
+      // Trace exactly one run (tracing every run would be huge); the
+      // critical-path analyzer is cheap and runs on all of them.
+      spec.trace = trace_pending &&
+                   (cache_case == CacheCase::enabled || !prefer_enabled);
+      spec.critical_path = options.critical_path;
       ExperimentResult result =
           workloads::run_experiment(spec, figure.factory);
       if (spec.trace) {
@@ -203,6 +214,16 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       std::fprintf(stderr, "  done %s %s: %.2f GiB/s\n",
                    workloads::to_string(cache_case), result.combo.c_str(),
                    result.bandwidth_gib);
+      if (options.critical_path) {
+        std::fprintf(stderr,
+                     "  critical path: bottleneck=%s attributed=%.1f%%\n",
+                     result.bottleneck.c_str(),
+                     result.attributed_fraction * 100.0);
+      }
+      if ((spec.trace || spec.critical_path) && result.trace_open_spans > 0) {
+        std::fprintf(stderr, "  WARNING: %zu trace span(s) left open\n",
+                     result.trace_open_spans);
+      }
       if (options.check_concurrency) {
         std::fprintf(stderr,
                      "  concurrency: %zu races, %zu lock-order cycles "
@@ -223,6 +244,43 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
                           CacheCase::disabled, results);
     print_sync_table(figure.benchmark + " background sync, cache enabled",
                      results);
+    print_tail_table(figure.benchmark + " phase tails, cache enabled",
+                     CacheCase::enabled, results);
+    print_tail_table(figure.benchmark + " phase tails, cache disabled",
+                     CacheCase::disabled, results);
+  }
+  if (options.critical_path) {
+    print_critical_path_summary(figure.benchmark + " critical path", results);
+    if (!results.empty() && !results.front().critical_path_text.empty()) {
+      const ExperimentResult& first = results.front();
+      std::printf("\n### %s critical path detail (%s %s)\n",
+                  figure.benchmark.c_str(),
+                  workloads::to_string(first.cache_case), first.combo.c_str());
+      std::fputs(first.critical_path_text.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (!options.critical_path_path.empty()) {
+      obs::Json sections = obs::Json::array();
+      for (const ExperimentResult& r : results) {
+        if (r.critical_path.is_null()) continue;
+        obs::Json entry = obs::Json::object();
+        entry.set("combo", obs::Json::str(r.combo));
+        entry.set("cache_case",
+                  obs::Json::str(workloads::to_string(r.cache_case)));
+        entry.set("critical_path", r.critical_path);
+        sections.push(std::move(entry));
+      }
+      if (const Status s =
+              obs::write_json_file(options.critical_path_path, sections);
+          !s.is_ok()) {
+        std::fprintf(stderr, "  failed to write critical path to %s: %s\n",
+                     options.critical_path_path.c_str(),
+                     s.message().c_str());
+      } else {
+        std::fprintf(stderr, "  critical path written to %s\n",
+                     options.critical_path_path.c_str());
+      }
+    }
   }
   if (options.check_concurrency) {
     std::size_t races = 0;
@@ -319,6 +377,69 @@ void print_sync_table(const std::string& title,
         units::to_seconds(r.sync.busy_time), r.flush_overlap_ratio,
         r.sync_coalesce_ratio, r.sync_flush_bandwidth_gib,
         r.sync_stream_overlap_ratio);
+  }
+  std::fflush(stdout);
+}
+
+void print_tail_table(const std::string& title, CacheCase cache_case,
+                      const std::vector<ExperimentResult>& results) {
+  static constexpr prof::Phase kShown[] = {
+      prof::Phase::shuffle_all2all, prof::Phase::exchange,
+      prof::Phase::write_contig,    prof::Phase::flush_wait,
+      prof::Phase::not_hidden_sync,
+  };
+  std::printf("\n### %s [s, over ranks]\n", title.c_str());
+  std::printf("%-10s %-18s %10s %10s %10s %10s\n", "combo", "phase", "p50",
+              "p95", "p99", "max");
+  for (const ExperimentResult& r : results) {
+    if (r.cache_case != cache_case) continue;
+    const obs::Json* phases = r.report.find("phases");
+    if (phases == nullptr) continue;
+    for (const prof::Phase phase : kShown) {
+      const obs::Json* row = phases->find(prof::phase_name(phase));
+      if (row == nullptr) continue;
+      const auto stat = [&](const char* key) {
+        const obs::Json* value = row->find(key);
+        return value == nullptr ? 0.0 : value->as_number();
+      };
+      std::printf("%-10s %-18s %10.3f %10.3f %10.3f %10.3f\n",
+                  r.combo.c_str(), prof::phase_name(phase), stat("p50_s"),
+                  stat("p95_s"), stat("p99_s"), stat("max_s"));
+    }
+  }
+  std::fflush(stdout);
+}
+
+void print_critical_path_summary(
+    const std::string& title, const std::vector<ExperimentResult>& results) {
+  static constexpr const char* kCategories[] = {
+      "shuffle", "write", "flush", "lock_wait", "nic_contention", "idle",
+  };
+  std::printf("\n### %s [fraction of end-to-end time]\n", title.c_str());
+  std::printf("%-10s %-18s %-14s %10s", "combo", "case", "bottleneck",
+              "attributed");
+  for (const char* category : kCategories) std::printf(" %14s", category);
+  std::printf("\n");
+  for (const ExperimentResult& r : results) {
+    if (r.critical_path.is_null()) continue;
+    std::printf("%-10s %-18s %-14s %9.1f%%", r.combo.c_str(),
+                workloads::to_string(r.cache_case), r.bottleneck.c_str(),
+                r.attributed_fraction * 100.0);
+    const obs::Json* categories = r.critical_path.find("categories");
+    for (const char* category : kCategories) {
+      double fraction = 0.0;
+      if (categories != nullptr) {
+        if (const obs::Json* entry = categories->find(category);
+            entry != nullptr) {
+          if (const obs::Json* value = entry->find("fraction");
+              value != nullptr) {
+            fraction = value->as_number();
+          }
+        }
+      }
+      std::printf(" %14.3f", fraction);
+    }
+    std::printf("\n");
   }
   std::fflush(stdout);
 }

@@ -10,9 +10,18 @@
 //   --combos=a_bm,...  restrict to a subset, e.g. --combos=64_4m,8_4m
 //   --files=N          number of files per experiment (paper: 4)
 //   --no-breakdown     skip the breakdown tables
-//   --trace=PATH       Chrome trace of the first cache-enabled run
+//   --trace=PATH       Chrome trace of one run: the first cache-enabled run
+//                      when that case is selected, else the first run (so it
+//                      composes with --cases=disabled)
 //   --report=PATH      machine-readable run report (JSON array, one entry
 //                      per experiment: config + phases + metrics + derived)
+//   --critical-path[=PATH]
+//                      run the causal critical-path analyzer on every run:
+//                      prints the per-run bottleneck summary, the full
+//                      attribution table for the first analyzed run and a
+//                      per-phase tail-latency table; with =PATH also writes
+//                      a JSON array of the per-run critical_path sections.
+//                      See docs/observability.md.
 //   --cases=a,b        restrict the cache cases, e.g. --cases=enabled
 //                      (disabled | enabled | theoretical)
 //   --faults=SPEC      arm a fault scenario on every run; SPEC is the
@@ -53,6 +62,8 @@ struct BenchOptions {
   std::vector<std::string> cases;   // empty = all three cache cases
   std::string trace_path;           // empty = no trace
   std::string report_path;          // empty = no report
+  bool critical_path = false;       // analyze the critical path of each run
+  std::string critical_path_path;   // empty = tables only, no JSON file
   std::string faults_spec;          // empty = no fault scenario
   bool check_concurrency = false;   // attach the concurrency checker
   bool pipeline = true;             // double-buffered round loop
@@ -99,6 +110,19 @@ void print_breakdown_table(
 /// ratio, plus the flush-scheduler figures (coalesce ratio, drain
 /// bandwidth, stream overlap).
 void print_sync_table(
+    const std::string& title,
+    const std::vector<workloads::ExperimentResult>& results);
+
+/// Per-phase tail latencies (p50/p95/p99/max over ranks, from the run
+/// report's phase table) for one cache case — the straggler signature the
+/// max-only breakdown hides.
+void print_tail_table(
+    const std::string& title, workloads::CacheCase cache_case,
+    const std::vector<workloads::ExperimentResult>& results);
+
+/// One row per analyzed run: bottleneck category, attributed fraction and
+/// the per-category split of the end-to-end critical path.
+void print_critical_path_summary(
     const std::string& title,
     const std::vector<workloads::ExperimentResult>& results);
 

@@ -1,6 +1,7 @@
 #include "adio/pipeline.h"
 
 #include "adio/aggregation.h"
+#include "sim/causal.h"
 
 namespace e10::adio {
 
@@ -99,6 +100,13 @@ void WritePipeline::join_oldest() {
     if (handle.request.valid()) handle.request.wait();
     const sim::JoinOutcome outcome =
         overlap_.on_join(handle.issued, handle.done, join_at);
+    // A stalled join means this rank was gated on the write's service time:
+    // record the async interval for critical-path attribution.
+    if (sim::CausalObserver* causal = fd_.ctx->engine.causal_observer();
+        causal != nullptr && outcome.stall > 0) {
+      causal->bridge(sim::EdgeKind::write_join, fd_.ctx->engine.current(),
+                     handle.issued, handle.done);
+    }
     if (write_ns_counter_ != nullptr) {
       write_ns_counter_->add(handle.done - handle.issued);
       hidden_ns_counter_->add(outcome.hidden);

@@ -106,6 +106,13 @@ void FlushScheduler::join_oldest() {
   // Split the service interval at the pre-join clock: what already elapsed
   // was hidden behind other streams' work, the rest is a stall.
   overlap_.on_join(oldest.issued, oldest.done, engine_.now());
+  // A stalling join gates this lane on the write's media time: record the
+  // async service interval for critical-path attribution.
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && oldest.done > engine_.now()) {
+    causal->bridge(sim::EdgeKind::batch_done, engine_.current(),
+                   oldest.issued, oldest.done);
+  }
   engine_.advance_to(oldest.done);
 }
 

@@ -66,9 +66,15 @@ void LockTable::lock(const std::string& path, const Extent& extent) {
   }
   E10_SHARED_WRITE(tables_var_);
   FileLocks& locks = files_[path];
+  const Time before = engine_.now();
   while (overlaps_held(locks, extent)) {
     locks.waiters.push_back(engine_.current());
     engine_.block("LockTable::lock");
+  }
+  // Blocked: the release that finally let us through gated this lane.
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && locks.last_release != 0 && engine_.now() > before) {
+    causal->ack(locks.last_release, engine_.current(), engine_.now());
   }
   locks.held.push_back(extent);
   if (observer != nullptr) {
@@ -96,6 +102,11 @@ void LockTable::unlock(const std::string& path, const Extent& extent) {
       observer != nullptr && engine_.in_process()) {
     observer->on_released(engine_.current(), extent_lock_id(path, extent));
   }
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && engine_.in_process() && !locks.waiters.empty()) {
+    locks.last_release = causal->emit(sim::EdgeKind::lock_wait,
+                                      engine_.current(), engine_.now());
+  }
   wake_all(locks);
 }
 
@@ -106,9 +117,14 @@ void LockTable::wait_unlocked(const std::string& path, const Extent& extent) {
   const auto file_it = files_.find(path);
   if (file_it == files_.end()) return;
   FileLocks& locks = file_it->second;
+  const Time before = engine_.now();
   while (overlaps_held(locks, extent)) {
     locks.waiters.push_back(engine_.current());
     engine_.block("LockTable::wait_unlocked");
+  }
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && locks.last_release != 0 && engine_.now() > before) {
+    causal->ack(locks.last_release, engine_.current(), engine_.now());
   }
 }
 

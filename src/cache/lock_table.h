@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/extent.h"
+#include "sim/causal.h"
 #include "sim/concurrency.h"
 #include "sim/engine.h"
 
@@ -57,6 +58,8 @@ class LockTable {
   struct FileLocks {
     std::vector<Extent> held;
     std::deque<sim::ProcessId> waiters;
+    /// Causal emission of the latest release that woke waiters (0 = none).
+    sim::CausalToken last_release = 0;
   };
 
   bool overlaps_held(const FileLocks& locks, const Extent& extent) const;

@@ -100,6 +100,12 @@ void SyncThread::note_queue_depth(std::size_t depth) {
 
 void SyncThread::enqueue(SyncRequest request) {
   if (!handle_.valid()) throw std::logic_error("SyncThread not started");
+  // The enqueue is the causal source of the drain that services it.
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && engine_.in_process()) {
+    request.cause = causal->emit(sim::EdgeKind::sync_queue, engine_.current(),
+                                 engine_.now());
+  }
   std::size_t depth = 0;
   {
     const sim::MonitorGuard monitor(engine_, &inbox_, inbox_monitor_name_);
@@ -209,6 +215,7 @@ SyncThread::Gather SyncThread::gather_batch(std::vector<SyncRequest>& batch,
     if (next->shutdown) return Gather::kShutdown;
     first = std::move(*next);
   } else {
+    const Time before = engine_.now();
     first = [this] {
       // The monitor is claimed across the (possibly blocking) recv — the
       // classic condition-wait-inside-monitor shape; see concurrency.h.
@@ -216,6 +223,11 @@ SyncThread::Gather SyncThread::gather_batch(std::vector<SyncRequest>& batch,
       E10_SHARED_WRITE(inbox_var_);
       return inbox_.recv();
     }();
+    // The idle inbox wait ended because this request was enqueued.
+    if (sim::CausalObserver* causal = engine_.causal_observer();
+        causal != nullptr && first.cause != 0 && engine_.now() > before) {
+      causal->ack(first.cause, engine_.current(), engine_.now());
+    }
     if (first.shutdown) return Gather::kShutdown;
   }
   batch.push_back(std::move(first));
@@ -265,11 +277,25 @@ void SyncThread::reap_deferred() {
 
 void SyncThread::finalize_deferred() {
   if (deferred_.empty()) return;
+  const Time before = engine_.now();
   Time last = 0;
   for (const DeferredBatch& batch : deferred_) {
     last = std::max(last, batch.done_time);
   }
-  if (last > engine_.now()) engine_.advance_to(last);
+  if (last > before) {
+    engine_.advance_to(last);
+    // Waiting the batches out gated this lane: record each one actually
+    // waited on as an async service bridge (issue -> media-durable).
+    if (sim::CausalObserver* causal = engine_.causal_observer();
+        causal != nullptr) {
+      for (const DeferredBatch& batch : deferred_) {
+        if (batch.done_time > before) {
+          causal->bridge(sim::EdgeKind::batch_done, engine_.current(),
+                         batch.issued, batch.done_time);
+        }
+      }
+    }
+  }
   reap_deferred();
 }
 
@@ -355,7 +381,8 @@ void SyncThread::run() {
       // Fully drained: every member's bytes are issued durably (resume
       // offsets at full length); completion waits for the media time so
       // the durability promise holds, without stalling the drain here.
-      deferred_.push_back(DeferredBatch{std::move(batch), outcome.done_time});
+      deferred_.push_back(
+          DeferredBatch{std::move(batch), outcome.done_time, busy_start});
       continue;
     }
     // Failure: the drain joined everything. Earlier batches complete first

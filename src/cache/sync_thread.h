@@ -129,6 +129,8 @@ class SyncThread {
   struct DeferredBatch {
     std::vector<SyncRequest> members;
     Time done_time = 0;
+    /// When the batch's drain started (the causal bridge's issue time).
+    Time issued = 0;
   };
 
   void run();

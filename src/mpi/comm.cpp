@@ -124,6 +124,17 @@ Request CommState::isend(int src, int dst, int tag, std::any payload,
   auto send_state = std::make_shared<Request::State>(engine_);
   const bool eager = bytes <= params_.eager_threshold;
 
+  // The send call is the causal source of the matched receive's completion
+  // (and of the sender's own tx-done wait); the in-flight latency carries
+  // the NIC queueing the cost model charged.
+  sim::CausalToken cause = 0;
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && engine_.in_process()) {
+    cause = causal->emit(sim::EdgeKind::message, engine_.current(), now,
+                         times.queued);
+  }
+  send_state->cause = cause;
+
   RankQueues& dst_queues = queues_[static_cast<std::size_t>(dst)];
   // Look for an already-posted matching receive (FIFO post order).
   for (auto it = dst_queues.posted.begin(); it != dst_queues.posted.end();
@@ -132,6 +143,7 @@ Request CommState::isend(int src, int dst, int tag, std::any payload,
       const Time completion = times.arrival;
       it->state->packet = std::move(packet);
       it->state->has_packet = true;
+      it->state->cause = cause;
       it->state->done.set_at(completion);
       send_state->done.set_at(eager ? times.tx_done : completion);
       dst_queues.posted.erase(it);
@@ -144,6 +156,7 @@ Request CommState::isend(int src, int dst, int tag, std::any payload,
   PendingMsg msg;
   msg.packet = std::move(packet);
   msg.arrival = times.arrival;
+  msg.cause = cause;
   if (eager) {
     send_state->done.set_at(times.tx_done);
   } else {
@@ -167,9 +180,16 @@ Request CommState::irecv(int dst, int src, int tag) {
       const Time completion = std::max(engine_.now(), it->arrival);
       recv_state->packet = std::move(it->packet);
       recv_state->has_packet = true;
+      recv_state->cause = it->cause;
       recv_state->done.set_at(completion);
       if (it->send_state != nullptr) {
-        // Rendezvous sender completes when the receiver drains the message.
+        // Rendezvous sender completes when the receiver drains the message;
+        // the receiver posting this irecv is what released it.
+        if (sim::CausalObserver* causal = engine_.causal_observer();
+            causal != nullptr && engine_.in_process()) {
+          it->send_state->cause = causal->emit(
+              sim::EdgeKind::message, engine_.current(), engine_.now());
+        }
         it->send_state->done.set_at(completion);
       }
       my_queues.unexpected.erase(it);
@@ -231,6 +251,13 @@ std::shared_ptr<CommState::CollOp> CommState::join_collective(
     const Time release = op->max_arrival + collective_cost(kind, op->max_bytes);
     op->result = std::make_shared<std::vector<std::any>>(
         std::move(op->contributions));
+    // Every released participant was gated on the last arriver — the
+    // collective straggler edge the critical-path walk follows.
+    if (sim::CausalObserver* causal = engine_.causal_observer();
+        causal != nullptr && engine_.in_process()) {
+      op->cause = causal->emit(sim::EdgeKind::collective, engine_.current(),
+                               release);
+    }
     op->release.set_at(release);
     coll_ops_.erase(gen);  // joined ranks hold shared_ptrs
   }
@@ -241,7 +268,12 @@ std::shared_ptr<const std::vector<std::any>> CommState::collective(
     int rank, Comm::Kind kind, std::any contribution, Offset bytes) {
   const std::shared_ptr<CollOp> op =
       join_collective(rank, kind, std::move(contribution), bytes);
+  const Time before = engine_.now();
   op->release.wait();
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && op->cause != 0 && engine_.now() > before) {
+    causal->ack(op->cause, engine_.current(), engine_.now());
+  }
   return op->result;
 }
 

@@ -195,6 +195,7 @@ class CommState {
     Packet packet;
     Time arrival = 0;
     std::shared_ptr<Request::State> send_state;  // open rendezvous send
+    sim::CausalToken cause = 0;  // the send's causal emission
   };
   struct PendingRecv {
     std::shared_ptr<Request::State> state;
@@ -214,6 +215,7 @@ class CommState {
     Comm::Kind kind = Comm::Kind::barrier;
     sim::SimEvent release;
     std::shared_ptr<std::vector<std::any>> result;
+    sim::CausalToken cause = 0;  // last arriver's release emission
   };
 
   static bool matches(const PendingRecv& recv, const Packet& packet);

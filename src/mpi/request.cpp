@@ -6,7 +6,14 @@ namespace e10::mpi {
 
 void Request::wait() {
   if (!valid()) throw std::logic_error("wait on invalid Request");
+  sim::Engine& engine = state_->done.engine();
+  const Time before = engine.now();
   state_->done.wait();
+  // The wait advanced our clock: the request's completion gated us.
+  if (sim::CausalObserver* causal = engine.causal_observer();
+      causal != nullptr && state_->cause != 0 && engine.now() > before) {
+    causal->ack(state_->cause, engine.current(), engine.now());
+  }
 }
 
 bool Request::test() const {
@@ -27,11 +34,23 @@ Request Request::grequest(sim::Engine& engine) {
 
 void Request::complete() {
   if (!valid()) throw std::logic_error("complete on invalid Request");
+  sim::Engine& engine = state_->done.engine();
+  if (sim::CausalObserver* causal = engine.causal_observer();
+      causal != nullptr && engine.in_process()) {
+    state_->cause = causal->emit(sim::EdgeKind::grequest, engine.current(),
+                                 engine.now());
+  }
   state_->done.set();
 }
 
 void Request::complete_at(Time at) {
   if (!valid()) throw std::logic_error("complete on invalid Request");
+  sim::Engine& engine = state_->done.engine();
+  if (sim::CausalObserver* causal = engine.causal_observer();
+      causal != nullptr && engine.in_process()) {
+    state_->cause =
+        causal->emit(sim::EdgeKind::grequest, engine.current(), at);
+  }
   state_->done.set_at(at);
 }
 

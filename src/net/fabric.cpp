@@ -50,19 +50,22 @@ Fabric::TransferTimes Fabric::transfer_times(std::size_t src_node,
   if (src_node == dst_node) {
     intra_node_bytes_ += size;
     const Time copy = serialization_time(size, params_.mem_bytes_per_second);
-    const Time done =
-        mem_[src_node].reserve(now, params_.intra_node_overhead + copy);
-    return TransferTimes{done, done};
+    const sim::Interval slot = mem_[src_node].reserve_interval(
+        now, params_.intra_node_overhead + copy);
+    return TransferTimes{slot.end, slot.end, slot.start - now};
   }
 
   inter_node_bytes_ += size;
   const Time wire = serialization_time(size, params_.nic_bytes_per_second);
-  const Time tx_done =
-      tx_[src_node].reserve(now, params_.per_message_overhead + wire);
+  const sim::Interval tx_slot =
+      tx_[src_node].reserve_interval(now, params_.per_message_overhead + wire);
   // The receive NIC drains the same number of bytes; under incast the
   // receiver side is the bottleneck and this timeline serializes the flows.
-  const Time arrival = rx_[dst_node].reserve(tx_done + params_.link_latency, wire);
-  return TransferTimes{tx_done, arrival};
+  const sim::Interval rx_slot =
+      rx_[dst_node].reserve_interval(tx_slot.end + params_.link_latency, wire);
+  const Time queued = (tx_slot.start - now) +
+                      (rx_slot.start - (tx_slot.end + params_.link_latency));
+  return TransferTimes{tx_slot.end, rx_slot.end, queued};
 }
 
 }  // namespace e10::net

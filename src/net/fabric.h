@@ -38,6 +38,9 @@ class Fabric {
     Time tx_done;
     /// When the message is fully delivered at the receiver.
     Time arrival;
+    /// Queueing inside the latency: time spent waiting for a busy NIC /
+    /// copy engine rather than moving bytes (incast contention signal).
+    Time queued = 0;
   };
 
   /// Computes the timing of a `size`-byte message sent from `src_node` at

@@ -1,0 +1,58 @@
+#include "obs/causal.h"
+
+#include "obs/trace.h"
+
+namespace e10::obs {
+
+CausalRecorder::CausalRecorder(sim::Engine& engine, Tracer* tracer)
+    : engine_(engine), tracer_(tracer) {
+  engine_.set_causal_observer(this);
+}
+
+CausalRecorder::~CausalRecorder() {
+  if (engine_.causal_observer() == this) engine_.set_causal_observer(nullptr);
+}
+
+sim::CausalToken CausalRecorder::emit(sim::EdgeKind kind, sim::ProcessId pid,
+                                      Time at, Time contended_ns) {
+  emissions_.push_back(Emission{kind, pid, at, contended_ns});
+  return static_cast<sim::CausalToken>(emissions_.size());
+}
+
+void CausalRecorder::ack(sim::CausalToken token, sim::ProcessId pid, Time at) {
+  if (token == 0 || token > emissions_.size()) return;
+  const Emission& src = emissions_[token - 1];
+  // A process acking its own emission at the emission time carries no
+  // dependency (e.g. a rank waiting on a grequest it completed itself).
+  if (src.pid == pid && src.at == at) return;
+  acks_.push_back(Ack{token, pid, at});
+  if (tracer_ != nullptr && tracer_->enabled() && src.pid != pid) {
+    const int src_track = tracer_->pid_track(src.pid);
+    const int dst_track = tracer_->pid_track(pid);
+    if (src_track >= 0 && dst_track >= 0) {
+      tracer_->flow(src_track, src.at, dst_track, at, token,
+                    sim::edge_kind_name(src.kind));
+    }
+  }
+}
+
+void CausalRecorder::bridge(sim::EdgeKind kind, sim::ProcessId pid, Time issue,
+                            Time done) {
+  if (done <= issue) return;
+  bridges_.push_back(Bridge{kind, pid, issue, done});
+}
+
+void CausalRecorder::interval(sim::EdgeKind kind, sim::ProcessId pid,
+                              Time begin, Time end) {
+  if (end <= begin) return;
+  overlays_.push_back(Overlay{kind, pid, begin, end});
+}
+
+void CausalRecorder::clear() {
+  emissions_.clear();
+  acks_.clear();
+  bridges_.clear();
+  overlays_.clear();
+}
+
+}  // namespace e10::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace e10::obs {
@@ -29,6 +30,26 @@ void Histogram::observe(std::int64_t value) {
   }
   ++count_;
   sum_ += value;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::logic_error("Histogram::percentile: q outside [0,1]");
+  }
+  if (count_ == 0) return 0;
+  // Nearest-rank over the cumulative bucket counts.
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      if (i >= bounds_.size()) return max_;
+      return std::clamp(bounds_[i], min_, max_);
+    }
+  }
+  return max_;
 }
 
 std::vector<std::int64_t> exponential_bounds(std::int64_t first, int count,
@@ -112,6 +133,9 @@ Json MetricsRegistry::as_json() const {
     entry.set("sum", Json::integer(h.sum()));
     entry.set("min", Json::integer(h.min()));
     entry.set("max", Json::integer(h.max()));
+    entry.set("p50", Json::integer(h.percentile(0.50)));
+    entry.set("p95", Json::integer(h.percentile(0.95)));
+    entry.set("p99", Json::integer(h.percentile(0.99)));
     Json buckets = Json::array();
     const auto& bounds = h.bounds();
     const auto& counts = h.bucket_counts();

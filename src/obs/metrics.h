@@ -63,6 +63,12 @@ class Histogram {
   /// Index of the bucket `value` falls into.
   std::size_t bucket_index(std::int64_t value) const;
 
+  /// Nearest-rank percentile estimate from the bucket counts, q in [0, 1]:
+  /// the inclusive upper bound of the bucket holding the q-quantile
+  /// observation, clamped to the observed [min, max] (exact for the
+  /// overflow bucket, which reports max()). 0 when empty.
+  std::int64_t percentile(double q) const;
+
  private:
   std::vector<std::int64_t> bounds_;
   std::vector<std::uint64_t> counts_;

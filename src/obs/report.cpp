@@ -18,6 +18,8 @@ Json phase_table_json(const prof::Profiler& profiler) {
                          profiler.percentile_over_ranks(phase, 0.50))));
     row.set("p95_s", Json::number(units::to_seconds(
                          profiler.percentile_over_ranks(phase, 0.95))));
+    row.set("p99_s", Json::number(units::to_seconds(
+                         profiler.percentile_over_ranks(phase, 0.99))));
     row.set("avg_s", Json::number(
                          units::to_seconds(profiler.avg_over_ranks(phase))));
     row.set("max_s", Json::number(

@@ -13,6 +13,10 @@ Span::Span(Tracer* tracer, int track, std::string_view name) {
   track_ = track;
   name_ = name;
   start_ = tracer->engine_.now();
+  pid_ = tracer->engine_.in_process() ? tracer->engine_.current()
+                                      : sim::kNoProcess;
+  ++tracer->open_spans_;
+  if (pid_ != sim::kNoProcess) tracer->pid_tracks_[pid_] = track;
 }
 
 Span& Span::operator=(Span&& other) noexcept {
@@ -21,6 +25,7 @@ Span& Span::operator=(Span&& other) noexcept {
     tracer_ = other.tracer_;
     track_ = other.track_;
     start_ = other.start_;
+    pid_ = other.pid_;
     name_ = std::move(other.name_);
     args_ = std::move(other.args_);
     other.tracer_ = nullptr;
@@ -46,9 +51,11 @@ void Span::end() {
   event.track = track_;
   event.ts = start_;
   event.dur = tracer_->engine_.now() - start_;
+  event.pid = pid_;
   event.name = std::move(name_);
   event.args = std::move(args_);
   tracer_->events_.push_back(std::move(event));
+  --tracer_->open_spans_;
   tracer_ = nullptr;
 }
 
@@ -96,11 +103,39 @@ void Tracer::instant(int track_id, std::string_view name) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::flow(int src_track, Time src_ts, int dst_track, Time dst_ts,
+                  std::uint64_t id, std::string_view name) {
+  if (!enabled_) return;
+  // Chrome requires the start's timestamp to be <= the finish's.
+  if (dst_ts < src_ts) dst_ts = src_ts;
+  Event start;
+  start.phase = 's';
+  start.track = src_track;
+  start.ts = src_ts;
+  start.flow_id = id;
+  start.name = std::string(name);
+  events_.push_back(std::move(start));
+  Event finish;
+  finish.phase = 'f';
+  finish.track = dst_track;
+  finish.ts = dst_ts;
+  finish.flow_id = id;
+  finish.name = std::string(name);
+  events_.push_back(std::move(finish));
+}
+
+int Tracer::pid_track(sim::ProcessId pid) const {
+  const auto it = pid_tracks_.find(pid);
+  return it == pid_tracks_.end() ? -1 : it->second;
+}
+
 void Tracer::clear() {
   tracks_.clear();
   track_ids_.clear();
   rank_tracks_.clear();
+  pid_tracks_.clear();
   events_.clear();
+  open_spans_ = 0;
 }
 
 namespace {
@@ -187,6 +222,12 @@ std::string Tracer::to_json() const {
         break;
       case 'i':
         out += ",\"s\":\"t\"";
+        break;
+      case 's':
+      case 'f':
+        out += ",\"cat\":\"causal\",\"id\":";
+        out += std::to_string(event.flow_id);
+        if (event.phase == 'f') out += ",\"bp\":\"e\"";
         break;
       default:
         break;

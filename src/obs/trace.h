@@ -58,12 +58,32 @@ class Span {
   Tracer* tracer_ = nullptr;
   int track_ = 0;
   Time start_ = 0;
+  sim::ProcessId pid_ = sim::kNoProcess;
   std::string name_;
   std::vector<SpanArg> args_;
 };
 
 class Tracer {
  public:
+  /// One recorded trace event. Spans ('X') carry the simulated process
+  /// that emitted them so the critical-path analyzer (critical_path.h) can
+  /// join lanes against causal edges, which are keyed by ProcessId.
+  struct Event {
+    char phase = 'X';
+    int track = 0;
+    Time ts = 0;
+    Time dur = 0;
+    std::int64_t value = 0;  // counter sample
+    std::uint64_t flow_id = 0;  // flow ('s'/'f') pairing id
+    sim::ProcessId pid = sim::kNoProcess;
+    std::string name;
+    std::vector<SpanArg> args;
+  };
+  struct TrackInfo {
+    std::string name;
+    int sort_index = 0;
+  };
+
   explicit Tracer(sim::Engine& engine) : engine_(engine) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -85,8 +105,24 @@ class Tracer {
   /// Zero-duration marker on a track.
   void instant(int track, std::string_view name);
 
+  /// Paired flow arrow ('s' at the source, 'f' at the destination) for one
+  /// causal edge; both halves share `id` so every start has its finish.
+  /// Emitted together, at ack time, so the pairing is structural.
+  void flow(int src_track, Time src_ts, int dst_track, Time dst_ts,
+            std::uint64_t id, std::string_view name);
+
+  /// Track a simulated process last opened a span on (-1 = none seen);
+  /// lets edge recorders draw flows between existing lanes.
+  int pid_track(sim::ProcessId pid) const;
+
   std::size_t events() const { return events_.size(); }
   std::size_t tracks() const { return tracks_.size(); }
+  /// Spans constructed but not yet ended. A clean run ends at zero; a
+  /// dangling-open span (lost on an error path) never reaches the JSON, so
+  /// the fault smoke asserts this instead of grepping the output.
+  std::size_t open_spans() const { return open_spans_; }
+  const std::vector<Event>& event_list() const { return events_; }
+  const std::vector<TrackInfo>& track_list() const { return tracks_; }
   void clear();
 
   /// Chrome trace-event JSON: {"traceEvents": [...]} with thread-name
@@ -99,25 +135,13 @@ class Tracer {
  private:
   friend class Span;
 
-  struct Event {
-    char phase = 'X';
-    int track = 0;
-    Time ts = 0;
-    Time dur = 0;
-    std::int64_t value = 0;  // counter sample
-    std::string name;
-    std::vector<SpanArg> args;
-  };
-  struct TrackInfo {
-    std::string name;
-    int sort_index = 0;
-  };
-
   sim::Engine& engine_;
   bool enabled_ = false;
+  std::size_t open_spans_ = 0;
   std::vector<TrackInfo> tracks_;
   std::unordered_map<std::string, int> track_ids_;
   std::vector<int> rank_tracks_;  // rank -> track id (-1 unregistered)
+  std::unordered_map<sim::ProcessId, int> pid_tracks_;
   std::vector<Event> events_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "fault/fault_injector.h"
+#include "sim/causal.h"
 
 namespace e10::pfs {
 
@@ -270,6 +271,13 @@ Result<Time> Pfs::write_async_impl(FileHandle handle, Offset offset,
         if (lock_waits_ != nullptr) {
           lock_waits_->increment();
           lock_wait_ns_->add(granted - cpu_done);
+        }
+        // Overlay for the critical-path analyzer: this slice of the write's
+        // service latency was stripe-lock wait, not media time.
+        if (sim::CausalObserver* causal = engine_.causal_observer();
+            causal != nullptr && engine_.in_process()) {
+          causal->interval(sim::EdgeKind::lock_wait, engine_.current(),
+                           cpu_done, granted);
         }
       }
       io_start = granted;

@@ -104,14 +104,15 @@ std::string Profiler::summary() const {
        << " avg=" << format_time(avg_over_ranks(phase))
        << " min=" << format_time(min_over_ranks(phase))
        << " p50=" << format_time(percentile_over_ranks(phase, 0.50))
-       << " p95=" << format_time(percentile_over_ranks(phase, 0.95)) << "\n";
+       << " p95=" << format_time(percentile_over_ranks(phase, 0.95))
+       << " p99=" << format_time(percentile_over_ranks(phase, 0.99)) << "\n";
   }
   return os.str();
 }
 
 std::string Profiler::to_csv() const {
   std::ostringstream os;
-  os << "phase,min_s,p50_s,p95_s,avg_s,max_s\n";
+  os << "phase,min_s,p50_s,p95_s,p99_s,avg_s,max_s\n";
   os.setf(std::ios::fixed);
   os.precision(9);
   for (std::size_t p = 0; p < kPhaseCount; ++p) {
@@ -120,6 +121,7 @@ std::string Profiler::to_csv() const {
        << units::to_seconds(min_over_ranks(phase)) << ','
        << units::to_seconds(percentile_over_ranks(phase, 0.50)) << ','
        << units::to_seconds(percentile_over_ranks(phase, 0.95)) << ','
+       << units::to_seconds(percentile_over_ranks(phase, 0.99)) << ','
        << units::to_seconds(avg_over_ranks(phase)) << ','
        << units::to_seconds(max_over_ranks(phase)) << "\n";
   }

@@ -93,11 +93,13 @@ class Profiler {
 
   void reset();
 
-  /// One row per phase: "phase max avg min p50 p95" (for reports and tests).
+  /// One row per phase: "phase max avg min p50 p95 p99" (for reports and
+  /// tests).
   std::string summary() const;
 
   /// Machine-readable table, one line per phase:
-  /// "phase,min_s,p50_s,p95_s,avg_s,max_s" (seconds) under a header row.
+  /// "phase,min_s,p50_s,p95_s,p99_s,avg_s,max_s" (seconds) under a header
+  /// row.
   std::string to_csv() const;
 
  private:

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/units.h"
+#include "sim/causal.h"
 #include "sim/concurrency.h"
 
 namespace e10::sim {
@@ -24,12 +25,18 @@ void ProcessHandle::join() const {
   if (!valid()) throw std::logic_error("join on invalid ProcessHandle");
   Engine& eng = *engine_;
   Engine::Process& target = eng.proc(id_);
+  const Time before = eng.now();
   if (target.state == Engine::Process::State::finished) {
     eng.advance_to(target.clock);
-    return;
+  } else {
+    target.joiners.push_back(eng.current());
+    eng.block("join");
   }
-  target.joiners.push_back(eng.current());
-  eng.block("join");
+  // The join advanced the caller's clock: the target's finish gated us.
+  if (CausalObserver* causal = eng.causal_observer();
+      causal != nullptr && target.finish_token != 0 && eng.now() > before) {
+    causal->ack(target.finish_token, eng.current(), eng.now());
+  }
 }
 
 bool ProcessHandle::finished() const {
@@ -133,6 +140,10 @@ void Engine::finish_current() {
   }
   p.state = Process::State::finished;
   if (!p.cancelled) {
+    if (causal_observer_ != nullptr) {
+      p.finish_token =
+          causal_observer_->emit(EdgeKind::process, p.id, p.clock);
+    }
     for (const ProcessId j : p.joiners) make_ready(j, p.clock);
     p.joiners.clear();
   }

@@ -31,6 +31,7 @@ namespace e10::sim {
 
 class Engine;
 class ConcurrencyObserver;  // concurrency.h
+class CausalObserver;       // causal.h
 
 using ProcessId = std::uint64_t;
 inline constexpr ProcessId kNoProcess = ~ProcessId{0};
@@ -144,6 +145,15 @@ class Engine {
     return concurrency_observer_;
   }
 
+  /// Attaches (or detaches, with nullptr) the causal-edge recorder
+  /// (sim/causal.h). Synchronization sites across the stack report
+  /// wake-up dependencies through this hook for post-run critical-path
+  /// analysis; detached, each hook is one branch and nothing changes.
+  void set_causal_observer(CausalObserver* observer) {
+    causal_observer_ = observer;
+  }
+  CausalObserver* causal_observer() const { return causal_observer_; }
+
   /// Number of processes whose body has not yet returned.
   std::size_t live_processes() const { return live_; }
 
@@ -169,6 +179,8 @@ class Engine {
     bool cancelled = false;
     std::exception_ptr error;
     std::vector<ProcessId> joiners;
+    /// Causal emission of this process's finish (0 = none recorded).
+    std::uint64_t finish_token = 0;
   };
 
   friend class ProcessHandle;
@@ -192,6 +204,7 @@ class Engine {
   bool running_ = false;
   std::size_t live_ = 0;
   ConcurrencyObserver* concurrency_observer_ = nullptr;
+  CausalObserver* causal_observer_ = nullptr;
 };
 
 }  // namespace e10::sim

@@ -114,6 +114,7 @@ class SimEvent {
   bool is_set() const { return set_; }
   /// Completion time; only meaningful once is_set().
   Time completion_time() const { return at_; }
+  Engine& engine() const { return engine_; }
 
  private:
   Engine& engine_;

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "analysis/checker.h"
+#include "obs/causal.h"
+#include "obs/critical_path.h"
 #include "obs/report.h"
 
 namespace e10::workloads {
@@ -110,7 +112,14 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   if (spec.check_concurrency) {
     checker = std::make_unique<analysis::ConcurrencyChecker>(platform.engine);
   }
-  platform.tracer.set_enabled(spec.trace);
+  // The critical-path analyzer walks the trace spans, so it needs the
+  // tracer on even when no trace file was requested.
+  platform.tracer.set_enabled(spec.trace || spec.critical_path);
+  std::unique_ptr<obs::CausalRecorder> causal;
+  if (spec.critical_path) {
+    causal = std::make_unique<obs::CausalRecorder>(platform.engine,
+                                                   &platform.tracer);
+  }
   if (!spec.faults.empty()) platform.faults.arm(spec.faults);
   const std::unique_ptr<Workload> workload = factory(spec.testbed);
 
@@ -248,6 +257,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   }
   result.report = obs::run_report_json(inputs);
 
+  if (causal != nullptr) {
+    const obs::CriticalPathReport path = obs::analyze_critical_path(
+        platform.tracer, *causal, &platform.profiler);
+    result.critical_path =
+        obs::critical_path_json(path, &platform.profiler);
+    result.bottleneck = obs::path_category_name(path.bottleneck);
+    result.attributed_fraction = path.attributed_fraction;
+    result.critical_path_text = obs::critical_path_table(path);
+    result.report.set("critical_path", result.critical_path);
+  }
+  if (spec.trace || spec.critical_path) {
+    result.trace_open_spans = platform.tracer.open_spans();
+  }
   if (spec.trace) result.trace_json = platform.tracer.to_json();
   return result;
 }

@@ -48,6 +48,13 @@ struct ExperimentSpec {
   fault::FaultPlan faults;
   /// Record a Chrome trace of this run (ExperimentResult::trace_json).
   bool trace = false;
+  /// Record causal edges (obs::CausalRecorder) and run the critical-path
+  /// analyzer after the run: end-to-end time attributed to phases and
+  /// resources, reported in the run report's "critical_path" section and in
+  /// ExperimentResult::critical_path. Implies trace collection internally
+  /// (the analyzer walks the trace spans) but trace_json stays empty unless
+  /// `trace` is also set.
+  bool critical_path = false;
   /// Attach the concurrency checker (analysis::ConcurrencyChecker) for the
   /// run: lockset race detection + lock-order cycle analysis, reported in
   /// the run report's "analysis" section. Off by default — with the flag
@@ -90,6 +97,17 @@ struct ExperimentResult {
   std::size_t analysis_races = 0;
   std::size_t analysis_cycles = 0;
   std::size_t analysis_shared_accesses = 0;
+  /// Critical-path analysis (ExperimentSpec::critical_path): the full
+  /// report section (null when off), the dominant category name and the
+  /// fraction of end-to-end time the walk attributed to named categories.
+  obs::Json critical_path;
+  std::string bottleneck;
+  double attributed_fraction = 0.0;
+  /// Human-readable attribution table (obs::critical_path_table).
+  std::string critical_path_text;
+  /// Spans still open when the run finished (trace or critical_path on).
+  /// Non-zero means an error path leaked a Tracer::Span.
+  std::size_t trace_open_spans = 0;
 };
 
 using WorkloadFactory =

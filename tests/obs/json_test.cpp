@@ -77,5 +77,32 @@ TEST(Json, EscapesControlCharacters) {
   EXPECT_EQ(out, "a\\\"b\\\\c\\n\\u0001");
 }
 
+TEST(Json, EscapesEveryShortFormControl) {
+  std::string out;
+  json_escape("\r\t\b\f", out);
+  EXPECT_EQ(out, "\\r\\t\\b\\f");
+  // Boundary control bytes take the \u form; 0x20 and above pass through.
+  out.clear();
+  json_escape(std::string("\x1f\x20\x7f", 3), out);
+  EXPECT_EQ(out, "\\u001f \x7f");
+  // Multi-byte UTF-8 passes through untouched (bytes >= 0x80).
+  out.clear();
+  json_escape("caf\xc3\xa9", out);
+  EXPECT_EQ(out, "caf\xc3\xa9");
+}
+
+TEST(Json, EscapedStringsRoundTripThroughDump) {
+  // Span/track names with quotes, backslashes and newlines must come back
+  // byte-identical after dump + parse — the trace writer shares
+  // json_escape, so this covers the Chrome-trace string path too.
+  const std::string nasty =
+      std::string("path \"C:\\tmp\"\nline2\ttab\x01", 24);
+  Json doc = Json::object();
+  doc.set("name", Json::str(nasty));
+  const auto back = Json::parse(doc.dump());
+  ASSERT_TRUE(back.is_ok()) << back.status().message();
+  EXPECT_EQ(back.value().at("name").as_string(), nasty);
+}
+
 }  // namespace
 }  // namespace e10::obs

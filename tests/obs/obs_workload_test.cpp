@@ -136,6 +136,92 @@ TEST(ObsWorkload, TraceShowsThePipelinePerRank) {
   EXPECT_TRUE(has_sync_track);
 }
 
+TEST(ObsWorkload, CriticalPathAttributesTheRun) {
+  ExperimentSpec spec = small_spec(CacheCase::enabled, milliseconds(500));
+  spec.critical_path = true;
+  const ExperimentResult result = run_experiment(spec, tiny_ior());
+
+  // The analyzer names a bottleneck and accounts for (nearly) all of the
+  // end-to-end virtual time; the trace-vs-profiler self-check agrees
+  // within the acceptance tolerance.
+  EXPECT_FALSE(result.bottleneck.empty());
+  EXPECT_GE(result.attributed_fraction, 0.95);
+  EXPECT_LE(result.attributed_fraction, 1.0 + 1e-9);
+  ASSERT_TRUE(result.critical_path.is_object());
+  const obs::Json& cp = result.critical_path;
+  EXPECT_LE(cp.at("phase_consistency_dev").as_number(), 0.05);
+  EXPECT_FALSE(cp.at("truncated").as_bool());
+  EXPECT_GT(cp.at("hops").as_int(), 0);
+  EXPECT_GT(cp.at("total_s").as_number(), 0.0);
+  EXPECT_TRUE(cp.find("categories") != nullptr);
+  EXPECT_TRUE(cp.find("phase_tails") != nullptr);
+  EXPECT_GE(cp.at("phase_tails").at("exchange").at("p99_s").as_number(),
+            cp.at("phase_tails").at("exchange").at("p50_s").as_number());
+  // The run report embeds the same section.
+  EXPECT_TRUE(result.report.find("critical_path") != nullptr);
+  // critical_path alone does not produce a trace file.
+  EXPECT_TRUE(result.trace_json.empty());
+  EXPECT_EQ(result.trace_open_spans, 0u);
+}
+
+TEST(ObsWorkload, CriticalPathAcrossCacheCases) {
+  // Attribution holds on all three measurement cases, not just the one the
+  // paper features.
+  for (const CacheCase cache_case :
+       {CacheCase::disabled, CacheCase::enabled, CacheCase::theoretical}) {
+    ExperimentSpec spec = small_spec(cache_case, milliseconds(200));
+    spec.critical_path = true;
+    const ExperimentResult result = run_experiment(spec, tiny_ior());
+    EXPECT_GE(result.attributed_fraction, 0.95)
+        << to_string(cache_case);
+    EXPECT_LE(
+        result.critical_path.at("phase_consistency_dev").as_number(), 0.05)
+        << to_string(cache_case);
+  }
+}
+
+TEST(ObsWorkload, TracingDoesNotChangeTheRun) {
+  // Byte-identical outputs and identical virtual timing with the tracer,
+  // causal recorder and analyzer all attached.
+  ExperimentSpec plain = small_spec(CacheCase::enabled, milliseconds(500));
+  ExperimentSpec traced = plain;
+  traced.trace = true;
+  traced.critical_path = true;
+  const ExperimentResult a = run_experiment(plain, tiny_ior());
+  const ExperimentResult b = run_experiment(traced, tiny_ior());
+  EXPECT_EQ(a.report.at("config").at("content_checksum").as_string(),
+            b.report.at("config").at("content_checksum").as_string());
+  EXPECT_DOUBLE_EQ(a.report.at("derived").at("io_time_s").as_number(),
+                   b.report.at("derived").at("io_time_s").as_number());
+  EXPECT_DOUBLE_EQ(a.bandwidth_gib, b.bandwidth_gib);
+}
+
+TEST(ObsWorkload, FaultedRunLeavesNoDanglingSpans) {
+  // Error paths in the sync thread (retries, requeues, abandonment) must
+  // close every span they opened; same for rank crashes mid-collective.
+  ExperimentSpec spec = small_spec(CacheCase::enabled, milliseconds(200));
+  spec.trace = true;
+  spec.critical_path = true;
+  spec.faults = fault::FaultPlan::parse("pfs_write=0.2/timed_out; seed=11")
+                    .value();
+  const ExperimentResult result = run_experiment(spec, tiny_ior());
+  EXPECT_GT(result.sync.retries + result.sync.requeues +
+                result.sync.abandoned,
+            0u);
+  EXPECT_EQ(result.trace_open_spans, 0u);
+  // The trace is still schema-valid JSON.
+  EXPECT_TRUE(obs::Json::parse(result.trace_json).is_ok());
+}
+
+TEST(ObsWorkload, OutageRunLeavesNoDanglingSpans) {
+  ExperimentSpec spec = small_spec(CacheCase::enabled, milliseconds(100));
+  spec.trace = true;
+  spec.faults =
+      fault::FaultPlan::parse("outage=0@1ms-50ms; seed=3").value();
+  const ExperimentResult result = run_experiment(spec, tiny_ior());
+  EXPECT_EQ(result.trace_open_spans, 0u);
+}
+
 TEST(ObsWorkload, TracingOffByDefault) {
   const ExperimentResult result = run_experiment(
       small_spec(CacheCase::enabled, milliseconds(100)), tiny_ior());

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
 #include "common/units.h"
 #include "obs/json.h"
 
@@ -130,6 +135,133 @@ TEST(Trace, SpanEndStopsTheClock) {
     if (e.at("ph").as_string() == "X") {
       EXPECT_DOUBLE_EQ(e.at("dur").as_number(), 1000.0);
     }
+  }
+}
+
+TEST(Trace, OpenSpanCounterTracksLifecycle) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  engine.spawn("p", [&] {
+    Span outer(&tracer, tracer.rank_track(0), "a");
+    EXPECT_EQ(tracer.open_spans(), 1u);
+    {
+      Span inner(&tracer, tracer.rank_track(0), "b");
+      EXPECT_EQ(tracer.open_spans(), 2u);
+    }
+    EXPECT_EQ(tracer.open_spans(), 1u);
+    // Moving a span transfers ownership without double-counting.
+    Span moved = std::move(outer);
+    EXPECT_EQ(tracer.open_spans(), 1u);
+    moved.end();
+    EXPECT_EQ(tracer.open_spans(), 0u);
+  });
+  engine.run();
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Trace, OpenSpanCounterSeesLeaks) {
+  // A span destroyed without end() through an error path still closes (the
+  // destructor ends it); only a heap-leaked span stays open.
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  auto* leaked = new Span();
+  engine.spawn("p", [&] {
+    *leaked = Span(&tracer, tracer.rank_track(0), "leaked");
+    try {
+      Span span(&tracer, tracer.rank_track(0), "unwound");
+      throw std::runtime_error("fault");
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(tracer.open_spans(), 1u);  // only the leaked one
+  });
+  engine.run();
+  EXPECT_EQ(tracer.open_spans(), 1u);
+  delete leaked;  // Span dtor ends it
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(Trace, FlowEventsArePairedAndOrdered) {
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  const int src = tracer.rank_track(0);
+  const int dst = tracer.rank_track(1);
+  tracer.flow(src, units::milliseconds(1), dst, units::milliseconds(2), 7,
+              "message");
+  // Destination timestamps are clamped to the source: Chrome refuses to
+  // render arrows that point backwards in time.
+  tracer.flow(src, units::milliseconds(5), dst, units::milliseconds(3), 8,
+              "stale");
+
+  const auto parsed = Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  std::map<std::int64_t, std::pair<const Json*, const Json*>> pairs;
+  for (const Json& e : parsed.value().at("traceEvents").elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "s") pairs[e.at("id").as_int()].first = &e;
+    if (ph == "f") pairs[e.at("id").as_int()].second = &e;
+  }
+  ASSERT_EQ(pairs.size(), 2u);
+  for (const auto& [id, pair] : pairs) {
+    ASSERT_NE(pair.first, nullptr) << "flow " << id << " missing start";
+    ASSERT_NE(pair.second, nullptr) << "flow " << id << " missing finish";
+    EXPECT_EQ(pair.first->at("cat").as_string(), "causal");
+    EXPECT_EQ(pair.second->at("cat").as_string(), "causal");
+    EXPECT_EQ(pair.second->at("bp").as_string(), "e");
+    EXPECT_TRUE(pair.first->find("bp") == nullptr);
+    EXPECT_LE(pair.first->at("ts").as_number(),
+              pair.second->at("ts").as_number());
+  }
+}
+
+TEST(Trace, ChromeSchemaIsSane) {
+  // Every event type the tracer emits satisfies the Trace Event Format:
+  // X spans carry non-negative ts/dur, every event names a known pid/tid
+  // pair, and flow starts/finishes come in id-matched pairs.
+  sim::Engine engine;
+  Tracer tracer(engine);
+  tracer.set_enabled(true);
+  engine.spawn("r0", [&] {
+    Span span(&tracer, tracer.rank_track(0), "exchange");
+    engine.delay(units::milliseconds(1));
+    tracer.counter("depth", 1);
+    tracer.instant(tracer.rank_track(0), "mark");
+  });
+  engine.spawn("r1", [&] {
+    Span span(&tracer, tracer.rank_track(1), "write_contig");
+    engine.delay(units::milliseconds(2));
+  });
+  engine.run();
+  tracer.flow(tracer.rank_track(0), units::milliseconds(1),
+              tracer.rank_track(1), units::milliseconds(2), 1, "message");
+
+  const auto parsed = Json::parse(tracer.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().message();
+  std::set<std::int64_t> named_tids;
+  std::map<std::int64_t, int> flow_balance;
+  for (const Json& e : parsed.value().at("traceEvents").elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M" && e.at("name").as_string() == "thread_name") {
+      named_tids.insert(e.at("tid").as_int());
+    }
+  }
+  for (const Json& e : parsed.value().at("traceEvents").elements()) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") continue;
+    EXPECT_GE(e.at("ts").as_number(), 0.0);
+    if (ph == "X") {
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+      EXPECT_TRUE(named_tids.count(e.at("tid").as_int()) == 1)
+          << "span on unnamed track " << e.at("tid").as_int();
+    }
+    if (ph == "s") ++flow_balance[e.at("id").as_int()];
+    if (ph == "f") --flow_balance[e.at("id").as_int()];
+  }
+  for (const auto& [id, balance] : flow_balance) {
+    EXPECT_EQ(balance, 0) << "unpaired flow id " << id;
   }
 }
 

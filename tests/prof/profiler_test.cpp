@@ -73,6 +73,7 @@ TEST(Profiler, MinAndPercentilesOverRanks) {
   // Nearest-rank: index = ceil(q * n) - 1 over the sorted totals.
   EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.5), seconds(2));
   EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.95), seconds(4));
+  EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.99), seconds(4));
   EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 0.0), seconds(1));
   EXPECT_EQ(profiler.percentile_over_ranks(Phase::exchange, 1.0), seconds(4));
   // Untouched phase: all aggregates are zero.
@@ -90,8 +91,8 @@ TEST(Profiler, ToCsvHasHeaderAndAllPhases) {
   profiler.record(0, Phase::write_contig, seconds(1));
   profiler.record(1, Phase::write_contig, seconds(3));
   const std::string csv = profiler.to_csv();
-  EXPECT_EQ(csv.find("phase,min_s,p50_s,p95_s,avg_s,max_s"), 0u);
-  // One data line per phase, every line with 6 comma-separated columns.
+  EXPECT_EQ(csv.find("phase,min_s,p50_s,p95_s,p99_s,avg_s,max_s"), 0u);
+  // One data line per phase, every line with 7 comma-separated columns.
   std::size_t lines = 0;
   std::size_t pos = 0;
   while ((pos = csv.find('\n', pos)) != std::string::npos) {
