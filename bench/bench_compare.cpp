@@ -14,6 +14,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -76,26 +77,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto baseline = load_json(baseline_path);
-  if (!baseline.is_ok()) {
-    std::fprintf(stderr, "baseline: %s\n",
-                 baseline.status().message().c_str());
-    return 2;
-  }
-  const auto candidate = load_json(candidate_path);
-  if (!candidate.is_ok()) {
-    std::fprintf(stderr, "candidate: %s\n",
-                 candidate.status().message().c_str());
-    return 2;
-  }
+  // A CI gate must never crash on its inputs: any malformed document is a
+  // diagnostic plus exit 2, and an unexpected exception from the JSON layer
+  // is downgraded to the same rather than aborting the pipeline step.
+  try {
+    const auto baseline = load_json(baseline_path);
+    if (!baseline.is_ok()) {
+      std::fprintf(stderr, "baseline %s: %s\n", baseline_path.c_str(),
+                   baseline.status().message().c_str());
+      return 2;
+    }
+    const auto candidate = load_json(candidate_path);
+    if (!candidate.is_ok()) {
+      std::fprintf(stderr, "candidate %s: %s\n", candidate_path.c_str(),
+                   candidate.status().message().c_str());
+      return 2;
+    }
 
-  const auto report =
-      e10::obs::compare_runs(baseline.value(), candidate.value(), options);
-  if (!report.is_ok()) {
-    std::fprintf(stderr, "%s\n", report.status().message().c_str());
+    const auto report =
+        e10::obs::compare_runs(baseline.value(), candidate.value(), options);
+    if (!report.is_ok()) {
+      std::fprintf(stderr, "%s\n", report.status().message().c_str());
+      return 2;
+    }
+    std::fputs(e10::obs::compare_table(report.value(), options).c_str(),
+               stdout);
+    return report.value().ok(options) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: internal error: %s\n", e.what());
     return 2;
   }
-  std::fputs(e10::obs::compare_table(report.value(), options).c_str(),
-             stdout);
-  return report.value().ok(options) ? 0 : 1;
 }

@@ -1,0 +1,283 @@
+// Adversarial scenario fuzzer for the collective-write stack
+// (docs/fuzzing.md).
+//
+// Modes:
+//   bench_fuzz [--seed=N] [--runs=N] [--max-ranks=N] [--crash-every=N]
+//              [--out=DIR] [--no-cross-hints]
+//       Random fuzzing: run N generated scenarios (every crash-every'th is
+//       a crash-point/recovery scenario) against the four-way oracle. On
+//       the first violation the scenario is shrunk to a minimal repro and
+//       both the original and the minimal spec are written to DIR.
+//   bench_fuzz --replay=FILE [--out=DIR]
+//       Replay one spec file (as written by a failing run) with the full
+//       oracle set; shrinks and reports if it still fails.
+//   bench_fuzz --self-test [--seed=N] [--out=DIR]
+//       Known-bug drill: run a scenario with an intentional lost-write bug
+//       and verify the rig catches it AND shrinks it — proving the fuzzer
+//       would notice real data loss. Fails (exit 1) if the bug slips by.
+//
+// Exit codes: 0 = all scenarios passed (or self-test proved the rig works),
+// 1 = an oracle violation was found (repro written), 2 = usage/spec error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/fuzz/runner.h"
+#include "src/fuzz/scenario.h"
+#include "src/fuzz/shrink.h"
+
+namespace {
+
+using e10::fuzz::RunOptions;
+using e10::fuzz::RunResult;
+using e10::fuzz::Scenario;
+using e10::fuzz::ScenarioLimits;
+using e10::fuzz::ShrinkResult;
+
+struct Options {
+  std::uint64_t seed = 1;
+  int runs = 200;
+  int max_ranks = 8;
+  int crash_every = 3;  // every crash_every'th scenario gets a crash point
+  std::string out_dir = ".";
+  std::string replay_path;
+  bool self_test = false;
+  bool cross_hints = true;
+};
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::fprintf(stderr,
+               "bench_fuzz: %s\n"
+               "usage: bench_fuzz [--seed=N] [--runs=N] [--max-ranks=N]\n"
+               "                  [--crash-every=N] [--out=DIR]\n"
+               "                  [--no-cross-hints]\n"
+               "       bench_fuzz --replay=FILE [--out=DIR]\n"
+               "       bench_fuzz --self-test [--seed=N] [--out=DIR]\n",
+               what.c_str());
+  std::exit(2);
+}
+
+bool consume(const std::string& arg, const char* prefix, std::string* value) {
+  const std::size_t n = std::string(prefix).size();
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(n);
+  return true;
+}
+
+long long parse_int(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    usage_error(std::string(flag) + " expects an integer, got '" + text + "'");
+  }
+  return v;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (consume(arg, "--seed=", &value)) {
+      opt.seed = static_cast<std::uint64_t>(parse_int(value, "--seed"));
+    } else if (consume(arg, "--runs=", &value)) {
+      opt.runs = static_cast<int>(parse_int(value, "--runs"));
+      if (opt.runs <= 0) usage_error("--runs must be positive");
+    } else if (consume(arg, "--max-ranks=", &value)) {
+      opt.max_ranks = static_cast<int>(parse_int(value, "--max-ranks"));
+      if (opt.max_ranks <= 0) usage_error("--max-ranks must be positive");
+    } else if (consume(arg, "--crash-every=", &value)) {
+      opt.crash_every = static_cast<int>(parse_int(value, "--crash-every"));
+      if (opt.crash_every <= 0) usage_error("--crash-every must be positive");
+    } else if (consume(arg, "--out=", &value)) {
+      opt.out_dir = value;
+    } else if (consume(arg, "--replay=", &value)) {
+      opt.replay_path = value;
+    } else if (arg == "--self-test") {
+      opt.self_test = true;
+    } else if (arg == "--no-cross-hints") {
+      opt.cross_hints = false;
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  return opt;
+}
+
+ScenarioLimits limits_for(const Options& opt) {
+  ScenarioLimits limits;
+  limits.max_ranks_per_node = opt.max_ranks >= 4 ? 2 : 1;
+  limits.max_nodes = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opt.max_ranks) / limits.max_ranks_per_node);
+  return limits;
+}
+
+std::string spec_path(const Options& opt, std::uint64_t seed,
+                      const char* suffix) {
+  return opt.out_dir + "/fuzz_repro_seed" + std::to_string(seed) + suffix;
+}
+
+void write_spec(const std::string& path, const Scenario& scenario) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_fuzz: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out << scenario.to_spec();
+  std::fprintf(stderr, "bench_fuzz: wrote %s\n", path.c_str());
+}
+
+void print_failure(const Scenario& scenario, const RunResult& result) {
+  std::fprintf(stderr, "bench_fuzz: ORACLE VIOLATION\n  scenario: %s\n",
+               scenario.summary().c_str());
+  std::fprintf(stderr, "  report: %s\n", result.report.to_text().c_str());
+  std::istringstream lines(result.violations_text());
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::fprintf(stderr, "  violation: %s\n", line.c_str());
+  }
+}
+
+/// Shrinks a failing scenario and writes original + minimal repro specs.
+void emit_repro(const Options& opt, const Scenario& scenario,
+                const RunResult& result, const RunOptions& run_options) {
+  print_failure(scenario, result);
+  write_spec(spec_path(opt, scenario.seed, ".spec"), scenario);
+  RunOptions search = run_options;
+  search.cross_check_hints = false;
+  const ShrinkResult shrunk = e10::fuzz::shrink(scenario, search);
+  std::fprintf(stderr,
+               "bench_fuzz: shrunk in %d evaluations%s\n  minimal: %s\n",
+               shrunk.evaluations, shrunk.exhausted ? " (budget hit)" : "",
+               shrunk.minimal.summary().c_str());
+  write_spec(spec_path(opt, scenario.seed, ".min.spec"), shrunk.minimal);
+}
+
+int run_replay(const Options& opt) {
+  std::ifstream in(opt.replay_path);
+  if (!in) {
+    std::fprintf(stderr, "bench_fuzz: cannot read %s\n",
+                 opt.replay_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Scenario::parse(buffer.str());
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "bench_fuzz: bad spec %s: %s\n",
+                 opt.replay_path.c_str(),
+                 parsed.status().to_string().c_str());
+    return 2;
+  }
+  const Scenario scenario = parsed.value();
+  RunOptions run_options;
+  run_options.cross_check_hints = opt.cross_hints;
+  std::fprintf(stderr, "bench_fuzz: replaying %s\n  %s\n",
+               opt.replay_path.c_str(), scenario.summary().c_str());
+  const RunResult result = run_scenario(scenario, run_options);
+  std::fprintf(stderr, "  report: %s\n", result.report.to_text().c_str());
+  if (result.ok()) {
+    std::fprintf(stderr, "bench_fuzz: replay passed all oracles\n");
+    return 0;
+  }
+  emit_repro(opt, scenario, result, run_options);
+  return 1;
+}
+
+int run_self_test(const Options& opt) {
+  // A clean scenario with a deliberately corrupted write path: the stack
+  // silently drops one extent while the reference model keeps it. The rig
+  // passes the drill only if the oracle flags the run AND the shrinker
+  // produces a still-failing minimal repro.
+  Scenario scenario =
+      Scenario::generate(opt.seed, limits_for(opt), /*want_crash=*/false);
+  scenario.fault_spec.clear();  // the bug must be caught without any faults
+  scenario.crash_frac = 0.0;
+  scenario.crash_at.reset();
+  scenario.bug = e10::fuzz::BugKind::drop_extent;
+
+  RunOptions run_options;
+  run_options.cross_check_hints = false;  // byte oracle must catch this alone
+  std::fprintf(stderr, "bench_fuzz: self-test scenario: %s\n",
+               scenario.summary().c_str());
+  const RunResult result = run_scenario(scenario, run_options);
+  if (result.ok()) {
+    std::fprintf(stderr,
+                 "bench_fuzz: SELF-TEST FAILED — the injected lost write was "
+                 "not detected\n  report: %s\n",
+                 result.report.to_text().c_str());
+    return 1;
+  }
+  print_failure(scenario, result);
+  const ShrinkResult shrunk = e10::fuzz::shrink(scenario, run_options);
+  if (shrunk.result.ok()) {
+    std::fprintf(stderr,
+                 "bench_fuzz: SELF-TEST FAILED — shrinking lost the bug\n");
+    return 1;
+  }
+  if (shrunk.minimal.concrete_pieces().size() >
+      scenario.concrete_pieces().size()) {
+    std::fprintf(stderr, "bench_fuzz: SELF-TEST FAILED — shrink grew the "
+                         "scenario\n");
+    return 1;
+  }
+  write_spec(spec_path(opt, scenario.seed, ".selftest.min.spec"),
+             shrunk.minimal);
+  std::fprintf(
+      stderr,
+      "bench_fuzz: self-test OK — bug caught and shrunk from %zu to %zu "
+      "pieces in %d evaluations\n",
+      scenario.concrete_pieces().size(), shrunk.minimal.pieces.size(),
+      shrunk.evaluations);
+  return 0;
+}
+
+int run_fuzz(const Options& opt) {
+  const ScenarioLimits limits = limits_for(opt);
+  RunOptions run_options;
+  run_options.cross_check_hints = opt.cross_hints;
+  int crash_runs = 0;
+  std::uint64_t recovered_extents = 0;
+  std::int64_t faults_injected = 0;
+  for (int i = 0; i < opt.runs; ++i) {
+    const std::uint64_t seed = opt.seed + static_cast<std::uint64_t>(i);
+    const bool want_crash = (i % opt.crash_every) == 1;
+    const Scenario scenario = Scenario::generate(seed, limits, want_crash);
+    const RunResult result = run_scenario(scenario, run_options);
+    crash_runs += result.report.stopped ? 1 : 0;
+    recovered_extents += result.report.recovered_extents;
+    faults_injected += result.report.faults_injected;
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_fuzz: scenario %d/%d (seed %llu) failed\n",
+                   i + 1, opt.runs,
+                   static_cast<unsigned long long>(seed));
+      emit_repro(opt, scenario, result, run_options);
+      return 1;
+    }
+    if ((i + 1) % 50 == 0) {
+      std::fprintf(stderr, "bench_fuzz: %d/%d scenarios ok (%d crash-point)\n",
+                   i + 1, opt.runs, crash_runs);
+    }
+  }
+  std::fprintf(
+      stderr,
+      "bench_fuzz: PASS — %d scenarios, %d crash-point/recovery runs, "
+      "%lld faults injected, %llu extents replayed, 0 violations\n",
+      opt.runs, crash_runs, static_cast<long long>(faults_injected),
+      static_cast<unsigned long long>(recovered_extents));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  if (!opt.replay_path.empty() && opt.self_test) {
+    usage_error("--replay and --self-test are mutually exclusive");
+  }
+  if (!opt.replay_path.empty()) return run_replay(opt);
+  if (opt.self_test) return run_self_test(opt);
+  return run_fuzz(opt);
+}

@@ -1,5 +1,7 @@
 #include "adio/pipeline.h"
 
+#include <exception>
+
 #include "adio/aggregation.h"
 #include "sim/causal.h"
 
@@ -36,7 +38,14 @@ WritePipeline::WritePipeline(AdioFile& fd, bool enabled)
   }
 }
 
-WritePipeline::~WritePipeline() { drain(); }
+WritePipeline::~WritePipeline() {
+  // Draining blocks, and a blocking call must not run while the fiber is
+  // unwinding: a crash/cancellation would re-throw ProcessCancelled inside
+  // this (noexcept) destructor and terminate the program. When an exception
+  // is in flight the collective is being abandoned anyway — the in-flight
+  // rounds' requests are dropped, not joined.
+  if (std::uncaught_exceptions() == 0) drain();
+}
 
 void WritePipeline::acquire_buffer() {
   if (!enabled_ || in_flight_.empty()) return;

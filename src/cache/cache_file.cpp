@@ -492,6 +492,18 @@ Result<RecoveryReport> CacheFile::recover(lfs::LocalFs& local_fs,
     (void)local_fs.close(journal_handle.value());
     if (!bytes.is_ok()) return bytes.status();
     records = scan_write_records(bytes.value());
+    // A crash can interrupt an append mid-record: a torn or truncated tail
+    // is expected damage, not a recovery failure. Everything before it is
+    // intact (records are fixed-size and appended in order) — warn and
+    // replay what survived.
+    const Offset parsed =
+        static_cast<Offset>(records.size()) * kWriteRecordBytes;
+    if (parsed < size.value()) {
+      log::warn("cache", "recover: ignoring ", size.value() - parsed,
+                " trailing byte(s) of torn journal record in ", journal,
+                " (crash mid-append); replaying the ", records.size(),
+                " intact record(s)");
+    }
   }
   report.journal_records = records.size();
   if (records.empty()) return report;
@@ -506,9 +518,17 @@ Result<RecoveryReport> CacheFile::recover(lfs::LocalFs& local_fs,
       if (size.is_ok()) {
         auto bytes = local_fs.read(commits_handle.value(), 0, size.value());
         if (bytes.is_ok()) {
-          for (std::uint64_t seq : scan_commit_records(bytes.value())) {
-            committed.insert(seq);
+          const std::vector<std::uint64_t> seqs =
+              scan_commit_records(bytes.value());
+          // Same tolerance as the write journal: a torn trailing commit
+          // record only means one extra (idempotent) replay.
+          const Offset parsed =
+              static_cast<Offset>(seqs.size()) * kCommitRecordBytes;
+          if (parsed < size.value()) {
+            log::warn("cache", "recover: ignoring ", size.value() - parsed,
+                      " trailing byte(s) of torn commit record in ", commits);
           }
+          for (std::uint64_t seq : seqs) committed.insert(seq);
         }
       }
       (void)local_fs.close(commits_handle.value());

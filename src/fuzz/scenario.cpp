@@ -1,0 +1,365 @@
+#include "fuzz/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <tuple>
+
+#include "common/extent.h"
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+
+namespace e10::fuzz {
+
+using namespace e10::units;
+
+namespace {
+
+Status bad_spec(int line, std::string_view why) {
+  return Status::error(Errc::invalid_argument,
+                       "fuzz spec line " + std::to_string(line) + ": " +
+                           std::string(why));
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string text(s);
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string text(s);
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+/// Random fault plan over the full grammar: transient rules on a random
+/// subset of ops, occasional outage/degrade windows, occasional rank
+/// crashes, and a derived injector seed. Probabilities are kept low enough
+/// that most faulted runs still complete (retry/backoff absorbs them) —
+/// the interesting bugs are silent, not loud.
+std::string random_fault_spec(Rng& rng, int ranks) {
+  std::ostringstream os;
+  const char* sep = "";
+  static constexpr const char* kOps[] = {"pfs_read",  "pfs_write",
+                                         "pfs_metadata", "lfs_open",
+                                         "lfs_read",  "lfs_write"};
+  static constexpr const char* kErrcs[] = {"unavailable", "timed_out",
+                                           "io_error", "busy"};
+  for (const char* op : kOps) {
+    if (!rng.bernoulli(0.25)) continue;
+    const double pct = 0.5 + rng.uniform(0.0, 4.5);  // 0.5% .. 5%
+    os << sep << op << "=" << pct << "%/"
+       << kErrcs[rng.uniform_int(0, 3)];
+    sep = ";";
+  }
+  if (rng.bernoulli(0.3)) {
+    const Time start = milliseconds(rng.uniform_int(1, 40));
+    const Time len = milliseconds(rng.uniform_int(5, 60));
+    os << sep << "outage=" << rng.uniform_int(0, 1) << "@" << start << "-"
+       << (start + len);
+    sep = ";";
+  }
+  if (rng.bernoulli(0.3)) {
+    const Time start = milliseconds(rng.uniform_int(1, 40));
+    const Time len = milliseconds(rng.uniform_int(5, 60));
+    os << sep << "degrade=" << rng.uniform_int(0, 1) << "@" << start << "-"
+       << (start + len) << "x" << rng.uniform_int(2, 8);
+    sep = ";";
+  }
+  if (rng.bernoulli(0.25)) {
+    const int rank = static_cast<int>(rng.uniform_int(0, ranks - 1));
+    os << sep << "crash=" << rank << "@";
+    if (rng.bernoulli(0.5)) {
+      os << "flush";
+    } else {
+      os << milliseconds(rng.uniform_int(1, 80));
+    }
+    sep = ";";
+  }
+  if (*sep == '\0') return {};  // nothing drawn: an unfaulted scenario
+  os << sep << "seed=" << rng.uniform_int(1, 1 << 20);
+  return os.str();
+}
+
+}  // namespace
+
+const char* bug_kind_name(BugKind bug) {
+  switch (bug) {
+    case BugKind::none: return "none";
+    case BugKind::drop_extent: return "drop_extent";
+  }
+  return "unknown";
+}
+
+std::vector<PieceSpec> Scenario::concrete_pieces() const {
+  if (!pieces.empty()) return pieces;
+  // Cut the file into random-size blocks, shuffle, deal round-robin over
+  // (call, rank) slots, drop ~5% as holes — the property-test pattern,
+  // extended over multiple collective calls. Disjointness across all slots
+  // holds by construction (each file byte lands in exactly one block).
+  Rng rng(Rng::derive(seed, "fuzz.pattern"));
+  std::vector<Extent> blocks;
+  Offset cursor = 0;
+  while (cursor < file_bytes) {
+    const Offset len =
+        std::min<Offset>(file_bytes - cursor,
+                         rng.uniform_int(1, 64) * KiB + rng.uniform_int(0, 4095));
+    blocks.push_back(Extent{cursor, len});
+    cursor += len;
+  }
+  std::shuffle(blocks.begin(), blocks.end(), rng.engine());
+  const int slots = calls * ranks();
+  std::vector<PieceSpec> out;
+  out.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (rng.bernoulli(0.05)) continue;  // leave a hole
+    const int slot = static_cast<int>(i % static_cast<std::size_t>(slots));
+    PieceSpec piece;
+    piece.call = slot / ranks();
+    piece.rank = slot % ranks();
+    piece.offset = blocks[i].offset;
+    piece.length = blocks[i].length;
+    out.push_back(piece);
+  }
+  std::sort(out.begin(), out.end(), [](const PieceSpec& a, const PieceSpec& b) {
+    return std::tie(a.call, a.rank, a.offset) <
+           std::tie(b.call, b.rank, b.offset);
+  });
+  return out;
+}
+
+Scenario Scenario::generate(std::uint64_t seed, const ScenarioLimits& limits,
+                            bool want_crash) {
+  Rng rng(Rng::derive(seed, "fuzz.scenario"));
+  Scenario s;
+  s.seed = seed;
+  s.nodes = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(limits.max_nodes)));
+  s.ranks_per_node = static_cast<std::size_t>(rng.uniform_int(
+      1, static_cast<std::int64_t>(limits.max_ranks_per_node)));
+  s.file_bytes = std::min<Offset>(
+      limits.max_file_bytes,
+      rng.uniform_int(128, 2048) * KiB + rng.uniform_int(0, 8191));
+  s.calls = static_cast<int>(rng.uniform_int(1, limits.max_calls));
+
+  // Hint combination. Weighted toward the cache being on — that is the
+  // subsystem under adversarial test — but every combination is reachable.
+  const std::int64_t cache_draw = rng.uniform_int(0, 9);
+  s.cache = cache_draw < 2 ? "disable" : cache_draw < 8 ? "enable" : "coherent";
+  s.flush = rng.bernoulli(0.5) ? "flush_immediate" : "flush_onclose";
+  s.pipeline = rng.bernoulli(0.75);
+  static constexpr int kStreams[] = {1, 2, 4};
+  s.sync_streams = kStreams[rng.uniform_int(0, 2)];
+  s.coalesce = rng.bernoulli(0.75);
+  s.aggregators = static_cast<int>(rng.uniform_int(0, s.ranks()));
+  s.cb_buffer = rng.uniform_int(1, 16) * 64 * KiB;
+  s.journal_hint = rng.bernoulli(0.3);
+
+  if (rng.bernoulli(0.5)) s.fault_spec = random_fault_spec(rng, s.ranks());
+
+  if (want_crash) {
+    // A job-kill crash point needs a cache and a journal for recovery to
+    // have anything to replay; flush_onclose maximizes dirty data at risk.
+    if (s.cache == "disable") s.cache = "enable";
+    s.journal_hint = true;
+    s.crash_frac = 0.1 + rng.uniform(0.0, 0.85);
+  }
+  return s;
+}
+
+std::string Scenario::to_spec() const {
+  std::ostringstream os;
+  os << "# e10 fuzz scenario v1\n";
+  os << "seed=" << seed << "\n";
+  os << "nodes=" << nodes << "\n";
+  os << "ranks_per_node=" << ranks_per_node << "\n";
+  os << "file_bytes=" << file_bytes << "\n";
+  os << "calls=" << calls << "\n";
+  os << "cache=" << cache << "\n";
+  os << "flush=" << flush << "\n";
+  os << "pipeline=" << (pipeline ? "on" : "off") << "\n";
+  os << "sync_streams=" << sync_streams << "\n";
+  os << "coalesce=" << (coalesce ? "on" : "off") << "\n";
+  os << "aggregators=" << aggregators << "\n";
+  os << "cb_buffer=" << cb_buffer << "\n";
+  os << "journal=" << (journal_hint ? "on" : "off") << "\n";
+  if (!fault_spec.empty()) os << "faults=" << fault_spec << "\n";
+  if (crash_frac > 0.0) {
+    // Full round-trip precision: parse(to_spec()) must reproduce the exact
+    // double, or replayed scenarios resolve a different crash time.
+    os << "crash_frac=" << std::setprecision(17) << crash_frac
+       << std::setprecision(6) << "\n";
+  }
+  if (crash_at.has_value()) os << "crash_at=" << *crash_at << "\n";
+  if (bug != BugKind::none) os << "bug=" << bug_kind_name(bug) << "\n";
+  for (const PieceSpec& p : pieces) {
+    os << "piece=" << p.call << "," << p.rank << "," << p.offset << ","
+       << p.length << "\n";
+  }
+  return os.str();
+}
+
+Result<Scenario> Scenario::parse(std::string_view text) {
+  Scenario s;
+  s.cb_buffer = 0;  // every field below is required except the optionals
+  bool have_seed = false;
+  int line_no = 0;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    ++line_no;
+    const auto nl = rest.find('\n');
+    std::string_view line = rest.substr(0, nl);
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) return bad_spec(line_no, "expected key=value");
+    const std::string_view key = line.substr(0, eq);
+    const std::string_view value = line.substr(eq + 1);
+
+    auto as_int = [&]() { return parse_int(value); };
+    if (key == "seed") {
+      const auto v = as_int();
+      if (!v || *v < 0) return bad_spec(line_no, "bad seed");
+      s.seed = static_cast<std::uint64_t>(*v);
+      have_seed = true;
+    } else if (key == "nodes") {
+      const auto v = as_int();
+      if (!v || *v < 1) return bad_spec(line_no, "bad nodes");
+      s.nodes = static_cast<std::size_t>(*v);
+    } else if (key == "ranks_per_node") {
+      const auto v = as_int();
+      if (!v || *v < 1) return bad_spec(line_no, "bad ranks_per_node");
+      s.ranks_per_node = static_cast<std::size_t>(*v);
+    } else if (key == "file_bytes") {
+      const auto v = as_int();
+      if (!v || *v < 1) return bad_spec(line_no, "bad file_bytes");
+      s.file_bytes = *v;
+    } else if (key == "calls") {
+      const auto v = as_int();
+      if (!v || *v < 1) return bad_spec(line_no, "bad calls");
+      s.calls = static_cast<int>(*v);
+    } else if (key == "cache") {
+      if (value != "disable" && value != "enable" && value != "coherent") {
+        return bad_spec(line_no, "cache must be disable|enable|coherent");
+      }
+      s.cache = std::string(value);
+    } else if (key == "flush") {
+      if (value != "flush_immediate" && value != "flush_onclose") {
+        return bad_spec(line_no, "flush must be flush_immediate|flush_onclose");
+      }
+      s.flush = std::string(value);
+    } else if (key == "pipeline" || key == "coalesce" || key == "journal") {
+      if (value != "on" && value != "off") {
+        return bad_spec(line_no, "expected on|off");
+      }
+      const bool on = value == "on";
+      if (key == "pipeline") s.pipeline = on;
+      if (key == "coalesce") s.coalesce = on;
+      if (key == "journal") s.journal_hint = on;
+    } else if (key == "sync_streams") {
+      const auto v = as_int();
+      if (!v || *v < 1) return bad_spec(line_no, "bad sync_streams");
+      s.sync_streams = static_cast<int>(*v);
+    } else if (key == "aggregators") {
+      const auto v = as_int();
+      if (!v || *v < 0) return bad_spec(line_no, "bad aggregators");
+      s.aggregators = static_cast<int>(*v);
+    } else if (key == "cb_buffer") {
+      const auto v = as_int();
+      if (!v || *v < 1) return bad_spec(line_no, "bad cb_buffer");
+      s.cb_buffer = *v;
+    } else if (key == "faults") {
+      // Validate eagerly: a replay file with a broken plan should fail at
+      // parse time, not mid-run.
+      if (const auto plan = fault::FaultPlan::parse(value); !plan.is_ok()) {
+        return bad_spec(line_no, plan.status().message());
+      }
+      s.fault_spec = std::string(value);
+    } else if (key == "crash_frac") {
+      const auto v = parse_double(value);
+      if (!v || *v <= 0.0 || *v > 1.0) {
+        return bad_spec(line_no, "crash_frac must be in (0, 1]");
+      }
+      s.crash_frac = *v;
+    } else if (key == "crash_at") {
+      const auto v = as_int();
+      if (!v || *v < 0) return bad_spec(line_no, "bad crash_at");
+      s.crash_at = *v;
+    } else if (key == "bug") {
+      if (value == "none") {
+        s.bug = BugKind::none;
+      } else if (value == "drop_extent") {
+        s.bug = BugKind::drop_extent;
+      } else {
+        return bad_spec(line_no, "unknown bug kind");
+      }
+    } else if (key == "piece") {
+      PieceSpec piece;
+      std::int64_t fields[4] = {};
+      std::string_view v = value;
+      for (int f = 0; f < 4; ++f) {
+        const auto comma = v.find(',');
+        const std::string_view part =
+            f < 3 ? v.substr(0, comma) : v;
+        if (f < 3 && comma == std::string_view::npos) {
+          return bad_spec(line_no, "piece wants call,rank,offset,length");
+        }
+        const auto n = parse_int(part);
+        if (!n || *n < 0) return bad_spec(line_no, "bad piece field");
+        fields[f] = *n;
+        if (f < 3) v = v.substr(comma + 1);
+      }
+      piece.call = static_cast<int>(fields[0]);
+      piece.rank = static_cast<int>(fields[1]);
+      piece.offset = fields[2];
+      piece.length = fields[3];
+      if (piece.length < 1) return bad_spec(line_no, "piece length must be > 0");
+      s.pieces.push_back(piece);
+    } else {
+      return bad_spec(line_no, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!have_seed) {
+    return Status::error(Errc::invalid_argument, "fuzz spec: missing seed=");
+  }
+  if (s.cb_buffer == 0) {
+    return Status::error(Errc::invalid_argument, "fuzz spec: missing cb_buffer=");
+  }
+  for (const PieceSpec& p : s.pieces) {
+    if (p.call >= s.calls || p.rank >= s.ranks()) {
+      return Status::error(Errc::invalid_argument,
+                           "fuzz spec: piece outside calls x ranks grid");
+    }
+  }
+  return s;
+}
+
+std::string Scenario::summary() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " " << nodes << "x" << ranks_per_node << " ranks, "
+     << file_bytes / 1024 << " KiB x" << calls << " calls, cache=" << cache
+     << "/" << flush << " pipe=" << (pipeline ? "on" : "off") << " streams="
+     << sync_streams << " coalesce=" << (coalesce ? "on" : "off") << " aggs="
+     << aggregators;
+  if (journal_hint) os << " journal";
+  if (!fault_spec.empty()) os << " faults[" << fault_spec << "]";
+  if (crash_at.has_value()) {
+    os << " crash@" << *crash_at << "ns";
+  } else if (crash_frac > 0.0) {
+    os << " crash@" << crash_frac << "*end";
+  }
+  if (bug != BugKind::none) os << " bug=" << bug_kind_name(bug);
+  if (!pieces.empty()) os << " pieces=" << pieces.size();
+  return os.str();
+}
+
+}  // namespace e10::fuzz

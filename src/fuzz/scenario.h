@@ -1,0 +1,125 @@
+// Fuzz scenarios: one randomly generated (but fully deterministic) test
+// case for the collective-write stack, combining a workload shape, an
+// MPI-IO hint combination, a fault plan over the full FaultOp grammar and
+// an optional crash point (kill the whole job at a virtual time, then
+// replay recovery).
+//
+// A Scenario is data. It can be generated from a seed, serialized to a
+// self-contained text spec (the `--replay=` file format), parsed back, and
+// mutated structurally by the shrinker (drop pieces, faults, ranks, hints)
+// — which is why the access pattern can be held either procedurally (derive
+// from the seed) or as an explicit piece list (concrete_pieces()). Piece
+// data content is a pure function of (data seed, file offset), so removing
+// one piece never changes the expected bytes of another.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace e10::fuzz {
+
+/// One contiguous run a rank writes in one collective call. Pieces of a
+/// scenario are pairwise disjoint in file space — across ranks *and* across
+/// calls — so the expected file content is order-independent (cross-rank
+/// overlap resolution under an asynchronous flush is timing-defined, which
+/// a correctness oracle must not depend on).
+struct PieceSpec {
+  int call = 0;
+  int rank = 0;
+  Offset offset = 0;
+  Offset length = 0;
+
+  friend bool operator==(const PieceSpec&, const PieceSpec&) = default;
+};
+
+/// Intentional corruptions for the rig's known-bug self-test: the runner
+/// applies the bug to the system under test while the reference model keeps
+/// the correct data, so the oracle MUST flag the run. Proves the fuzzer
+/// catches (and the shrinker minimizes) real data loss.
+enum class BugKind {
+  none,
+  /// Silently skip the first piece (by (call, rank, offset)) when writing
+  /// through the stack — models a lost write request.
+  drop_extent,
+};
+
+const char* bug_kind_name(BugKind bug);
+
+/// Bounds for Scenario::generate (the CLI's --max-ranks etc.).
+struct ScenarioLimits {
+  std::size_t max_nodes = 4;
+  std::size_t max_ranks_per_node = 2;
+  Offset max_file_bytes = 2 * units::MiB;
+  int max_calls = 3;
+};
+
+struct Scenario {
+  std::uint64_t seed = 1;
+
+  // ---- Workload shape ----------------------------------------------------
+  std::size_t nodes = 2;
+  std::size_t ranks_per_node = 2;
+  Offset file_bytes = units::MiB;
+  int calls = 1;
+  /// Explicit access pattern; empty means "derive from seed" (the
+  /// generator's default). The shrinker concretizes before mutating.
+  std::vector<PieceSpec> pieces;
+
+  // ---- Hint combination --------------------------------------------------
+  std::string cache = "enable";         // e10_cache: disable|enable|coherent
+  std::string flush = "flush_onclose";  // e10_cache_flush_flag
+  bool pipeline = true;                 // e10_pipeline_flag
+  int sync_streams = 4;                 // e10_sync_streams
+  bool coalesce = true;                 // e10_flush_coalesce_flag
+  int aggregators = 0;                  // cb_nodes (0 = one per node)
+  Offset cb_buffer = units::MiB;        // cb_buffer_size
+  bool journal_hint = false;            // e10_cache_journal
+
+  // ---- Adversarial ingredients -------------------------------------------
+  /// FaultPlan::parse spec (transients / outages / degrades / rank
+  /// crashes); empty = no faults.
+  std::string fault_spec;
+  /// Crash point: kill the whole job (engine stop_at) at this fraction of
+  /// the scenario's clean-run end time, then re-open and replay recovery.
+  /// 0 = no crash. Resolved to a concrete time by the runner's probe run.
+  double crash_frac = 0.0;
+  /// Concrete crash time; wins over crash_frac when set (replay specs carry
+  /// the resolved time so they are self-contained).
+  std::optional<Time> crash_at;
+  /// Known-bug self-test corruption (see BugKind).
+  BugKind bug = BugKind::none;
+
+  int ranks() const { return static_cast<int>(nodes * ranks_per_node); }
+  bool wants_crash() const { return crash_at.has_value() || crash_frac > 0.0; }
+  /// Seed for the synthetic payload pattern (content is position-keyed).
+  std::uint64_t data_seed() const { return seed ^ 0xF00DULL; }
+
+  /// The access pattern: `pieces` if explicit, otherwise derived from the
+  /// seed (random-size blocks dealt round-robin over (call, rank) slots,
+  /// with ~5% dropped as holes). Sorted by (call, rank, offset); pairwise
+  /// disjoint in file space.
+  std::vector<PieceSpec> concrete_pieces() const;
+
+  /// Deterministic random scenario. Honors `limits`; `want_crash` forces a
+  /// crash point (and journaling, so recovery has something to replay).
+  static Scenario generate(std::uint64_t seed, const ScenarioLimits& limits,
+                           bool want_crash);
+
+  /// Self-contained replay spec (line-oriented `key=value`); parse() is the
+  /// exact inverse. Explicit pieces serialize as `piece=` lines.
+  std::string to_spec() const;
+  static Result<Scenario> parse(std::string_view text);
+
+  /// One-line human summary for logs.
+  std::string summary() const;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+}  // namespace e10::fuzz

@@ -1,0 +1,243 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace e10::fuzz {
+
+namespace {
+
+/// Splits a FaultPlan spec into its ';'-separated clauses.
+std::vector<std::string> split_clauses(const std::string& spec) {
+  std::vector<std::string> clauses;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t sep = spec.find(';', start);
+    const std::string clause =
+        spec.substr(start, sep == std::string::npos ? sep : sep - start);
+    if (!clause.empty()) clauses.push_back(clause);
+    if (sep == std::string::npos) break;
+    start = sep + 1;
+  }
+  return clauses;
+}
+
+std::string join_clauses(const std::vector<std::string>& clauses) {
+  std::string spec;
+  for (const std::string& c : clauses) {
+    spec += (spec.empty() ? "" : ";") + c;
+  }
+  return spec;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const RunOptions& run_options, const ShrinkOptions& options)
+      : run_options_(run_options), options_(options) {}
+
+  /// True (and adopts `candidate` as the new best) when it still fails.
+  bool accept(const Scenario& candidate) {
+    if (evaluations_ >= options_.max_evals) {
+      exhausted_ = true;
+      return false;
+    }
+    ++evaluations_;
+    // The search only needs *a* violation; the expensive cross-hints
+    // re-run stays off until the final verdict unless it is the only
+    // oracle that fired.
+    if (!run_scenario(candidate, run_options_).ok()) {
+      best_ = candidate;
+      return true;
+    }
+    return false;
+  }
+
+  /// One round of every simplification pass; true if anything shrank.
+  bool round() {
+    bool changed = false;
+    changed |= drop_crash();
+    changed |= drop_fault_clauses();
+    changed |= drop_pieces();
+    changed |= compact_ranks();
+    changed |= trim_structure();
+    changed |= neutralize_hints();
+    return changed;
+  }
+
+  Scenario best_;
+  RunOptions run_options_;
+  ShrinkOptions options_;
+  int evaluations_ = 0;
+  bool exhausted_ = false;
+
+ private:
+  bool drop_crash() {
+    if (!best_.wants_crash()) return false;
+    Scenario candidate = best_;
+    candidate.crash_at.reset();
+    candidate.crash_frac = 0.0;
+    return accept(candidate);
+  }
+
+  bool drop_fault_clauses() {
+    bool changed = false;
+    // Whole plan first, then clause by clause (indices shift as clauses
+    // disappear, so each removal restarts from the current best).
+    if (!best_.fault_spec.empty()) {
+      Scenario candidate = best_;
+      candidate.fault_spec.clear();
+      changed |= accept(candidate);
+    }
+    for (std::size_t i = 0; i < split_clauses(best_.fault_spec).size();) {
+      auto clauses = split_clauses(best_.fault_spec);
+      clauses.erase(clauses.begin() + static_cast<std::ptrdiff_t>(i));
+      Scenario candidate = best_;
+      candidate.fault_spec = join_clauses(clauses);
+      if (accept(candidate)) {
+        changed = true;  // retry same index: the next clause shifted down
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  /// ddmin-lite over the piece list: halves first for big jumps, then a
+  /// linear one-by-one sweep. Never proposes an empty list — an empty
+  /// `pieces` means "derive from seed", which would *grow* the scenario.
+  bool drop_pieces() {
+    bool changed = false;
+    for (std::size_t half = best_.pieces.size() / 2; half >= 1; half /= 2) {
+      for (std::size_t begin = 0; begin + half <= best_.pieces.size() &&
+                                  best_.pieces.size() > half;) {
+        Scenario candidate = best_;
+        candidate.pieces.erase(
+            candidate.pieces.begin() + static_cast<std::ptrdiff_t>(begin),
+            candidate.pieces.begin() + static_cast<std::ptrdiff_t>(begin + half));
+        if (accept(candidate)) {
+          changed = true;  // same begin now addresses the next chunk
+        } else {
+          begin += half;
+        }
+      }
+      if (half == 1) break;
+    }
+    return changed;
+  }
+
+  /// Remaps the surviving pieces onto a dense rank grid: rank slots that
+  /// write nothing are removed and the topology collapses to one rank per
+  /// node. Cuts rank count (and simulation size) in one accepted step.
+  bool compact_ranks() {
+    std::set<int> used;
+    for (const PieceSpec& p : best_.pieces) used.insert(p.rank);
+    if (used.empty() ||
+        used.size() == static_cast<std::size_t>(best_.ranks())) {
+      return false;
+    }
+    Scenario candidate = best_;
+    candidate.nodes = used.size();
+    candidate.ranks_per_node = 1;
+    std::vector<int> order(used.begin(), used.end());
+    for (PieceSpec& p : candidate.pieces) {
+      p.rank = static_cast<int>(
+          std::lower_bound(order.begin(), order.end(), p.rank) -
+          order.begin());
+    }
+    return accept(candidate);
+  }
+
+  bool trim_structure() {
+    bool changed = false;
+    int max_call = 0;
+    Offset max_end = 0;
+    for (const PieceSpec& p : best_.pieces) {
+      max_call = std::max(max_call, p.call);
+      max_end = std::max(max_end, p.offset + p.length);
+    }
+    if (best_.calls > max_call + 1) {
+      Scenario candidate = best_;
+      candidate.calls = max_call + 1;
+      changed |= accept(candidate);
+    }
+    if (max_end > 0 && best_.file_bytes > max_end) {
+      Scenario candidate = best_;
+      candidate.file_bytes = max_end;
+      changed |= accept(candidate);
+    }
+    return changed;
+  }
+
+  bool neutralize_hints() {
+    bool changed = false;
+    const auto try_mutation = [&](auto mutate) {
+      Scenario candidate = best_;
+      mutate(candidate);
+      if (candidate == best_) return;
+      changed |= accept(candidate);
+    };
+    try_mutation([](Scenario& s) { s.pipeline = false; });
+    try_mutation([](Scenario& s) { s.coalesce = false; });
+    try_mutation([](Scenario& s) { s.sync_streams = 1; });
+    try_mutation([](Scenario& s) { s.aggregators = 0; });
+    try_mutation([](Scenario& s) { s.flush = "flush_onclose"; });
+    // Journaling stays on while a crash point remains: recovery needs it.
+    try_mutation([](Scenario& s) {
+      if (!s.wants_crash()) s.journal_hint = false;
+    });
+    try_mutation([](Scenario& s) {
+      if (s.cache == "coherent") s.cache = "enable";
+    });
+    try_mutation([](Scenario& s) {
+      if (!s.wants_crash()) s.cache = "disable";
+    });
+    return changed;
+  }
+};
+
+}  // namespace
+
+ShrinkResult shrink(const Scenario& failing, const RunOptions& run_options,
+                    const ShrinkOptions& options) {
+  // Search runs with the cheap oracle set; cross-hints only stays on when
+  // the caller insisted (it doubles every candidate's cost).
+  Shrinker shrinker(run_options, options);
+
+  // Self-containment first: concretize the access pattern (so piece drops
+  // are possible) and pin crash_frac to its resolved virtual time (so the
+  // minimal repro does not depend on a probe run of the *original* shape).
+  Scenario prepared = failing;
+  prepared.pieces = failing.concrete_pieces();
+  if (prepared.crash_frac > 0.0 && !prepared.crash_at.has_value()) {
+    prepared.crash_at = std::max<Time>(
+        1, static_cast<Time>(prepared.crash_frac *
+                             static_cast<double>(probe_end_time(prepared))));
+  }
+  prepared.crash_frac = 0.0;
+  shrinker.best_ = prepared;
+
+  if (!shrinker.accept(prepared)) {
+    // The prepared form passes (or the budget is zero): nothing to shrink.
+    // Hand back the original unchanged with its full-oracle verdict.
+    ShrinkResult result;
+    result.minimal = failing;
+    result.result = run_scenario(failing, run_options);
+    result.evaluations = shrinker.evaluations_;
+    result.exhausted = shrinker.exhausted_;
+    return result;
+  }
+
+  while (shrinker.round() && !shrinker.exhausted_) {
+  }
+
+  ShrinkResult result;
+  result.minimal = shrinker.best_;
+  result.result = run_scenario(shrinker.best_, run_options);
+  result.evaluations = shrinker.evaluations_;
+  result.exhausted = shrinker.exhausted_;
+  return result;
+}
+
+}  // namespace e10::fuzz

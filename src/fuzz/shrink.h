@@ -1,0 +1,44 @@
+// Automatic shrinking of failing fuzz scenarios (delta debugging).
+//
+// Given a scenario the oracle rejected, `shrink()` greedily searches for a
+// smaller scenario that still fails: it concretizes the access pattern,
+// pins the crash point to its resolved virtual time (so the repro is
+// self-contained), then repeatedly tries structural simplifications —
+// drop pieces (halves first, then one by one), drop fault-plan clauses,
+// drop the crash point, compact away rank slots that write nothing, trim
+// call counts and file size, and neutralize hint knobs toward the plain
+// configuration. A candidate is kept when it still produces at least one
+// oracle violation; rounds repeat to a fixpoint or the evaluation budget.
+//
+// Everything is deterministic: the same failing scenario shrinks to the
+// same minimal repro (the determinism tests assert this).
+#pragma once
+
+#include "fuzz/runner.h"
+#include "fuzz/scenario.h"
+
+namespace e10::fuzz {
+
+struct ShrinkOptions {
+  /// Candidate executions allowed before the search gives up and returns
+  /// the best scenario found so far.
+  int max_evals = 250;
+};
+
+struct ShrinkResult {
+  /// Smallest still-failing scenario found.
+  Scenario minimal;
+  /// Full-oracle run of `minimal` (its violations are the repro's verdict).
+  RunResult result;
+  /// Candidate executions spent (diagnostics; bounded by max_evals + 1).
+  int evaluations = 0;
+  /// True when the budget ran out before reaching a fixpoint.
+  bool exhausted = false;
+};
+
+/// Minimizes `failing` (which must violate the oracle under `run_options`).
+/// If `failing` does not actually fail, it is returned unchanged.
+ShrinkResult shrink(const Scenario& failing, const RunOptions& run_options = {},
+                    const ShrinkOptions& options = {});
+
+}  // namespace e10::fuzz

@@ -95,6 +95,11 @@ Status LocalFs::fallocate(FileHandle handle, Offset length) {
     return Status::error(Errc::invalid_argument, "lfs: negative fallocate");
   }
   Inode& inode = *it->second;
+  // Extent reservation hits the same device/driver path as a data write, so
+  // it shares the write fault class (a dying disk fails both the same way).
+  if (has_faults()) {
+    if (Status s = check_fault(fault::FaultOp::lfs_write); !s) return s;
+  }
   ++stats_.fallocates;
   if (const Status s = charge(inode, length); !s.is_ok()) return s;
   if (params_.supports_fallocate) {

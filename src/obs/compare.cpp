@@ -72,7 +72,15 @@ Result<PointMap> from_run_report_array(const Json& doc) {
 Result<PointMap> from_bench_entries(const Json& doc) {
   PointMap out;
   const Json& entries = doc.at("entries");
+  if (!entries.is_array()) {
+    return Status::error(Errc::invalid_argument,
+                         "compare: 'entries' is not an array");
+  }
   for (const Json& entry : entries.elements()) {
+    if (!entry.is_object()) {
+      return Status::error(Errc::invalid_argument,
+                           "compare: BENCH entry is not an object");
+    }
     const std::string base = config_str(entry, "combo") + "/" +
                              config_str(entry, "cache_case");
     bool any = false;
@@ -112,6 +120,16 @@ Result<CompareReport> compare_runs(const Json& baseline, const Json& candidate,
   if (!base_points.is_ok()) return base_points.status();
   auto cand_points = normalize(candidate);
   if (!cand_points.is_ok()) return cand_points.status();
+  // An empty side makes every verdict vacuous; a gate that can "pass" on a
+  // truncated or mis-generated document is worse than one that errors.
+  if (base_points.value().empty()) {
+    return Status::error(Errc::invalid_argument,
+                         "compare: baseline contains no measurements");
+  }
+  if (cand_points.value().empty()) {
+    return Status::error(Errc::invalid_argument,
+                         "compare: candidate contains no measurements");
+  }
 
   CompareReport report;
   for (const auto& [key, base] : base_points.value()) {
@@ -152,6 +170,14 @@ Result<CompareReport> compare_runs(const Json& baseline, const Json& candidate,
     if (find_point(base_points.value(), key) == nullptr) {
       report.missing_in_baseline.push_back(key);
     }
+  }
+  if (report.points.empty()) {
+    // Both sides parsed but share no point keys — almost certainly two
+    // documents from different sweeps (mismatched schema/configs), not a
+    // clean run.
+    return Status::error(
+        Errc::invalid_argument,
+        "compare: no overlapping points between baseline and candidate");
   }
   return report;
 }

@@ -159,9 +159,16 @@ void Engine::run() {
     throw std::logic_error("Engine::run from inside a simulated process");
   }
   running_ = true;
+  stopped_ = false;
   std::exception_ptr error;
   while (!ready_.empty()) {
     auto it = ready_.begin();
+    // Crash point: nothing scheduled at or after the stop time runs. The
+    // break (not a throw) leaves surviving state intact for a recovery pass.
+    if (stop_at_.has_value() && it->first.first >= *stop_at_) {
+      stopped_ = true;
+      break;
+    }
     Process* p = it->second;
     ready_.erase(it);
     resume(*p);
@@ -176,9 +183,21 @@ void Engine::run() {
     }
   }
   running_ = false;
+  // One-shot in every outcome: fired, run ended first, or errored — a
+  // follow-up run() (e.g. a post-crash recovery pass) proceeds normally.
+  const std::optional<Time> stop = stop_at_;
+  stop_at_.reset();
   if (error != nullptr) {
     cancel_all();
     std::rethrow_exception(error);
+  }
+  if (stopped_) {
+    cancel_all();
+    // cancel_all resumed each victim at its own clock (possibly scheduled
+    // past the stop); the crash itself defines the world clock, so pin it
+    // to the stop time for post-crash spawns.
+    sim_time_ = *stop;
+    return;
   }
   if (live_ > 0) {
     std::ostringstream os;
@@ -209,8 +228,11 @@ void Engine::delay(Time d) {
   Process& p = *current_;
   p.clock += d;
   // Fast path: nobody else is due strictly before our new time, so keep
-  // running without a scheduler round trip. Ties still yield (FIFO).
-  if (ready_.empty() || ready_.begin()->first.first > p.clock) {
+  // running without a scheduler round trip. Ties still yield (FIFO). An
+  // armed crash point due at or before the new clock forces the slow path
+  // so the scheduler can stop the run instead of sailing past it.
+  if ((ready_.empty() || ready_.begin()->first.first > p.clock) &&
+      !(stop_at_.has_value() && p.clock >= *stop_at_)) {
     sim_time_ = p.clock;
     return;
   }

@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -86,6 +87,20 @@ class Engine {
   /// process body threw; throws DeadlockError if live processes remain
   /// blocked. Must be called from outside any simulated process.
   void run();
+
+  /// Arms a one-shot crash point: the next run() stops before resuming any
+  /// process scheduled at or after t, cancels every live process (fiber
+  /// unwinding via ProcessCancelled), and returns normally with stopped()
+  /// true. Models killing the job at virtual time t — no simulated work at
+  /// or after t happens; surviving state (files, journals) reflects exactly
+  /// what was durable before the crash. The arm is consumed by the next
+  /// run() whether or not it fires, so a follow-up run() (e.g. a recovery
+  /// pass spawned from outside) proceeds normally from the crash time.
+  void stop_at(Time t) { stop_at_ = t; }
+
+  /// True when the last run() was terminated by a stop_at() deadline rather
+  /// than by natural completion. Reset at the start of every run().
+  bool stopped() const { return stopped_; }
 
   /// Virtual time of the running process (or the last scheduled time when
   /// called from outside).
@@ -199,6 +214,8 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t switches_ = 0;
   Time sim_time_ = 0;
+  std::optional<Time> stop_at_;
+  bool stopped_ = false;
   Process* current_ = nullptr;
   ucontext_t engine_context_{};
   bool running_ = false;

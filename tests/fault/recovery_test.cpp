@@ -266,6 +266,64 @@ TEST(Recovery, ReplaySkipsCommittedSeqs) {
             DataView::pattern_byte(78, 1 * MiB + 5));
 }
 
+TEST(Recovery, TornTrailingJournalRecordIsIgnoredNotFatal) {
+  // A crash mid-append leaves a partial record at the journal tail. Recovery
+  // must replay everything before the tear and succeed — a torn tail is
+  // expected crash damage, not a reason to abandon the intact records.
+  Fixture f;
+  f.run([&] {
+    const auto global = f.open_global();
+    const std::string cache_path = "/scratch/global.cache.0";
+    const auto cache = f.local_fs.open(cache_path, true, true).value();
+    ASSERT_TRUE(f.local_fs
+                    .write(cache, 0, DataView::synthetic(77, 0, 256 * KiB))
+                    .is_ok());
+    ASSERT_TRUE(f.local_fs
+                    .write(cache, 256 * KiB,
+                           DataView::synthetic(78, 1 * MiB, 256 * KiB))
+                    .is_ok());
+    ASSERT_TRUE(f.local_fs.close(cache).is_ok());
+
+    const auto journal =
+        f.local_fs.open(CacheFile::journal_path(cache_path), true).value();
+    std::vector<DataView> records;
+    records.push_back(encode_write_record({1, 0, 256 * KiB, 0}));
+    records.push_back(encode_write_record({2, 1 * MiB, 256 * KiB, 256 * KiB}));
+    // The third append was interrupted 17 bytes in.
+    records.push_back(
+        encode_write_record({3, 2 * MiB, 256 * KiB, 512 * KiB}).slice(0, 17));
+    ASSERT_TRUE(
+        f.local_fs.write(journal, 0, DataView::concat(records)).is_ok());
+    ASSERT_TRUE(f.local_fs.close(journal).is_ok());
+
+    // The commits sidecar has one intact record and a torn tail too.
+    const auto commits =
+        f.local_fs.open(CacheFile::commits_path(cache_path), true).value();
+    std::vector<DataView> commit_records;
+    commit_records.push_back(encode_commit_record(1));
+    commit_records.push_back(encode_commit_record(2).slice(0, 9));
+    ASSERT_TRUE(
+        f.local_fs.write(commits, 0, DataView::concat(commit_records))
+            .is_ok());
+    ASSERT_TRUE(f.local_fs.close(commits).is_ok());
+
+    const auto report =
+        CacheFile::recover(f.local_fs, f.pfs, global, cache_path);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    // Both intact write records scanned; the torn third is ignored. The
+    // torn commit record is ignored too, so seq 2 counts as uncommitted
+    // and is replayed (idempotence makes the extra replay harmless).
+    EXPECT_EQ(report.value().journal_records, 2u);
+    EXPECT_EQ(report.value().committed, 1u);
+    EXPECT_EQ(report.value().replayed_extents, 1u);
+    EXPECT_EQ(report.value().replayed_bytes, 256 * KiB);
+  });
+  const ByteStore* global = f.pfs.peek("/pfs/global");
+  ASSERT_NE(global, nullptr);
+  EXPECT_EQ(global->byte_at(1 * MiB + 5),
+            DataView::pattern_byte(78, 1 * MiB + 5));
+}
+
 TEST(Recovery, MissingJournalYieldsEmptyReport) {
   Fixture f;
   f.run([&] {

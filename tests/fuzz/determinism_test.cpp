@@ -1,0 +1,66 @@
+// Satellite: seed determinism. The fuzzer's replay/shrink workflow depends
+// on runs being pure functions of the scenario — the same seed must produce
+// byte-identical run reports and identical shrink results every time.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "fuzz/runner.h"
+#include "fuzz/shrink.h"
+
+namespace e10::fuzz {
+namespace {
+
+using namespace e10::units;
+
+ScenarioLimits tiny_limits() {
+  ScenarioLimits limits;
+  limits.max_nodes = 2;
+  limits.max_ranks_per_node = 2;
+  limits.max_file_bytes = 512 * KiB;
+  limits.max_calls = 2;
+  return limits;
+}
+
+TEST(DeterminismTest, SameSeedSameRunReport) {
+  for (std::uint64_t seed : {42u, 43u, 44u}) {
+    const Scenario s = Scenario::generate(seed, tiny_limits(), false);
+    const RunResult a = run_scenario(s);
+    const RunResult b = run_scenario(s);
+    EXPECT_EQ(a.report.to_text(), b.report.to_text()) << "seed " << seed;
+    EXPECT_EQ(a.violations_text(), b.violations_text()) << "seed " << seed;
+  }
+}
+
+TEST(DeterminismTest, CrashAndRecoveryAreDeterministic) {
+  const Scenario s = Scenario::generate(77, tiny_limits(), /*want_crash=*/true);
+  const RunResult a = run_scenario(s);
+  const RunResult b = run_scenario(s);
+  EXPECT_TRUE(a.report.stopped);
+  EXPECT_EQ(a.report.to_text(), b.report.to_text());
+  EXPECT_EQ(a.violations_text(), b.violations_text());
+}
+
+TEST(DeterminismTest, FaultedRunsAreDeterministic) {
+  Scenario s = Scenario::generate(55, tiny_limits(), false);
+  s.fault_spec = "pfs_write=5%/timed_out;lfs_write=5%/io_error;seed=9";
+  const RunResult a = run_scenario(s);
+  const RunResult b = run_scenario(s);
+  EXPECT_EQ(a.report.to_text(), b.report.to_text());
+}
+
+TEST(DeterminismTest, ShrinkTwiceGivesIdenticalMinimalRepro) {
+  Scenario failing = Scenario::generate(91, tiny_limits(), false);
+  failing.bug = BugKind::drop_extent;
+  RunOptions options;
+  options.cross_check_hints = false;
+  const ShrinkResult a = shrink(failing, options);
+  const ShrinkResult b = shrink(failing, options);
+  ASSERT_FALSE(a.result.ok());
+  EXPECT_EQ(a.minimal, b.minimal);
+  EXPECT_EQ(a.minimal.to_spec(), b.minimal.to_spec());
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.result.report.to_text(), b.result.report.to_text());
+}
+
+}  // namespace
+}  // namespace e10::fuzz

@@ -1,0 +1,149 @@
+#include "fuzz/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace e10::fuzz {
+namespace {
+
+using namespace e10::units;
+
+ScenarioLimits tiny_limits() {
+  ScenarioLimits limits;
+  limits.max_nodes = 2;
+  limits.max_ranks_per_node = 2;
+  limits.max_file_bytes = 512 * KiB;
+  limits.max_calls = 2;
+  return limits;
+}
+
+TEST(ScenarioTest, GenerateIsDeterministic) {
+  const Scenario a = Scenario::generate(5, tiny_limits(), /*want_crash=*/false);
+  const Scenario b = Scenario::generate(5, tiny_limits(), /*want_crash=*/false);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_spec(), b.to_spec());
+  EXPECT_EQ(a.concrete_pieces(), b.concrete_pieces());
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  const Scenario a = Scenario::generate(1, tiny_limits(), false);
+  const Scenario b = Scenario::generate(2, tiny_limits(), false);
+  EXPECT_NE(a.to_spec(), b.to_spec());
+}
+
+TEST(ScenarioTest, GenerateHonorsLimits) {
+  ScenarioLimits one;
+  one.max_nodes = 1;
+  one.max_ranks_per_node = 1;
+  one.max_calls = 1;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Scenario s = Scenario::generate(seed, one, /*want_crash=*/false);
+    EXPECT_EQ(s.nodes, 1u);
+    EXPECT_EQ(s.ranks_per_node, 1u);
+    EXPECT_EQ(s.calls, 1);
+    EXPECT_LE(s.file_bytes, one.max_file_bytes);
+  }
+}
+
+TEST(ScenarioTest, WantCrashForcesRecoverableSetup) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Scenario s = Scenario::generate(seed, tiny_limits(), true);
+    EXPECT_TRUE(s.wants_crash());
+    EXPECT_TRUE(s.journal_hint);
+    EXPECT_NE(s.cache, "disable");
+    EXPECT_GT(s.crash_frac, 0.0);
+    EXPECT_LE(s.crash_frac, 1.0);
+  }
+}
+
+TEST(ScenarioTest, ConcretePiecesAreDisjointSortedAndInGrid) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Scenario s = Scenario::generate(seed, tiny_limits(), false);
+    const auto pieces = s.concrete_pieces();
+    ASSERT_FALSE(pieces.empty());
+    // Sorted by (call, rank, offset).
+    EXPECT_TRUE(std::is_sorted(
+        pieces.begin(), pieces.end(),
+        [](const PieceSpec& a, const PieceSpec& b) {
+          return std::tie(a.call, a.rank, a.offset) <
+                 std::tie(b.call, b.rank, b.offset);
+        }));
+    // Pairwise disjoint in file space, across ranks AND calls.
+    std::vector<std::pair<Offset, Offset>> spans;
+    for (const PieceSpec& p : pieces) {
+      EXPECT_GE(p.call, 0);
+      EXPECT_LT(p.call, s.calls);
+      EXPECT_GE(p.rank, 0);
+      EXPECT_LT(p.rank, s.ranks());
+      EXPECT_GT(p.length, 0);
+      EXPECT_LE(p.offset + p.length, s.file_bytes);
+      spans.emplace_back(p.offset, p.offset + p.length);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].second, spans[i].first)
+          << "overlap at span " << i << " (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(ScenarioTest, ExplicitPiecesWinOverDerivation) {
+  Scenario s;
+  s.pieces = {{0, 0, 100, 50}};
+  EXPECT_EQ(s.concrete_pieces(), s.pieces);
+}
+
+TEST(ScenarioTest, SpecRoundTripsExactly) {
+  Scenario s = Scenario::generate(17, tiny_limits(), /*want_crash=*/true);
+  s.pieces = s.concrete_pieces();  // explicit pieces serialize too
+  s.crash_at = 123456789;
+  s.bug = BugKind::drop_extent;
+  const auto parsed = Scenario::parse(s.to_spec());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), s);
+}
+
+TEST(ScenarioTest, RoundTripWithoutOptionals) {
+  const Scenario s = Scenario::generate(3, tiny_limits(), false);
+  const auto parsed = Scenario::parse(s.to_spec());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), s);
+}
+
+TEST(ScenarioTest, ParseRejectsMalformedSpecs) {
+  // Missing required keys.
+  EXPECT_FALSE(Scenario::parse("").is_ok());
+  EXPECT_FALSE(Scenario::parse("cb_buffer=65536\n").is_ok());
+  EXPECT_FALSE(Scenario::parse("seed=1\n").is_ok());
+  const std::string base = "seed=1\ncb_buffer=65536\n";
+  // Bad values.
+  EXPECT_FALSE(Scenario::parse(base + "nodes=0\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "cache=sometimes\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "pipeline=yes\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "crash_frac=1.5\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "bug=meltdown\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "no_equals_here\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "mystery=1\n").is_ok());
+  // A fault plan that does not parse is rejected eagerly.
+  EXPECT_FALSE(Scenario::parse(base + "faults=bogus~~\n").is_ok());
+  // Pieces must be well-formed and inside the calls x ranks grid.
+  EXPECT_FALSE(Scenario::parse(base + "piece=0,0,0\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "piece=0,0,0,0\n").is_ok());
+  EXPECT_FALSE(Scenario::parse(base + "calls=1\npiece=1,0,0,10\n").is_ok());
+  EXPECT_FALSE(
+      Scenario::parse(base + "nodes=1\nranks_per_node=1\npiece=0,5,0,10\n")
+          .is_ok());
+}
+
+TEST(ScenarioTest, ParseAcceptsCommentsAndBlankLines) {
+  const auto parsed =
+      Scenario::parse("# comment\n\nseed=9\ncb_buffer=65536\n# tail\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().seed, 9u);
+}
+
+}  // namespace
+}  // namespace e10::fuzz

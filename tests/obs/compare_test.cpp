@@ -169,6 +169,43 @@ TEST(Compare, MalformedDocumentsAreErrorsNotCrashes) {
       compare_runs(good, parse(R"({"entries": [{"combo": "a"}]})"),
                    CompareOptions{})
           .is_ok());
+  // 'entries' of the wrong kind and non-object entries used to throw out of
+  // the Json accessors; they must surface as parse errors instead.
+  EXPECT_FALSE(
+      compare_runs(good, parse(R"({"entries": 42})"), CompareOptions{})
+          .is_ok());
+  EXPECT_FALSE(
+      compare_runs(good, parse(R"({"entries": [42]})"), CompareOptions{})
+          .is_ok());
+  // Run-report entries that are not objects are rejected, not dereferenced.
+  EXPECT_FALSE(compare_runs(good, parse(R"([42])"), CompareOptions{}).is_ok());
+}
+
+TEST(Compare, EmptyDocumentsCannotVacuouslyPass) {
+  const Json good = baseline_doc();
+  const auto empty_base = compare_runs(parse("[]"), good, CompareOptions{});
+  ASSERT_FALSE(empty_base.is_ok());
+  EXPECT_NE(empty_base.status().message().find("baseline"),
+            std::string::npos);
+  const auto empty_cand = compare_runs(
+      good, parse(R"({"description": "x", "entries": []})"), CompareOptions{});
+  ASSERT_FALSE(empty_cand.is_ok());
+  EXPECT_NE(empty_cand.status().message().find("candidate"),
+            std::string::npos);
+}
+
+TEST(Compare, DisjointSweepsAreAnErrorNotAPass) {
+  // Every baseline point missing from the candidate and vice versa: two
+  // documents from different sweeps. A gate verdict over zero shared points
+  // would be meaningless, so this errors rather than printing PASS.
+  const Json other = parse(R"([
+    {"config": {"combo": "64_16m", "cache_case": "cache_enabled"},
+     "derived": {"io_time_s": 1.0}}
+  ])");
+  const auto report = compare_runs(baseline_doc(), other, CompareOptions{});
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_NE(report.status().message().find("no overlapping points"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -211,5 +211,85 @@ TEST(Engine, LoneProcessDelaysWithoutSwitching) {
   EXPECT_LE(eng.switch_count(), 2u);  // just the initial resume
 }
 
+TEST(Engine, StopAtHaltsRunAtDeadline) {
+  Engine eng;
+  std::vector<Time> observed;
+  for (int p = 0; p < 3; ++p) {
+    eng.spawn("p" + std::to_string(p), [&] {
+      for (int i = 0; i < 10; ++i) {
+        eng.delay(milliseconds(1));
+        observed.push_back(eng.now());
+      }
+    });
+  }
+  eng.stop_at(milliseconds(4));
+  eng.run();
+  EXPECT_TRUE(eng.stopped());
+  EXPECT_EQ(eng.now(), milliseconds(4));
+  // No simulated work at or after the stop time happened.
+  ASSERT_FALSE(observed.empty());
+  for (const Time t : observed) EXPECT_LT(t, milliseconds(4));
+  EXPECT_EQ(eng.live_processes(), 0u);  // everyone was cancelled
+}
+
+TEST(Engine, StopAtLoneProcessFastPath) {
+  // A lone process delaying takes the no-switch fast path; the stop must
+  // still interrupt it at the deadline.
+  Engine eng;
+  Time last = -1;
+  eng.spawn("solo", [&] {
+    for (int i = 0; i < 100; ++i) {
+      eng.delay(microseconds(10));
+      last = eng.now();
+    }
+  });
+  eng.stop_at(microseconds(55));
+  eng.run();
+  EXPECT_TRUE(eng.stopped());
+  EXPECT_EQ(eng.now(), microseconds(55));
+  EXPECT_EQ(last, microseconds(50));
+}
+
+TEST(Engine, StopIsOneShotAndRecoveryRunProceeds) {
+  Engine eng;
+  int crashed_progress = 0;
+  eng.spawn("victim", [&] {
+    for (int i = 0; i < 10; ++i) {
+      eng.delay(milliseconds(1));
+      ++crashed_progress;
+    }
+  });
+  eng.stop_at(milliseconds(3));
+  eng.run();
+  EXPECT_TRUE(eng.stopped());
+  EXPECT_EQ(crashed_progress, 2);  // work strictly before t=3ms only
+
+  // Recovery pass: a fresh process spawned from outside starts at the
+  // crash time and runs to completion — the stop does not re-fire.
+  Time recovery_start = -1;
+  Time recovery_end = -1;
+  eng.spawn("recovery", [&] {
+    recovery_start = eng.now();
+    eng.delay(milliseconds(2));
+    recovery_end = eng.now();
+  });
+  eng.run();
+  EXPECT_FALSE(eng.stopped());
+  EXPECT_EQ(recovery_start, milliseconds(3));
+  EXPECT_EQ(recovery_end, milliseconds(5));
+}
+
+TEST(Engine, StopAfterNaturalCompletionIsNotStopped) {
+  Engine eng;
+  eng.spawn("p", [&] { eng.delay(milliseconds(1)); });
+  eng.stop_at(milliseconds(100));
+  eng.run();
+  EXPECT_FALSE(eng.stopped());
+  // The unconsumed arm must not break a later run either.
+  eng.spawn("q", [&] { eng.delay(milliseconds(1)); });
+  eng.run();
+  EXPECT_FALSE(eng.stopped());
+}
+
 }  // namespace
 }  // namespace e10::sim
