@@ -108,7 +108,7 @@ Result<DataView> read_contig(AdioFile& fd, Offset offset, Offset length);
 /// the completion time — so `request` only carries *when* the write
 /// finishes. Waiting on it advances the caller's clock to `done`; an
 /// invalid request means the write completed (or failed) synchronously.
-struct WriteHandle {
+struct [[nodiscard]] WriteHandle {
   Status status = Status::ok();
   mpi::Request request;
   Time issued = 0;

@@ -38,6 +38,7 @@ WritePipeline::WritePipeline(AdioFile& fd, bool enabled)
   }
 }
 
+// e10-lint-allow(unwind-blocking): drain() is gated on uncaught_exceptions
 WritePipeline::~WritePipeline() {
   // Draining blocks, and a blocking call must not run while the fiber is
   // unwinding: a crash/cancellation would re-throw ProcessCancelled inside

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "adio/adio_file.h"
+#include "common/thread_safety.h"
 #include "sim/async.h"
 #include "sim/concurrency.h"
 
@@ -123,8 +124,8 @@ class WritePipeline {
 
   AdioFile& fd_;
   bool enabled_ = false;
-  std::deque<InFlightRound> in_flight_;
-  sim::OverlapAccumulator overlap_;
+  std::deque<InFlightRound> in_flight_ E10_TRACKED_BY(state_var_);
+  sim::OverlapAccumulator overlap_ E10_TRACKED_BY(state_var_);
   /// Pipeline bookkeeping is single-owner state of the issuing rank; the
   /// checker verifies nothing else ever touches it.
   sim::SharedVar state_var_;

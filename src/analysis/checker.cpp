@@ -178,6 +178,18 @@ std::string ConcurrencyChecker::describe_process(sim::ProcessId pid) const {
   return out;
 }
 
+std::vector<OrderEdge> ConcurrencyChecker::order_edges() const {
+  std::vector<OrderEdge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, edge] : edges_) {
+    const LockRec& before = locks_[key.first];
+    const LockRec& after = locks_[key.second];
+    out.push_back(
+        {before.name, after.name, before.kind, after.kind, edge.example});
+  }
+  return out;
+}
+
 AnalysisSummary ConcurrencyChecker::summary() const {
   AnalysisSummary s;
   s.races = races_;

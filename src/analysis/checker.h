@@ -56,6 +56,18 @@ struct CycleFinding {
   std::vector<std::string> edges;  // human-readable example edges
 };
 
+/// One observed acquisition-order edge: while holding `before`, some
+/// process blocked acquiring `after`. Monitors never appear (they cannot
+/// block). Exported for the declared-vs-dynamic lock-order cross-check
+/// (analysis/lock_order.h).
+struct OrderEdge {
+  std::string before;
+  std::string after;
+  sim::LockKind before_kind = sim::LockKind::mutex;
+  sim::LockKind after_kind = sim::LockKind::mutex;
+  std::string example;  // "A -> B by <process> at t=..."
+};
+
 struct AnalysisSummary {
   std::vector<RaceFinding> races;
   std::vector<CycleFinding> cycles;
@@ -76,6 +88,12 @@ class ConcurrencyChecker final : public sim::ConcurrencyObserver {
 
   /// Findings and counters accumulated so far (cycles are computed here).
   AnalysisSummary summary() const;
+
+  /// Every observed acquisition-order edge, in deterministic (first-sight
+  /// interning) order. The raw graph behind CycleFinding — consumed by the
+  /// declared-order cross-check (analysis/lock_order.h) and the fuzz
+  /// runner's concurrency oracle.
+  std::vector<OrderEdge> order_edges() const;
 
   /// The run report's `analysis` section; see docs/static_analysis.md.
   obs::Json to_json() const;

@@ -1,0 +1,49 @@
+#include "analysis/lock_order.h"
+
+#include <map>
+#include <utility>
+
+namespace e10::analysis {
+
+const std::vector<DeclaredOrderRule>& declared_lock_order() {
+  // Keep rules justified by an actual holds-while-acquiring site; the
+  // coverage test in tests/analysis fails if a rule stops being witnessed.
+  static const std::vector<DeclaredOrderRule> rules = {
+      {"extent", "mutex:cache.sync.stats_mutex",
+       "a rank writes to the cache holding the written extent's lock "
+       "(coherent mode) and then enqueues the sync request, whose queue-"
+       "depth accounting takes the stats mutex (sync_thread.cpp)"},
+  };
+  return rules;
+}
+
+std::string lock_order_class(sim::LockKind kind, const std::string& name) {
+  if (kind == sim::LockKind::extent) return "extent";
+  const std::string prefix = std::string(sim::to_string(kind)) + ":";
+  const std::size_t colon = name.find(':');
+  return prefix + (colon == std::string::npos ? name : name.substr(0, colon));
+}
+
+std::vector<std::string> check_declared_order(
+    const std::vector<OrderEdge>& edges) {
+  std::map<std::pair<std::string, std::string>, const DeclaredOrderRule*>
+      declared;
+  for (const DeclaredOrderRule& rule : declared_lock_order()) {
+    declared[{rule.before, rule.after}] = &rule;
+  }
+  std::vector<std::string> violations;
+  for (const OrderEdge& edge : edges) {
+    const std::string before = lock_order_class(edge.before_kind, edge.before);
+    const std::string after = lock_order_class(edge.after_kind, edge.after);
+    if (before == after) continue;
+    auto it = declared.find({after, before});  // observed edge, reversed
+    if (it == declared.end()) continue;
+    violations.push_back("observed acquisition " + edge.before + " -> " +
+                         edge.after + " contradicts declared order '" +
+                         it->second->before + "' < '" + it->second->after +
+                         "' (" + edge.example + ")");
+  }
+  return violations;
+}
+
+}  // namespace e10::analysis

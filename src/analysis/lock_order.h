@@ -1,0 +1,58 @@
+// Declared lock acquisition order and its runtime cross-check.
+//
+// The static half of the lock-order story: E10_ACQUIRED_BEFORE/AFTER
+// annotations (common/thread_safety.h) declare the order between mutexes
+// of one class, and e10_lint's lock-order rule keeps the declarations
+// acyclic. Orders the attribute syntax cannot express — between a lock
+// *class* like "any extent lock" and a named mutex, across modules — are
+// declared here instead, as a project-wide manifest over the checker's
+// lock-class names.
+//
+// The dynamic half is the acquisition-order graph the ConcurrencyChecker
+// records (checker.h). check_declared_order() joins the two: every
+// observed edge whose class pair REVERSES a declared rule is a violation
+// — the code acquired locks in the opposite order from what the
+// annotations promise, which is exactly how undeclared deadlocks start.
+// The fuzz runner applies the check on every scenario (oracle 3), and
+// tests/analysis asserts the declared rules are actually witnessed by the
+// real stack, so the manifest cannot rot into dead documentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "sim/concurrency.h"
+
+namespace e10::analysis {
+
+/// One declared order rule over lock classes: any lock of class `before`
+/// is acquired before any lock of class `after` whenever one process
+/// holds both.
+struct DeclaredOrderRule {
+  std::string before;
+  std::string after;
+  const char* rationale = "";
+};
+
+/// The project manifest (see the header comment for what belongs here
+/// versus in E10_ACQUIRED_BEFORE annotations).
+const std::vector<DeclaredOrderRule>& declared_lock_order();
+
+/// Collapses a lock instance to its class: every extent lock is class
+/// "extent"; a mutex "cache.sync.stats_mutex:/pfs/a" (instance suffix
+/// after ':') is class "mutex:cache.sync.stats_mutex". Monitors cannot
+/// appear in order edges but classify as "monitor:<name>" for
+/// completeness.
+std::string lock_order_class(sim::LockKind kind, const std::string& name);
+
+/// Cross-checks observed edges against the manifest: returns one
+/// human-readable violation per observed edge whose (before, after)
+/// classes contradict a declared rule. Edges between unlisted class pairs
+/// are fine (the manifest is deliberately partial), as are edges within
+/// one class (extent-extent nesting is ordered by offset, checked
+/// dynamically by the cycle detector).
+std::vector<std::string> check_declared_order(
+    const std::vector<OrderEdge>& edges);
+
+}  // namespace e10::analysis

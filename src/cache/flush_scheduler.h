@@ -37,6 +37,7 @@
 #include "common/extent.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_safety.h"
 #include "common/units.h"
 #include "lfs/local_fs.h"
 #include "pfs/pfs.h"
@@ -170,9 +171,10 @@ class FlushScheduler {
   pfs::Pfs& pfs_;
   pfs::FileHandle global_handle_;
   FlushSchedulerParams params_;
-  std::vector<InFlight> in_flight_;  // FIFO, bounded by params_.streams
-  sim::OverlapAccumulator overlap_;
-  FlushSchedulerStats stats_;
+  /// FIFO, bounded by params_.streams.
+  std::vector<InFlight> in_flight_ E10_TRACKED_BY(state_var_);
+  sim::OverlapAccumulator overlap_ E10_TRACKED_BY(state_var_);
+  FlushSchedulerStats stats_ E10_TRACKED_BY(state_var_);
   /// Scheduler bookkeeping is single-owner state of the sync thread; the
   /// registration lets the checker verify nothing else ever touches it.
   sim::SharedVar state_var_;

@@ -84,8 +84,10 @@ class SyncThread {
   /// Spawns the worker process (call once, from a simulated process).
   void start();
 
-  /// Queues a sync request; never blocks the caller.
-  void enqueue(SyncRequest request);
+  /// Queues a sync request; never blocks the caller (the queue-depth
+  /// accounting takes the stats mutex briefly, so the caller must not
+  /// hold it).
+  void enqueue(SyncRequest request) E10_EXCLUDES(stats_mutex_);
 
   /// Sends the shutdown sentinel and joins the worker: all previously
   /// enqueued requests are drained first.
@@ -98,11 +100,11 @@ class SyncThread {
 
   /// Point-in-time copy of the counters, safe to call from the owning rank
   /// while the worker runs (takes the stats mutex).
-  SyncStats stats_snapshot();
+  SyncStats stats_snapshot() E10_EXCLUDES(stats_mutex_);
 
   /// Requests given up on since start; the flush path polls this while the
   /// worker is live, so it locks and is checker-instrumented.
-  std::uint64_t abandoned_count();
+  std::uint64_t abandoned_count() E10_EXCLUDES(stats_mutex_);
 
   /// Borrowed view of the counters. Only safe once the worker has joined
   /// (shutdown_and_join / cancel_drain_and_join); live readers must use
@@ -158,7 +160,7 @@ class SyncThread {
   std::string global_path_;
   Offset staging_bytes_;
   LockTable* locks_;
-  void note_queue_depth(std::size_t depth);
+  void note_queue_depth(std::size_t depth) E10_EXCLUDES(stats_mutex_);
 
   sim::Mailbox<SyncRequest> inbox_;
   sim::ProcessHandle handle_;
@@ -166,6 +168,10 @@ class SyncThread {
   /// rank mid-run (queue depth from enqueue(), abandoned from flush()) —
   /// in the paper's pthread implementation that is a data race, surfaced
   /// by the lockset checker and fixed by guarding them with a mutex.
+  /// Acquisition order: always AFTER any held extent lock (a coherent-mode
+  /// rank enqueues while its written extent is locked) — declared in
+  /// analysis::declared_lock_order() and cross-checked against the runtime
+  /// order graph, since the clang attributes cannot name extent locks.
   sim::SimMutex stats_mutex_;
   SyncStats stats_ E10_GUARDED_BY(stats_mutex_);
   /// Checker registrations: the stats block and the request queue. The

@@ -52,3 +52,24 @@
 /// Opts a function out of the analysis (primitive implementations).
 #define E10_NO_THREAD_SAFETY_ANALYSIS \
   E10_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Declares that this capability member is always acquired before `x`
+/// when a process holds both. e10_lint's lock-order rule checks the
+/// declared relation for cycles; the declared order is also cross-checked
+/// against the runtime acquisition-order graph
+/// (analysis::declared_lock_order, docs/static_analysis.md).
+#define E10_ACQUIRED_BEFORE(...) \
+  E10_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Converse of E10_ACQUIRED_BEFORE: acquired only while `x` is held.
+#define E10_ACQUIRED_AFTER(...) \
+  E10_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Declares that a member's accesses are recorded against the named
+/// sim::SharedVar member, i.e. the runtime lockset checker — not a mutex —
+/// enforces its discipline (single-owner, handoff, or monitor-protected).
+/// Clang's analysis has no concept of engine-atomic monitors, so this
+/// expands to nothing everywhere; e10_lint verifies the argument names a
+/// real member, and the named SharedVar makes the claim checkable at run
+/// time (src/analysis/checker.h).
+#define E10_TRACKED_BY(x)  // documentation + e10_lint; runtime-enforced

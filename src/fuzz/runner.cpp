@@ -6,6 +6,7 @@
 
 #include "adio/adio_file.h"
 #include "analysis/checker.h"
+#include "analysis/lock_order.h"
 #include "cache/cache_file.h"
 #include "cache/journal.h"
 #include "common/rng.h"
@@ -332,6 +333,14 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
         locks += (locks.empty() ? "" : " -> ") + l;
       }
       ex.violate("concurrency", "lock-order cycle: " + locks);
+    }
+    // Declared-vs-dynamic cross-check: the acquisition order this run
+    // actually exercised must not reverse the statically declared order
+    // (analysis/lock_order.h) — catches inversions even when no cycle
+    // closed on this schedule.
+    for (const std::string& violation :
+         analysis::check_declared_order(ex.checker->order_edges())) {
+      ex.violate("concurrency", violation);
     }
   }
 

@@ -24,7 +24,11 @@ struct Packet {
   std::any payload;
 };
 
-class Request {
+/// [[nodiscard]]: a dropped request handle is a lost completion — an
+/// isend/irecv/grequest that can never be waited on or completed leaves
+/// its peer hanging (enforced tree-wide with -Werror=unused-result and the
+/// e10_lint nodiscard rule, docs/static_analysis.md).
+class [[nodiscard]] Request {
  public:
   Request() = default;
 
@@ -35,7 +39,7 @@ class Request {
   void wait();
 
   /// Nonblocking completion check. (MPI_Test without status)
-  bool test() const;
+  [[nodiscard]] bool test() const;
 
   /// For completed receive requests: the delivered packet.
   const Packet& packet() const;

@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_safety.h"
 #include "common/units.h"
 #include "sim/causal.h"
+#include "sim/concurrency.h"
 #include "sim/engine.h"
 
 namespace e10::obs {
@@ -81,10 +83,15 @@ class CausalRecorder : public sim::CausalObserver {
  private:
   sim::Engine& engine_;
   Tracer* tracer_;
-  std::vector<Emission> emissions_;
-  std::vector<Ack> acks_;
-  std::vector<Bridge> bridges_;
-  std::vector<Overlay> overlays_;
+  /// The event log is appended by every process in the run — engine-
+  /// atomically, since no hook yields. Each hook claims the recorder
+  /// monitor, so a checker-attached run verifies that discipline (the
+  /// pthread mutex a threaded tracer would need, see sim/concurrency.h).
+  sim::SharedVar state_var_;
+  std::vector<Emission> emissions_ E10_TRACKED_BY(state_var_);
+  std::vector<Ack> acks_ E10_TRACKED_BY(state_var_);
+  std::vector<Bridge> bridges_ E10_TRACKED_BY(state_var_);
+  std::vector<Overlay> overlays_ E10_TRACKED_BY(state_var_);
 };
 
 }  // namespace e10::obs

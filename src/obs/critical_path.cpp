@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <unordered_map>
 
 #include "prof/profiler.h"
@@ -106,8 +107,11 @@ class Walker {
   void run() {
     ProcessId pid = sim::kNoProcess;
     Time t = 0;
+    // Ties (several ranks finishing at the same virtual time — the normal
+    // case at a final join) break toward the smallest pid so the walk's
+    // starting lane never depends on container iteration order.
     for (const auto& [lane_pid, lane] : lanes_) {
-      if (lane.last_end >= t) {
+      if (lane.last_end > t || (lane.last_end == t && pid == sim::kNoProcess)) {
         t = lane.last_end;
         pid = lane_pid;
       }
@@ -159,7 +163,7 @@ class Walker {
 
  private:
   void build_lanes(const Tracer& tracer) {
-    std::unordered_map<ProcessId, std::vector<LaneSpanRef>> spans;
+    std::map<ProcessId, std::vector<LaneSpanRef>> spans;
     for (const Tracer::Event& e : tracer.event_list()) {
       if (e.phase != 'X' || e.pid == sim::kNoProcess) continue;
       spans[e.pid].push_back(LaneSpanRef{e.ts, e.ts + e.dur, &e.name});
@@ -342,11 +346,13 @@ class Walker {
 
   const CausalRecorder& recorder_;
   CriticalPathReport& report_;
-  std::unordered_map<ProcessId, Lane> lanes_;
-  std::unordered_map<ProcessId, std::vector<PidEvent>> events_;
-  std::unordered_map<ProcessId, std::size_t> cursors_;
-  std::unordered_map<ProcessId, std::vector<CausalRecorder::Overlay>>
-      overlays_;
+  // Ordered maps: the walker iterates these while choosing its starting
+  // lane and building per-pid state, and report content must never depend
+  // on hash-iteration order (e10_lint unordered-iteration).
+  std::map<ProcessId, Lane> lanes_;
+  std::map<ProcessId, std::vector<PidEvent>> events_;
+  std::map<ProcessId, std::size_t> cursors_;
+  std::map<ProcessId, std::vector<CausalRecorder::Overlay>> overlays_;
   const std::vector<Tracer::TrackInfo>* tracks_ = nullptr;
 };
 
@@ -362,7 +368,7 @@ int rank_of_track(const std::string& name) {
 }
 
 void fill_rank_skew(const Tracer& tracer, CriticalPathReport& report) {
-  std::unordered_map<int, Time> ends;  // track -> last span end
+  std::map<int, Time> ends;  // track -> last span end
   for (const Tracer::Event& e : tracer.event_list()) {
     if (e.phase != 'X') continue;
     Time& end = ends[e.track];

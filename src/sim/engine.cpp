@@ -8,9 +8,48 @@
 #include "sim/causal.h"
 #include "sim/concurrency.h"
 
+// ASan cannot see through makecontext/swapcontext on its own: a throw on a
+// fiber stack (ProcessCancelled unwinding) or data handed between fiber
+// stacks makes the runtime consult the wrong stack bounds and report false
+// stack-buffer-overflow / stack-use-after-scope (google/sanitizers#189).
+// The __sanitizer fiber hooks announce every stack switch; without ASan
+// the wrappers below compile to nothing.
+#if defined(__SANITIZE_ADDRESS__)
+#define E10_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define E10_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef E10_ASAN_FIBERS
+#define E10_ASAN_FIBERS 0
+#endif
+#if E10_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace e10::sim {
 
 namespace {
+
+#if E10_ASAN_FIBERS
+/// Call directly before swapcontext: `*fake` saves this side's fake-stack
+/// handle (nullptr `fake` = this fiber is exiting for good), bottom/size
+/// describe the destination stack.
+void fiber_switch_begin(void** fake, const void* bottom, std::size_t size) {
+  __sanitizer_start_switch_fiber(fake, bottom, size);
+}
+/// Call directly after gaining control: `fake` is the handle saved when
+/// this side last suspended (nullptr on first entry); the out-params
+/// receive the bounds of the stack we came from.
+void fiber_switch_end(void* fake, const void** from_bottom,
+                      std::size_t* from_size) {
+  __sanitizer_finish_switch_fiber(fake, from_bottom, from_size);
+}
+#else
+void fiber_switch_begin(void**, const void*, std::size_t) {}
+void fiber_switch_end(void*, const void**, std::size_t*) {}
+#endif
 
 /// The engine whose fiber is currently being started (trampoline target).
 thread_local Engine* g_active_engine = nullptr;
@@ -105,19 +144,30 @@ void Engine::resume(Process& p) {
   p.state = Process::State::running;
   ++switches_;
   g_active_engine = this;
+  void* engine_fake_stack = nullptr;
+  fiber_switch_begin(&engine_fake_stack, p.stack.get(), kStackBytes);
   swapcontext(&engine_context_, &p.context);
+  fiber_switch_end(engine_fake_stack, nullptr, nullptr);
   current_ = nullptr;
 }
 
 void Engine::switch_to_engine() {
   Process* self = current_;
+  void* fiber_fake_stack = nullptr;
+  fiber_switch_begin(&fiber_fake_stack, asan_engine_stack_,
+                     asan_engine_stack_size_);
   swapcontext(&self->context, &engine_context_);
+  fiber_switch_end(fiber_fake_stack, nullptr, nullptr);
   // Resumed: the scheduler restored current_/sim_time_ for us.
   if (self->cancelled) throw ProcessCancelled{};
 }
 
 void Engine::trampoline() {
   Engine& eng = *g_active_engine;
+  // First entry on this fiber's stack: no saved handle to restore; record
+  // where we came from — the engine context's own stack.
+  fiber_switch_end(nullptr, &eng.asan_engine_stack_,
+                   &eng.asan_engine_stack_size_);
   Process& p = *eng.current_;
   try {
     if (p.cancelled) throw ProcessCancelled{};
@@ -148,6 +198,9 @@ void Engine::finish_current() {
     p.joiners.clear();
   }
   p.body = nullptr;  // release captured state eagerly
+  // Final departure from this stack: a null save slot tells ASan to
+  // release the fiber's fake stack instead of parking it.
+  fiber_switch_begin(nullptr, asan_engine_stack_, asan_engine_stack_size_);
   swapcontext(&p.context, &engine_context_);
   // Never reached: finished fibers are not resumed.
   std::abort();

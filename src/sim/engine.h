@@ -218,6 +218,10 @@ class Engine {
   bool stopped_ = false;
   Process* current_ = nullptr;
   ucontext_t engine_context_{};
+  /// Engine-side stack bounds, learned at the first fiber entry; fibers
+  /// report them to ASan when switching back (no-ops without ASan).
+  const void* asan_engine_stack_ = nullptr;
+  std::size_t asan_engine_stack_size_ = 0;
   bool running_ = false;
   std::size_t live_ = 0;
   ConcurrencyObserver* concurrency_observer_ = nullptr;

@@ -96,6 +96,32 @@ TEST(WritePipeline_, PipelinedContentMatchesSynchronous) {
   expect_matches(off.pfs, "/pfs/pipe_off", reference);
 }
 
+// Regression for the fuzzer-caught crash-point terminate (docs/fuzzing.md):
+// a stop_at() cancels every fiber mid-collective, so ~WritePipeline runs
+// during ProcessCancelled unwinding with rounds still in flight. The
+// destructor must not drain (block) then — blocking rethrows the
+// cancellation inside a noexcept context and aborts the whole binary.
+// e10_lint's unwind-blocking rule pins the guarded destructor statically;
+// this pins the runtime behavior. Crash times sweep the run so at least
+// one lands inside the pipelined exchange regardless of phase timing.
+TEST(WritePipeline_, CrashMidWriteUnwindsWithoutTerminating) {
+  constexpr Offset kBlock = 64 * KiB;
+  constexpr int kBlocks = 16;
+  Time end = 0;
+  {
+    Platform clean(small_testbed());
+    end = run_interleaved(clean, "/pfs/unwind", coll_info(true), kBlock,
+                          kBlocks);
+  }
+  ASSERT_GT(end, 0);
+  for (int eighth = 1; eighth < 8; ++eighth) {
+    Platform p(small_testbed());
+    p.engine.stop_at(end * eighth / 8);
+    run_interleaved(p, "/pfs/unwind", coll_info(true), kBlock, kBlocks);
+    EXPECT_TRUE(p.engine.stopped()) << "crash point " << eighth << "/8";
+  }
+}
+
 TEST(WritePipeline_, PipelinedIsNeverSlowerThanSynchronous) {
   constexpr Offset kBlock = 64 * KiB;
   constexpr int kBlocks = 16;

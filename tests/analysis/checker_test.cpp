@@ -99,7 +99,7 @@ TEST(ConcurrencyChecker_, MonitorCountsTowardLocksets) {
   int guarded_object = 0;
   SharedVar var(engine, "fixture.monitored");
   for (int i = 0; i < 2; ++i) {
-    engine.spawn("poster-" + std::to_string(i), [&] {
+    engine.spawn("poster-" + std::to_string(i), [&, i] {
       engine.delay(microseconds(10 * (i + 1)));
       const MonitorGuard monitor(engine, &guarded_object, "fixture.monitor");
       E10_SHARED_WRITE(var);

@@ -1,0 +1,145 @@
+// Declared-vs-dynamic lock-order cross-check (analysis/lock_order.h): the
+// manifest must be internally consistent, each declared rule must actually
+// be witnessed by the real stack (no dead documentation), and a run whose
+// observed acquisition order reverses a declared rule must be flagged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/checker.h"
+#include "analysis/lock_order.h"
+#include "common/dataview.h"
+#include "common/units.h"
+#include "mpiio/file.h"
+#include "sim/concurrency.h"
+#include "workloads/testbed.h"
+
+namespace e10::analysis {
+namespace {
+
+using namespace e10::units;
+
+TEST(DeclaredLockOrder, ManifestIsAcyclicAndJustified) {
+  const std::vector<DeclaredOrderRule>& rules = declared_lock_order();
+  ASSERT_FALSE(rules.empty());
+  for (const DeclaredOrderRule& rule : rules) {
+    EXPECT_NE(rule.before, rule.after);
+    EXPECT_NE(std::string(rule.rationale), "") << rule.before;
+    // A reversed duplicate would declare both orders at once.
+    const bool reversed =
+        std::any_of(rules.begin(), rules.end(), [&](const DeclaredOrderRule& r) {
+          return r.before == rule.after && r.after == rule.before;
+        });
+    EXPECT_FALSE(reversed) << rule.before << " <-> " << rule.after;
+  }
+}
+
+TEST(DeclaredLockOrder, ClassCollapsesInstanceSuffix) {
+  EXPECT_EQ(lock_order_class(sim::LockKind::extent,
+                             "extent:/pfs/a[0,4096)"),
+            "extent");
+  EXPECT_EQ(lock_order_class(sim::LockKind::mutex,
+                             "cache.sync.stats_mutex:/pfs/a"),
+            "mutex:cache.sync.stats_mutex");
+  EXPECT_EQ(lock_order_class(sim::LockKind::mutex, "fixture.A"),
+            "mutex:fixture.A");
+}
+
+TEST(DeclaredLockOrder, ReversedObservationIsAViolation) {
+  // Synthetic observation of stats-mutex-then-extent: the reverse of the
+  // declared "extent < stats mutex" rule.
+  std::vector<OrderEdge> edges;
+  edges.push_back({"cache.sync.stats_mutex:/pfs/a", "extent:/pfs/a[0,4096)",
+                   sim::LockKind::mutex, sim::LockKind::extent,
+                   "stats -> extent by rank-0 at t=1.00 ms"});
+  const std::vector<std::string> violations = check_declared_order(edges);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("contradicts declared order"),
+            std::string::npos);
+  EXPECT_NE(violations[0].find("extent"), std::string::npos);
+}
+
+TEST(DeclaredLockOrder, ConformingAndUnlistedEdgesAreClean) {
+  std::vector<OrderEdge> edges;
+  // The declared direction itself.
+  edges.push_back({"extent:/pfs/a[0,4096)", "cache.sync.stats_mutex:/pfs/a",
+                   sim::LockKind::extent, sim::LockKind::mutex, "ok"});
+  // Same-class nesting (two extents) and an unlisted pair.
+  edges.push_back({"extent:/pfs/a[0,4096)", "extent:/pfs/a[4096,8192)",
+                   sim::LockKind::extent, sim::LockKind::extent, "nested"});
+  edges.push_back({"fixture.A", "fixture.B", sim::LockKind::mutex,
+                   sim::LockKind::mutex, "unrelated"});
+  EXPECT_TRUE(check_declared_order(edges).empty());
+}
+
+mpi::Info coherent_cached_info() {
+  mpi::Info info;
+  info.set("romio_cb_write", "enable");
+  info.set("cb_buffer_size", "262144");
+  info.set("e10_cache", "coherent");
+  info.set("e10_cache_path", "/scratch");
+  info.set("e10_cache_flush_flag", "flush_immediate");
+  info.set("e10_cache_discard_flag", "enable");
+  info.set("ind_wr_buffer_size", "524288");
+  return info;
+}
+
+TEST(DeclaredLockOrder, CoherentWriteWitnessesEveryRuleAndConforms) {
+  workloads::Platform p(workloads::small_testbed());
+  ConcurrencyChecker checker(p.engine);
+  constexpr Offset kBlock = 32 * KiB;
+  p.launch([&](mpi::Comm comm) {
+    auto file = mpiio::File::open(p.ctx, comm, "/pfs/ordered",
+                                  adio::amode::create | adio::amode::rdwr,
+                                  coherent_cached_info());
+    ASSERT_TRUE(file.is_ok());
+    std::vector<mpi::IoPiece> pieces;
+    for (int b = 0; b < 4; ++b) {
+      const Offset off = (b * comm.size() + comm.rank()) * kBlock;
+      pieces.push_back(mpi::IoPiece{Extent{off, kBlock},
+                                    DataView::synthetic(7, off, kBlock)});
+    }
+    ASSERT_TRUE(adio::write_strided_coll(*file.value().raw(), pieces));
+    ASSERT_TRUE(file.value().close());
+  });
+  p.run();
+
+  const std::vector<OrderEdge> edges = checker.order_edges();
+  ASSERT_FALSE(edges.empty());
+  // Nothing observed may reverse a declared rule...
+  const std::vector<std::string> violations = check_declared_order(edges);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+  // ...and every declared rule must be witnessed by this run — a rule no
+  // schedule exercises is dead documentation, not a checked invariant.
+  for (const DeclaredOrderRule& rule : declared_lock_order()) {
+    const bool witnessed =
+        std::any_of(edges.begin(), edges.end(), [&](const OrderEdge& e) {
+          return lock_order_class(e.before_kind, e.before) == rule.before &&
+                 lock_order_class(e.after_kind, e.after) == rule.after;
+        });
+    EXPECT_TRUE(witnessed) << rule.before << " < " << rule.after;
+  }
+}
+
+TEST(OrderEdges, ExportMatchesSeededAcquisitions) {
+  sim::Engine engine;
+  ConcurrencyChecker checker(engine);
+  sim::SimMutex a(engine, "fixture.A");
+  sim::SimMutex b(engine, "fixture.B");
+  engine.spawn("ab", [&] {
+    const sim::SimLock first(a);
+    const sim::SimLock second(b);
+  });
+  engine.run();
+  const std::vector<OrderEdge> edges = checker.order_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].before, "fixture.A");
+  EXPECT_EQ(edges[0].after, "fixture.B");
+  EXPECT_EQ(edges[0].before_kind, sim::LockKind::mutex);
+  EXPECT_NE(edges[0].example.find("by ab"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace e10::analysis

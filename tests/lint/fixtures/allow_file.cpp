@@ -1,0 +1,13 @@
+// Golden fixture for file-wide suppression: e10-lint-allow-file waives a
+// rule for the whole translation unit. Parsed by e10_lint, never
+// compiled.
+// e10-lint-allow-file(wall-clock): fixture — harness code may read clocks
+namespace fixture {
+
+long wall_start() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int jitter() { return rand() % 100; }
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Golden fixture for the all-rules-quiet case: disciplined code touching
+// every rule's territory — capability classes, guarded state, declared
+// lock order, [[nodiscard]] returns, ordered iteration, a noexcept
+// function with no blocking reach. Parsed by e10_lint, never compiled.
+namespace fixture {
+
+struct Status {};
+
+class E10_CAPABILITY("mutex") FancyMutex {
+ public:
+  void lock();
+  void unlock();
+
+ private:
+  int depth_ = 0;  // a capability's own state needs no guard annotation
+};
+
+class Counters {
+ public:
+  [[nodiscard]] Status flush();
+  [[nodiscard]] int snapshot() const noexcept { return value_; }
+  void dump(std::vector<int>* out) const {
+    for (const auto& [k, v] : by_key_) out->push_back(v);  // ordered map
+  }
+
+ private:
+  FancyMutex mu_ E10_ACQUIRED_BEFORE(log_mu_);
+  FancyMutex log_mu_ E10_ACQUIRED_AFTER(mu_);
+  int value_ E10_GUARDED_BY(mu_) = 0;
+  int lines_ E10_GUARDED_BY(log_mu_) = 0;
+  std::map<int, int> by_key_;
+};
+
+inline int add(int a, int b) noexcept { return a + b; }
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Golden fixture for the lock-order rule: the acquisition order declared
+// with E10_ACQUIRED_BEFORE / E10_ACQUIRED_AFTER must be acyclic. Parsed
+// by e10_lint, never compiled.
+#pragma once
+
+namespace fixture {
+
+struct SimMutex {};
+
+class Deadlocky {
+ private:
+  SimMutex a_ E10_ACQUIRED_BEFORE(b_);
+  SimMutex b_ E10_ACQUIRED_BEFORE(a_);  // FINDING: a_ < b_ < a_
+  int x_ E10_GUARDED_BY(a_) = 0;
+  int y_ E10_GUARDED_BY(b_) = 0;
+};
+
+class Ordered {
+ private:
+  SimMutex outer_ E10_ACQUIRED_BEFORE(inner_);
+  SimMutex inner_ E10_ACQUIRED_AFTER(outer_);  // consistent: no finding
+  int x_ E10_GUARDED_BY(outer_) = 0;
+  int y_ E10_GUARDED_BY(inner_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Golden fixture for the mutex-guard rule: a class owning a mutex must
+// declare at least one E10_GUARDED_BY member, annotation arguments must
+// name real members, and borrowed (reference) mutexes are the owner's
+// problem. Parsed by e10_lint, never compiled.
+#pragma once
+
+namespace fixture {
+
+struct SimMutex {};
+
+class Unguarded {
+ private:
+  SimMutex mu_;  // FINDING: nothing declared guarded by it
+  int count_ = 0;
+};
+
+class Disciplined {
+ private:
+  SimMutex mu_;
+  int count_ E10_GUARDED_BY(mu_) = 0;  // no finding
+};
+
+class Borrowing {
+ private:
+  SimMutex& mu_;  // borrowed reference: no finding
+  int count_ = 0;
+};
+
+class BadTarget {
+ private:
+  SimMutex mu_;
+  int count_ E10_GUARDED_BY(lock_) = 0;  // FINDING: names no member
+};
+
+class Waived {
+ private:
+  // e10-lint-allow(mutex-guard): fixture suppression
+  SimMutex mu_;  // suppressed
+  int count_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Golden fixture for the nodiscard rule: a function returning a tracked
+// type (Status, Result, ...) must carry [[nodiscard]] on some declaration
+// unless the type itself is class-level [[nodiscard]]. Parsed by
+// e10_lint, never compiled.
+#pragma once
+
+namespace fixture {
+
+struct Status {};
+
+struct [[nodiscard]] Result {};
+
+Status open_file(int fd);                 // FINDING: droppable Status
+[[nodiscard]] Status close_file(int fd);  // attributed: no finding
+Result parse(int token);                  // class-level nodiscard: no finding
+void log_line(int level);                 // untracked type: no finding
+
+// e10-lint-allow(nodiscard): fixture suppression
+Status fire_and_forget(int fd);  // suppressed
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Golden fixture for the unordered-iteration rule: range-for over an
+// unordered member (declared in the class) or an unordered local leaks
+// unspecified order into output; ordered containers and allow-listed
+// order-independent loops do not. Parsed by e10_lint, never compiled.
+namespace fixture {
+
+class Registry {
+ public:
+  void dump(std::vector<std::string>* out) const;
+  void tally(std::vector<int>* out) const;
+
+ private:
+  std::unordered_map<std::string, int> counters_;
+  std::map<std::string, int> ordered_;
+};
+
+void Registry::dump(std::vector<std::string>* out) const {
+  for (const auto& [name, value] : counters_) {  // FINDING: unordered member
+    out->push_back(name);
+  }
+  for (const auto& [name, value] : ordered_) {  // ordered map: no finding
+    out->push_back(name);
+  }
+}
+
+void Registry::tally(std::vector<int>* out) const {
+  std::unordered_map<int, int> local;
+  for (const auto& [k, v] : local) {  // FINDING: unordered local
+    out->push_back(v);
+  }
+  int sum = 0;
+  // e10-lint-allow(unordered-iteration): commutative sum, order-free
+  for (const auto& [k, v] : local) {  // suppressed
+    sum += k + v;
+  }
+  out->push_back(sum);
+}
+
+}  // namespace fixture

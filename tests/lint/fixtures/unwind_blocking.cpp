@@ -1,0 +1,51 @@
+// Golden fixture for the unwind-blocking rule: destructors and noexcept
+// functions reaching a blocking simulator primitive — directly,
+// transitively through project functions, and through a blocking RAII
+// type — must be flagged; a reviewed e10-lint-allow silences one site.
+// This file is parsed by e10_lint, never compiled.
+namespace fixture {
+
+struct SimEvent {
+  void wait();
+};
+
+struct SimMutex {};
+
+class Channel {
+ public:
+  void drain() { done_.wait(); }      // blocks: SimEvent::wait
+  void close() noexcept { drain(); }  // FINDING: noexcept, transitive block
+
+ private:
+  SimEvent done_;
+};
+
+class Owner {
+ public:
+  ~Owner() { chan_.drain(); }  // FINDING: dtor, transitive block
+
+ private:
+  Channel chan_;
+};
+
+class Locker {
+ public:
+  ~Locker() { SimLock guard(mu_); }  // FINDING: SimLock ctor blocks
+
+ private:
+  SimMutex mu_;
+};
+
+class Gated {
+ public:
+  // e10-lint-allow(unwind-blocking): drain is gated on uncaught_exceptions
+  ~Gated() { chan_.drain(); }  // suppressed
+
+ private:
+  Channel chan_;
+};
+
+// Non-noexcept, non-destructor: blocking is fine here.
+inline void pump(Channel& chan) { chan.drain(); }
+
+}  // namespace fixture

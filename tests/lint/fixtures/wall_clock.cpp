@@ -1,0 +1,29 @@
+// Golden fixture for the wall-clock rule: nondeterminism sources (wall
+// clocks, libc time/rand in call position) are banned outright; member
+// calls that merely share a libc name are not, and a reasoned
+// e10-lint-allow silences a site. Parsed by e10_lint, never compiled.
+namespace fixture {
+
+long stamp() {
+  auto t = std::chrono::steady_clock::now();  // FINDING: steady_clock
+  return t.time_since_epoch().count();
+}
+
+int roll() {
+  return rand() % 6;  // FINDING: rand() in call position
+}
+
+struct Sensor {
+  int time(int axis) const;
+  int rand = 0;  // plain field named like libc: not a call, no finding
+};
+
+int sample(const Sensor& s) {
+  return s.time(0) + s.rand;  // member call / field access: no finding
+}
+
+int seeded() {
+  return rand();  // e10-lint-allow(wall-clock): fixture suppression
+}
+
+}  // namespace fixture

@@ -1,0 +1,138 @@
+// Golden-fixture suite for e10_lint: every rule must fire on its known-bad
+// snippet (tests/lint/fixtures/), stay quiet on the disciplined snippet,
+// and honor e10-lint-allow / e10-lint-allow-file suppressions. The
+// fixtures double as the contract for the linter's parsed C++ subset — if
+// a parser change stops a rule from seeing its bad pattern, the fixture
+// catches it before the tree gate silently goes blind.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace e10::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string(E10_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::set<std::string>& rules) {
+  DriverOptions options;
+  options.files = {fixture_path(name)};
+  options.rules = rules;
+  LintResult result = run_lint(options);
+  EXPECT_TRUE(result.errors.empty())
+      << "fixture " << name << ": " << result.errors.front();
+  EXPECT_EQ(result.files_linted.size(), 1u);
+  return result.findings;
+}
+
+std::string joined(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) out += format_finding(f) + "\n";
+  return out;
+}
+
+bool any_mentions(const std::vector<Finding>& findings,
+                  const std::string& needle) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.message.find(needle) != std::string::npos;
+  });
+}
+
+TEST(UnwindBlockingFixture, FlagsDtorNoexceptAndRaiiButNotSuppressed) {
+  const std::vector<Finding> findings =
+      lint_fixture("unwind_blocking.cpp", {"unwind-blocking"});
+  ASSERT_EQ(findings.size(), 3u) << joined(findings);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "unwind-blocking");
+  // The noexcept function, both offending destructors — and the witness
+  // path names the primitive actually reached.
+  EXPECT_TRUE(any_mentions(findings, "close")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "~Owner")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "~Locker")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "wait")) << joined(findings);
+  // The gated destructor carries a reasoned allow; the plain blocking
+  // helper is neither noexcept nor a destructor.
+  EXPECT_FALSE(any_mentions(findings, "~Gated")) << joined(findings);
+  EXPECT_FALSE(any_mentions(findings, "pump")) << joined(findings);
+}
+
+TEST(WallClockFixture, FlagsClockAndRandButNotMembersOrSuppressed) {
+  const std::vector<Finding> findings =
+      lint_fixture("wall_clock.cpp", {"wall-clock"});
+  ASSERT_EQ(findings.size(), 2u) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "steady_clock")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "rand")) << joined(findings);
+}
+
+TEST(UnorderedIterationFixture, FlagsMemberAndLocalButNotOrderedOrAllowed) {
+  const std::vector<Finding> findings =
+      lint_fixture("unordered_iteration.cpp", {"unordered-iteration"});
+  ASSERT_EQ(findings.size(), 2u) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "counters_")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "local")) << joined(findings);
+  EXPECT_FALSE(any_mentions(findings, "ordered_")) << joined(findings);
+}
+
+TEST(NodiscardFixture, FlagsDroppableStatusOnly) {
+  const std::vector<Finding> findings =
+      lint_fixture("nodiscard.h", {"nodiscard"});
+  ASSERT_EQ(findings.size(), 1u) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "open_file")) << joined(findings);
+}
+
+TEST(MutexGuardFixture, FlagsUnguardedMutexAndBadAnnotationTarget) {
+  const std::vector<Finding> findings =
+      lint_fixture("mutex_guard.h", {"mutex-guard"});
+  ASSERT_EQ(findings.size(), 2u) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "Unguarded")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "lock_")) << joined(findings);
+  EXPECT_FALSE(any_mentions(findings, "Borrowing")) << joined(findings);
+  EXPECT_FALSE(any_mentions(findings, "Waived")) << joined(findings);
+}
+
+TEST(LockOrderFixture, FlagsDeclaredCycle) {
+  const std::vector<Finding> findings =
+      lint_fixture("lock_order.h", {"lock-order"});
+  ASSERT_EQ(findings.size(), 1u) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "cyclic")) << joined(findings);
+  EXPECT_TRUE(any_mentions(findings, "a_")) << joined(findings);
+}
+
+TEST(CleanFixture, EveryRuleStaysQuiet) {
+  const std::vector<Finding> findings = lint_fixture("clean.cpp", {});
+  EXPECT_TRUE(findings.empty()) << joined(findings);
+}
+
+TEST(AllowFileFixture, FileWideSuppressionCoversWholeUnit) {
+  const std::vector<Finding> findings = lint_fixture("allow_file.cpp", {});
+  EXPECT_TRUE(findings.empty()) << joined(findings);
+}
+
+TEST(Findings, FormatIsPathLineRuleMessage) {
+  Finding f;
+  f.rule = "wall-clock";
+  f.path = "src/x.cpp";
+  f.line = 7;
+  f.message = "msg";
+  EXPECT_EQ(format_finding(f), "src/x.cpp:7: [wall-clock] msg");
+}
+
+TEST(Findings, SortIsDeterministic) {
+  Finding a{"b-rule", "a.cpp", 3, "m"};
+  Finding b{"a-rule", "a.cpp", 3, "m"};
+  Finding c{"a-rule", "a.cpp", 1, "m"};
+  std::vector<Finding> v = {a, b, c};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0].line, 1);
+  EXPECT_EQ(v[1].rule, "a-rule");
+  EXPECT_EQ(v[2].rule, "b-rule");
+}
+
+}  // namespace
+}  // namespace e10::lint

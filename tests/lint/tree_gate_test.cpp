@@ -1,0 +1,40 @@
+// The zero-findings tree gate: the same check CI runs, as a ctest. The
+// whole src/ tree must lint clean under every rule — a new finding means
+// either a real invariant violation (fix it) or a reviewed exception
+// (add a reasoned e10-lint-allow). Runs through both drivers so the
+// compile_commands.json path CI uses is itself covered.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace e10::lint {
+namespace {
+
+TEST(TreeGate, SrcTreeLintsCleanViaTreeWalk) {
+  DriverOptions options;
+  options.tree = std::string(E10_REPO_ROOT) + "/src";
+  LintResult result = run_lint(options);
+  EXPECT_TRUE(result.errors.empty()) << result.errors.front();
+  // The tree has >100 sources; a collapsed count means the walker broke,
+  // not that the code got cleaner.
+  EXPECT_GE(result.files_linted.size(), 100u);
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << format_finding(f);
+  }
+}
+
+TEST(TreeGate, SrcTreeLintsCleanViaCompileCommands) {
+  DriverOptions options;
+  options.compdb = std::string(E10_COMPDB_DIR) + "/compile_commands.json";
+  LintResult result = run_lint(options);
+  EXPECT_TRUE(result.errors.empty()) << result.errors.front();
+  EXPECT_GE(result.files_linted.size(), 50u);
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << format_finding(f);
+  }
+}
+
+}  // namespace
+}  // namespace e10::lint

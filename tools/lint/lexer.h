@@ -1,0 +1,47 @@
+// Token stream for e10_lint (tools/lint).
+//
+// A deliberately small C++ lexer: it understands comments (kept, so
+// suppression directives survive), string/char/raw-string literals,
+// preprocessor lines (skipped, with continuations), identifiers, numbers,
+// and punctuation. That is all the structural parser (parser.h) needs —
+// the rules reason about declarations and call sites, never about
+// expression semantics, so no preprocessing or template instantiation is
+// required. See docs/static_analysis.md for the subset contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace e10::lint {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (incl. suffixes)
+  kLiteral,  // string / char literals (text dropped)
+  kPunct,    // one punctuator; "::", "->", "[[", "]]" kept multi-char
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;
+};
+
+/// A comment with its source line; block comments report their first line
+/// and every line they span (suppressions may sit above a finding).
+struct Comment {
+  std::string text;
+  int line = 0;      // first line
+  int end_line = 0;  // last line (== line for // comments)
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unterminated constructs lex to the end
+/// of file, matching how compilers recover.
+LexResult lex(const std::string& source);
+
+}  // namespace e10::lint

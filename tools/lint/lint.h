@@ -1,0 +1,46 @@
+// Driver for e10_lint: file gathering (compile_commands.json or a source
+// tree walk), parsing, rule execution. Library-shaped so the golden-
+// fixture tests (tests/lint) run the same code path as the CLI.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.h"
+#include "rules.h"
+
+namespace e10::lint {
+
+struct DriverOptions {
+  /// Explicit files to lint (fixture mode). When empty, `compdb` or
+  /// `tree` supplies the file list.
+  std::vector<std::string> files;
+  /// Path to a compile_commands.json; its "file" entries are linted,
+  /// filtered by `scope`, and sibling headers under the scope are added
+  /// (the database only lists translation units).
+  std::string compdb;
+  /// Directory to walk for *.h / *.cpp (alternative to compdb).
+  std::string tree;
+  /// Substring filter applied to compdb entries ("/src/" by default so
+  /// tests and benches are not held to simulator invariants).
+  std::string scope = "/src/";
+  /// Enabled rules; empty means all.
+  std::set<std::string> rules;
+  RuleConfig config;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;
+  std::vector<std::string> files_linted;
+  std::vector<std::string> errors;  // unreadable files etc.
+};
+
+/// Gathers, parses, and lints. Never throws; I/O problems land in
+/// `errors`.
+LintResult run_lint(const DriverOptions& options);
+
+/// Formats one finding the way the CLI prints it.
+std::string format_finding(const Finding& finding);
+
+}  // namespace e10::lint

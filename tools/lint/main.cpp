@@ -1,0 +1,88 @@
+// e10_lint — project-specific static analysis for simulator invariants.
+//
+//   e10_lint --compdb=build/compile_commands.json      # lint src/ via the db
+//   e10_lint --tree=src                                # lint a directory
+//   e10_lint file.cpp other.h                          # lint explicit files
+//   e10_lint --rules=unwind-blocking,wall-clock ...    # subset of rules
+//   e10_lint --list-rules
+//
+// Exit codes: 0 clean, 1 findings, 2 usage / I/O error. Findings print as
+//   path:line: [rule] message
+// Suppress a finding with `// e10-lint-allow(rule): reason` on the same
+// line or the line above; see docs/static_analysis.md for the catalog.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: e10_lint [--compdb=PATH] [--tree=DIR] "
+               "[--scope=SUBSTR] [--rules=r1,r2] [--list-rules] [file...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  e10::lint::DriverOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--list-rules") {
+      for (const std::string& r : e10::lint::kAllRules) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (const char* compdb = value("--compdb=")) {
+      options.compdb = compdb;
+    } else if (const char* tree = value("--tree=")) {
+      options.tree = tree;
+    } else if (const char* scope = value("--scope=")) {
+      options.scope = scope;
+    } else if (const char* rules = value("--rules=")) {
+      std::string rule;
+      for (const char* p = rules;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!rule.empty()) options.rules.insert(rule);
+          rule.clear();
+          if (*p == '\0') break;
+        } else {
+          rule += *p;
+        }
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty() && options.compdb.empty() &&
+      options.tree.empty()) {
+    return usage();
+  }
+
+  const e10::lint::LintResult result = e10::lint::run_lint(options);
+  for (const std::string& err : result.errors) {
+    std::fprintf(stderr, "e10_lint: error: %s\n", err.c_str());
+  }
+  for (const e10::lint::Finding& f : result.findings) {
+    std::printf("%s\n", e10::lint::format_finding(f).c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "e10_lint: %zu file(s), %zu finding(s)\n",
+                 result.files_linted.size(), result.findings.size());
+  }
+  if (!result.errors.empty()) return 2;
+  return result.findings.empty() ? 0 : 1;
+}

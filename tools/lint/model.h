@@ -1,0 +1,124 @@
+// Per-file structural model extracted by the parser (parser.h) and
+// consumed by the rules (rules.h). The model is deliberately shallow:
+// functions with their call sites, class members with their annotations,
+// and the suppression directives — everything a rule needs to reason
+// about simulator invariants, nothing a full frontend would add.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace e10::lint {
+
+/// One call site inside a function body. `callee` is the last name
+/// component ("lock"); `qualifier` the explicit qualification if written
+/// at the site ("SimMutex" for SimMutex::lock, "" for obj.lock()).
+struct Call {
+  std::string callee;
+  std::string qualifier;
+  bool is_member = false;  // written as x.f() / x->f()
+  int line = 0;
+};
+
+/// A range-based for statement: the identifiers appearing in the range
+/// expression (`for (auto& kv : lanes_)` records "lanes_").
+struct RangeFor {
+  std::vector<std::string> range_idents;
+  int line = 0;
+};
+
+struct Function {
+  std::string name;        // last component: "drain", "~WritePipeline"
+  std::string qualified;   // scope-qualified: "e10::adio::WritePipeline::drain"
+  std::string class_name;  // enclosing (or explicit) class, "" if free
+  int line = 0;
+  bool is_definition = false;  // has a body in this file
+  bool is_destructor = false;
+  bool is_noexcept = false;    // noexcept / noexcept(non-false)
+  bool is_defaulted = false;   // = default
+  bool has_nodiscard = false;  // [[nodiscard]] on the declaration
+  /// Head identifier of the return type ("Status" for Result-free checks,
+  /// "Result" for Result<T>); "" for ctors/dtors/conversion operators.
+  std::string return_head;
+  std::vector<Call> calls;          // empty unless is_definition
+  std::vector<RangeFor> range_fors; // empty unless is_definition
+  /// Blocking-type instantiations (e.g. a SimLock local) found in the body.
+  std::vector<Call> type_uses;
+  /// Names of locals / aliases in the body declared with an unordered
+  /// container type.
+  std::set<std::string> unordered_locals;
+};
+
+struct Annotation {
+  std::string macro;  // "E10_GUARDED_BY", "E10_ACQUIRED_AFTER", ...
+  std::string arg;    // raw argument text, "" for argument-free macros
+};
+
+struct Member {
+  std::string class_name;
+  std::string name;
+  std::string type_text;  // flattened declaration type tokens
+  int line = 0;
+  bool is_mutex = false;      // SimMutex / std::mutex / declared capability
+  bool is_unordered = false;  // std::unordered_{map,set,multimap,multiset}
+  std::vector<Annotation> annotations;
+};
+
+struct ClassInfo {
+  std::string name;       // unqualified
+  std::string qualified;  // namespace-qualified
+  int line = 0;
+  bool is_nodiscard = false;   // class [[nodiscard]] X
+  bool is_capability = false;  // E10_CAPABILITY(...) on the class
+  bool is_scoped_capability = false;  // E10_SCOPED_CAPABILITY (RAII guard)
+};
+
+struct FileModel {
+  std::string path;
+  std::vector<Function> functions;
+  std::vector<Member> members;
+  std::vector<ClassInfo> classes;
+  /// `using X = std::unordered_map<...>` aliases declared in this file.
+  std::set<std::string> unordered_aliases;
+  /// line -> rules allowed on that line (from e10-lint-allow(...) on the
+  /// line itself or the line above). "*" allows every rule.
+  std::map<int, std::set<std::string>> allows;
+  /// Rules allowed for the whole file (e10-lint-allow-file).
+  std::set<std::string> file_allows;
+};
+
+/// True when `rules` (an allow entry) covers `rule`.
+inline bool allows_rule(const std::set<std::string>& rules,
+                        const std::string& rule) {
+  return rules.count(rule) != 0 || rules.count("*") != 0;
+}
+
+/// True when a finding for `rule` at `line` in `file` is suppressed by an
+/// e10-lint-allow directive on the same line, the line above, or file-wide.
+inline bool is_suppressed(const FileModel& file, const std::string& rule,
+                          int line) {
+  if (allows_rule(file.file_allows, rule)) return true;
+  for (int l : {line, line - 1}) {
+    auto it = file.allows.find(l);
+    if (it != file.allows.end() && allows_rule(it->second, rule)) return true;
+  }
+  return false;
+}
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+
+  bool operator<(const Finding& other) const {
+    if (path != other.path) return path < other.path;
+    if (line != other.line) return line < other.line;
+    if (rule != other.rule) return rule < other.rule;
+    return message < other.message;
+  }
+};
+
+}  // namespace e10::lint

@@ -1,0 +1,796 @@
+#include "parser.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace e10::lint {
+namespace {
+
+const std::set<std::string>& annotation_macros() {
+  static const std::set<std::string> macros = {
+      "E10_CAPABILITY",      "E10_SCOPED_CAPABILITY",
+      "E10_GUARDED_BY",      "E10_PT_GUARDED_BY",
+      "E10_REQUIRES",        "E10_ACQUIRE",
+      "E10_RELEASE",         "E10_EXCLUDES",
+      "E10_ACQUIRED_BEFORE", "E10_ACQUIRED_AFTER",
+      "E10_TRACKED_BY",
+      "E10_NO_THREAD_SAFETY_ANALYSIS",
+      "E10_THREAD_ANNOTATION",
+  };
+  return macros;
+}
+
+bool is_specifier(const std::string& t) {
+  static const std::set<std::string> specs = {
+      "static",   "inline",   "constexpr", "consteval", "constinit",
+      "virtual",  "explicit", "friend",    "extern",    "mutable",
+      "typename", "const",    "volatile",  "register",  "thread_local",
+  };
+  return specs.count(t) != 0;
+}
+
+bool is_stmt_keyword(const std::string& t) {
+  static const std::set<std::string> kws = {
+      "if",     "for",     "while",   "switch", "return",  "sizeof",
+      "alignof", "alignas", "catch",  "throw",  "case",    "goto",
+      "static_assert", "decltype", "noexcept", "new", "co_await",
+      "co_return", "co_yield", "assert",
+  };
+  return kws.count(t) != 0;
+}
+
+bool is_unordered_name(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+class Parser {
+ public:
+  Parser(std::string path, const LexResult& lexed, const ParseOptions& options)
+      : toks_(lexed.tokens), options_(options) {
+    model_.path = std::move(path);
+    collect_allows(lexed.comments);
+  }
+
+  FileModel run() {
+    parse_block(/*class_scope=*/false);
+    return std::move(model_);
+  }
+
+ private:
+  // ---- token cursor ------------------------------------------------------
+
+  bool eof() const { return pos_ >= toks_.size(); }
+  const Token& cur() const { return toks_[pos_]; }
+  const std::string& text() const { return cur().text; }
+  bool at(const char* p) const { return !eof() && cur().text == p; }
+  bool at_ident() const { return !eof() && cur().kind == Tok::kIdent; }
+  void next() { ++pos_; }
+  const Token* peek(std::size_t k = 1) const {
+    return pos_ + k < toks_.size() ? &toks_[pos_ + k] : nullptr;
+  }
+
+  /// Consumes a balanced pair starting at the current `open` token.
+  void skip_balanced(const char* open, const char* close) {
+    int depth = 0;
+    while (!eof()) {
+      if (text() == open) ++depth;
+      else if (text() == close && --depth == 0) {
+        next();
+        return;
+      }
+      next();
+    }
+  }
+
+  /// Consumes template arguments starting at `<`. Angle counting with
+  /// parens nested inside; bails at `;` / `{` at depth 0 paren-nesting
+  /// (comparison operator misparse recovery).
+  void skip_angles() {
+    int angle = 0;
+    int paren = 0;
+    while (!eof()) {
+      const std::string& t = text();
+      if (paren == 0) {
+        if (t == "<") ++angle;
+        else if (t == ">" && --angle == 0) {
+          next();
+          return;
+        } else if (angle > 0 && (t == ";" || t == "{")) {
+          return;  // was a comparison, not template args
+        }
+      }
+      if (t == "(" || t == "[") ++paren;
+      else if (t == ")" || t == "]") --paren;
+      next();
+    }
+  }
+
+  void skip_to_semicolon() {
+    while (!eof()) {
+      if (at("{")) skip_balanced("{", "}");
+      else if (at("(")) skip_balanced("(", ")");
+      else if (at(";")) {
+        next();
+        return;
+      } else {
+        next();
+      }
+    }
+  }
+
+  /// Consumes `[[ ... ]]`; returns true if it contained `nodiscard`.
+  bool skip_attribute() {
+    bool nodiscard = false;
+    next();  // "[["
+    while (!eof() && !at("]]")) {
+      if (text() == "nodiscard") nodiscard = true;
+      next();
+    }
+    if (!eof()) next();
+    return nodiscard;
+  }
+
+  /// Consumes an E10_* annotation macro (plus its argument list if any);
+  /// returns the parsed annotation.
+  Annotation consume_annotation() {
+    Annotation a;
+    a.macro = text();
+    next();
+    if (at("(")) {
+      int depth = 0;
+      std::string arg;
+      while (!eof()) {
+        if (text() == "(") {
+          if (depth++ > 0) arg += "(";
+        } else if (text() == ")") {
+          if (--depth == 0) {
+            next();
+            break;
+          }
+          arg += ")";
+        } else {
+          if (!arg.empty() && cur().kind == Tok::kIdent &&
+              toks_[pos_ - 1].kind == Tok::kIdent) {
+            arg += " ";
+          }
+          arg += text();
+        }
+        next();
+      }
+      a.arg = arg;
+    }
+    return a;
+  }
+
+  // ---- scope bookkeeping -------------------------------------------------
+
+  std::string scope_qualified(const std::string& name) const {
+    std::string q;
+    for (const auto& s : scope_) {
+      if (s.empty()) continue;
+      q += s + "::";
+    }
+    return q + name;
+  }
+
+  std::string innermost_class() const {
+    for (auto it = class_depth_.rbegin(); it != class_depth_.rend(); ++it) {
+      return *it;
+    }
+    return "";
+  }
+
+  // ---- top level ---------------------------------------------------------
+
+  void parse_block(bool class_scope) {
+    while (!eof()) {
+      if (at("}")) {
+        next();
+        return;
+      }
+      if (at(";") || at(",")) {
+        next();
+        continue;
+      }
+      if (at("{")) {  // stray block (extern "C" { ... } etc.)
+        next();
+        parse_block(class_scope);
+        continue;
+      }
+      if (at_ident()) {
+        const std::string& t = text();
+        if (t == "namespace") {
+          parse_namespace();
+          continue;
+        }
+        if (t == "class" || t == "struct" || t == "union") {
+          parse_class_like(class_scope);
+          continue;
+        }
+        if (t == "enum") {
+          skip_to_semicolon();
+          continue;
+        }
+        if (t == "template") {
+          next();
+          if (at("<")) skip_angles();
+          continue;  // the declaration that follows parses normally
+        }
+        if (t == "using" || t == "typedef") {
+          parse_using();
+          continue;
+        }
+        if (t == "friend" || t == "static_assert") {
+          skip_to_semicolon();
+          continue;
+        }
+        if ((t == "public" || t == "private" || t == "protected") &&
+            peek(0) != nullptr && peek(1) != nullptr && peek(1)->text == ":") {
+          next();
+          next();
+          continue;
+        }
+      }
+      parse_declaration(class_scope);
+    }
+  }
+
+  void parse_namespace() {
+    next();  // "namespace"
+    std::string name;
+    while (at_ident()) {
+      if (!name.empty()) name += "::";
+      name += text();
+      next();
+      if (at("::")) next();
+      else break;
+    }
+    if (at("=")) {  // namespace alias
+      skip_to_semicolon();
+      return;
+    }
+    if (at("{")) {
+      next();
+      scope_.push_back(name);
+      parse_block(/*class_scope=*/false);
+      scope_.pop_back();
+      return;
+    }
+    skip_to_semicolon();
+  }
+
+  void parse_class_like(bool enclosing_class_scope) {
+    next();  // class/struct/union
+    ClassInfo info;
+    info.line = eof() ? 0 : cur().line;
+    // Attributes and annotation macros before the name.
+    while (!eof()) {
+      if (at("[[")) {
+        if (skip_attribute()) info.is_nodiscard = true;
+        continue;
+      }
+      if (at("alignas")) {
+        next();
+        if (at("(")) skip_balanced("(", ")");
+        continue;
+      }
+      if (at_ident() && annotation_macros().count(text()) != 0) {
+        Annotation a = consume_annotation();
+        if (a.macro == "E10_CAPABILITY") info.is_capability = true;
+        if (a.macro == "E10_SCOPED_CAPABILITY") info.is_scoped_capability = true;
+        continue;
+      }
+      break;
+    }
+    if (!at_ident()) {  // anonymous struct/union — skip its body
+      if (at("{")) skip_balanced("{", "}");
+      skip_to_semicolon();
+      return;
+    }
+    info.name = text();
+    info.qualified = scope_qualified(info.name);
+    next();
+    if (at("<")) skip_angles();  // explicit specialization arguments
+    if (at_ident() && text() == "final") next();
+    if (at(";")) {  // forward declaration
+      next();
+      return;
+    }
+    if (at(":")) {  // base clause: consume until the body opens
+      while (!eof() && !at("{")) {
+        if (at("<")) skip_angles();
+        else if (at("(")) skip_balanced("(", ")");
+        else next();
+      }
+    }
+    if (at("{")) {
+      next();
+      model_.classes.push_back(info);
+      scope_.push_back(info.name);
+      class_depth_.push_back(info.name);
+      parse_block(/*class_scope=*/true);
+      class_depth_.pop_back();
+      scope_.pop_back();
+      skip_to_semicolon();  // trailing variable names, if any
+      return;
+    }
+    // Elaborated type specifier inside a declaration ("struct stat st;").
+    (void)enclosing_class_scope;
+    skip_to_semicolon();
+  }
+
+  void parse_using() {
+    next();  // using/typedef
+    // `using X = ...;` alias — record unordered aliases.
+    std::string alias;
+    if (at_ident()) alias = text();
+    bool saw_unordered = false;
+    while (!eof() && !at(";")) {
+      if (at("<")) {
+        skip_angles();
+        continue;
+      }
+      if (at_ident() && is_unordered_name(text())) saw_unordered = true;
+      next();
+    }
+    if (!eof()) next();
+    if (saw_unordered && !alias.empty()) {
+      model_.unordered_aliases.insert(alias);
+    }
+  }
+
+  // ---- declarations ------------------------------------------------------
+
+  struct DeclTok {
+    std::string text;
+    Tok kind;
+    int line;
+  };
+
+  void parse_declaration(bool class_scope) {
+    std::vector<DeclTok> buf;
+    std::vector<Annotation> annotations;
+    bool has_nodiscard = false;
+    bool saw_assign = false;
+
+    while (!eof()) {
+      if (at("[[")) {
+        if (skip_attribute()) has_nodiscard = true;
+        continue;
+      }
+      if (at_ident() && annotation_macros().count(text()) != 0) {
+        annotations.push_back(consume_annotation());
+        continue;
+      }
+      if (at("<") && !buf.empty() && buf.back().kind == Tok::kIdent) {
+        skip_angles();  // template arguments of a type in the decl
+        continue;
+      }
+      if (at("{")) {
+        // Brace initializer (no function signature seen): consume, then
+        // fall through to the variable path at `;`.
+        skip_balanced("{", "}");
+        continue;
+      }
+      if (at(";")) {
+        next();
+        finalize_variable(buf, annotations, class_scope);
+        return;
+      }
+      if (at("}")) return;  // malformed; let the caller close the scope
+      if (at("=")) {
+        saw_assign = true;
+        buf.push_back({text(), cur().kind, cur().line});
+        next();
+        continue;
+      }
+      if (at("(")) {
+        if (saw_assign || buf.empty() || buf.back().kind != Tok::kIdent ||
+            is_stmt_keyword(buf.back().text)) {
+          skip_balanced("(", ")");
+          continue;
+        }
+        // Candidate function declarator.
+        if (try_parse_function(buf, has_nodiscard, class_scope)) return;
+        continue;  // not a function after all; parens were consumed
+      }
+      if (at_ident() && text() == "operator") {
+        // Merge `operator<sym>` / `operator()` / `operator Type` into one
+        // pseudo-identifier so the declarator logic sees a single name.
+        const int line = cur().line;
+        next();
+        std::string name = "operator";
+        if (at("(") && peek() != nullptr && peek()->text == ")") {
+          name += "()";
+          next();
+          next();
+        } else {
+          while (!eof() && !at("(") && !at(";")) {
+            name += text();
+            next();
+          }
+        }
+        buf.push_back({name, Tok::kIdent, line});
+        continue;
+      }
+      buf.push_back({text(), cur().kind, cur().line});
+      next();
+    }
+  }
+
+  /// Called with the cursor at `(` and a plausible declarator in `buf`.
+  /// Returns true when a function declaration/definition was recognized
+  /// and consumed through its terminator; false when the construct was
+  /// not a function (the parens are consumed either way).
+  bool try_parse_function(const std::vector<DeclTok>& buf, bool has_nodiscard,
+                          bool class_scope) {
+    skip_balanced("(", ")");
+
+    Function fn;
+    fn.has_nodiscard = has_nodiscard;
+
+    // Trailing qualifiers.
+    while (!eof()) {
+      const std::string& t = text();
+      if (t == "const" || t == "volatile" || t == "&" || t == "&&" ||
+          t == "override" || t == "final" || t == "try" || t == "mutable") {
+        next();
+        continue;
+      }
+      if (t == "noexcept") {
+        next();
+        if (at("(")) {
+          // noexcept(false) is the one spelling that disables it.
+          std::size_t start = pos_;
+          skip_balanced("(", ")");
+          bool is_false = (pos_ == start + 3 && toks_[start + 1].text == "false");
+          fn.is_noexcept = !is_false;
+        } else {
+          fn.is_noexcept = true;
+        }
+        continue;
+      }
+      if (t == "[[") {
+        if (skip_attribute()) fn.has_nodiscard = true;
+        continue;
+      }
+      if (cur().kind == Tok::kIdent && annotation_macros().count(t) != 0) {
+        consume_annotation();
+        continue;
+      }
+      if (t == "->") {  // trailing return type
+        next();
+        while (!eof() && !at("{") && !at(";") && !at("=")) {
+          if (at("<")) skip_angles();
+          else next();
+        }
+        continue;
+      }
+      break;
+    }
+
+    const bool is_ctor_init = at(":");
+    if (!at("{") && !at(";") && !at("=") && !is_ctor_init) {
+      return false;  // `int x(3), y;` or a macro call — not a function
+    }
+
+    // Name and qualification, walking back from the end of the declarator.
+    std::size_t i = buf.size();
+    if (i == 0) return false;
+    --i;
+    if (buf[i].kind != Tok::kIdent) return false;
+    fn.name = buf[i].text;
+    fn.line = buf[i].line;
+    if (i > 0 && buf[i - 1].text == "~") {
+      fn.name = "~" + fn.name;
+      fn.is_destructor = true;
+      --i;
+    }
+    std::vector<std::string> qualifier;
+    while (i >= 2 && buf[i - 1].text == "::" &&
+           buf[i - 2].kind == Tok::kIdent) {
+      qualifier.push_back(buf[i - 2].text);
+      i -= 2;
+    }
+    std::reverse(qualifier.begin(), qualifier.end());
+    fn.class_name =
+        qualifier.empty() ? innermost_class() : qualifier.back();
+
+    std::string explicit_scope;
+    for (const auto& q : qualifier) explicit_scope += q + "::";
+    fn.qualified = scope_qualified(explicit_scope + fn.name);
+
+    // Constructors: declarator name equals the class name.
+    const bool is_ctor = !fn.is_destructor && fn.name == fn.class_name;
+
+    // Return-type head: first qualified-id in the remaining prefix.
+    if (!is_ctor && !fn.is_destructor) {
+      for (std::size_t k = 0; k < i; ++k) {
+        if (buf[k].kind != Tok::kIdent || is_specifier(buf[k].text)) continue;
+        std::string head = buf[k].text;
+        while (k + 2 < i && buf[k + 1].text == "::" &&
+               buf[k + 2].kind == Tok::kIdent) {
+          head = buf[k + 2].text;
+          k += 2;
+        }
+        fn.return_head = head;
+        break;
+      }
+    }
+
+    // Terminator.
+    if (is_ctor_init) {
+      consume_ctor_init();
+    }
+    if (at("{")) {
+      fn.is_definition = true;
+      next();
+      parse_body(fn);
+    } else if (at("=")) {
+      next();
+      if (at_ident() && text() == "default") {
+        fn.is_defaulted = true;
+        fn.is_definition = true;
+      }
+      skip_to_semicolon();
+    } else if (at(";")) {
+      next();
+    }
+    (void)class_scope;
+    model_.functions.push_back(std::move(fn));
+    return true;
+  }
+
+  void consume_ctor_init() {
+    next();  // ":"
+    while (!eof()) {
+      // member name (possibly qualified / templated base)
+      while (!eof() && !at("(") && !at("{") && !at(";")) {
+        if (at("<")) skip_angles();
+        else next();
+      }
+      if (at("(")) skip_balanced("(", ")");
+      else if (at("{")) {
+        // Either an init `{...}` or the body. An initializer brace is
+        // always directly preceded by a name; the body follows `)` / `}`.
+        // We are here right after names were consumed, so this is an
+        // initializer.
+        skip_balanced("{", "}");
+      }
+      if (at(",")) {
+        next();
+        continue;
+      }
+      return;  // body `{` (or anything else) — caller handles it
+    }
+  }
+
+  // ---- function bodies ---------------------------------------------------
+
+  void parse_body(Function& fn) {
+    int depth = 1;
+    std::set<std::string> local_aliases;
+    std::size_t body_start = pos_;
+    while (!eof()) {
+      const std::string& t = text();
+      if (t == "{") {
+        ++depth;
+        next();
+        continue;
+      }
+      if (t == "}") {
+        if (--depth == 0) {
+          next();
+          break;
+        }
+        next();
+        continue;
+      }
+      if (cur().kind == Tok::kIdent) {
+        // Blocking-type instantiation (RAII constructor).
+        if (options_.instantiation_types.count(t) != 0) {
+          fn.type_uses.push_back({t, "", false, cur().line});
+        }
+        // Local using-alias of an unordered container.
+        if (t == "using") {
+          const Token* name = peek(1);
+          std::size_t save = pos_;
+          next();
+          if (at_ident()) {
+            std::string alias = text();
+            bool unordered = false;
+            while (!eof() && !at(";")) {
+              if (at("<")) {
+                skip_angles();
+                continue;
+              }
+              if (at_ident() && is_unordered_name(text())) unordered = true;
+              next();
+            }
+            if (unordered) {
+              local_aliases.insert(alias);
+              fn.unordered_locals.insert(alias);
+            }
+            continue;
+          }
+          pos_ = save + 1;
+          (void)name;
+          continue;
+        }
+        // Unordered local declaration:
+        //   std::unordered_map<K, V> name ...
+        if (is_unordered_name(t)) {
+          next();
+          if (at("<")) skip_angles();
+          if (at_ident()) fn.unordered_locals.insert(text());
+          continue;
+        }
+        // Declaration via a known unordered alias: `LaneMap lanes;`
+        if ((local_aliases.count(t) != 0 ||
+             model_.unordered_aliases.count(t) != 0) &&
+            peek() != nullptr && peek()->kind == Tok::kIdent) {
+          fn.unordered_locals.insert(peek()->text);
+          next();
+          next();
+          continue;
+        }
+        // Range-based for: record the identifiers of the range expression.
+        if (t == "for" && peek() != nullptr && peek()->text == "(") {
+          record_range_for(fn);
+          next();  // consume `for`; header tokens scan normally for calls
+          continue;
+        }
+        // Call site: identifier followed by `(`.
+        if (peek() != nullptr && peek()->text == "(" &&
+            !is_stmt_keyword(t) && t != "operator") {
+          Call call;
+          call.callee = t;
+          call.line = cur().line;
+          if (pos_ > body_start) {
+            const std::string& prev = toks_[pos_ - 1].text;
+            call.is_member = (prev == "." || prev == "->");
+            if (prev == "::" && pos_ >= body_start + 2 &&
+                toks_[pos_ - 2].kind == Tok::kIdent) {
+              call.qualifier = toks_[pos_ - 2].text;
+            }
+          }
+          fn.calls.push_back(std::move(call));
+        }
+      }
+      next();
+    }
+  }
+
+  /// Lookahead from a `for` token: if the parenthesized header contains a
+  /// top-level `:` (range-for), records the identifiers after it.
+  void record_range_for(Function& fn) {
+    std::size_t k = pos_ + 1;  // the "("
+    int depth = 0;
+    bool after_colon = false;
+    RangeFor rf;
+    rf.line = cur().line;
+    for (; k < toks_.size(); ++k) {
+      const Token& t = toks_[k];
+      if (t.text == "(") {
+        ++depth;
+        continue;
+      }
+      if (t.text == ")") {
+        if (--depth == 0) break;
+        continue;
+      }
+      if (t.text == "<") {
+        // Angle args in the declaration part; skip shallowly by ignoring.
+        continue;
+      }
+      if (depth == 1 && t.text == ";") return;  // classic for
+      if (depth == 1 && t.text == ":") {
+        after_colon = true;
+        continue;
+      }
+      if (after_colon && t.kind == Tok::kIdent) {
+        rf.range_idents.push_back(t.text);
+      }
+    }
+    if (after_colon && !rf.range_idents.empty()) {
+      fn.range_fors.push_back(std::move(rf));
+    }
+  }
+
+  // ---- variables / members ----------------------------------------------
+
+  void finalize_variable(const std::vector<DeclTok>& buf,
+                         const std::vector<Annotation>& annotations,
+                         bool class_scope) {
+    if (!class_scope || buf.empty()) return;
+    // Name: identifier before `=` (initializer) else the last identifier.
+    std::size_t end = buf.size();
+    for (std::size_t k = 0; k < buf.size(); ++k) {
+      if (buf[k].text == "=") {
+        end = k;
+        break;
+      }
+    }
+    std::size_t name_idx = buf.size();
+    for (std::size_t k = end; k-- > 0;) {
+      if (buf[k].kind == Tok::kIdent && !is_specifier(buf[k].text)) {
+        name_idx = k;
+        break;
+      }
+    }
+    if (name_idx >= buf.size() || name_idx == 0) return;  // need a type too
+    Member m;
+    m.class_name = innermost_class();
+    if (m.class_name.empty()) return;
+    m.name = buf[name_idx].text;
+    m.line = buf[name_idx].line;
+    m.annotations = annotations;
+    for (std::size_t k = 0; k < name_idx; ++k) {
+      if (!m.type_text.empty()) m.type_text += " ";
+      m.type_text += buf[k].text;
+      if (buf[k].kind == Tok::kIdent) {
+        if (buf[k].text == "SimMutex" || buf[k].text == "mutex") {
+          m.is_mutex = true;
+        }
+        if (is_unordered_name(buf[k].text) ||
+            model_.unordered_aliases.count(buf[k].text) != 0) {
+          m.is_unordered = true;
+        }
+      }
+    }
+    model_.members.push_back(std::move(m));
+  }
+
+  // ---- suppressions ------------------------------------------------------
+
+  void collect_allows(const std::vector<Comment>& comments) {
+    for (const Comment& c : comments) {
+      parse_allow(c, "e10-lint-allow-file(", &model_.file_allows);
+      std::set<std::string> rules;
+      parse_allow(c, "e10-lint-allow(", &rules);
+      if (rules.empty()) continue;
+      for (int l = c.line; l <= c.end_line; ++l) {
+        model_.allows[l].insert(rules.begin(), rules.end());
+      }
+    }
+  }
+
+  static void parse_allow(const Comment& c, const std::string& directive,
+                          std::set<std::string>* out) {
+    std::size_t at = c.text.find(directive);
+    while (at != std::string::npos) {
+      std::size_t open = at + directive.size();
+      std::size_t close = c.text.find(')', open);
+      if (close == std::string::npos) return;
+      std::string inside = c.text.substr(open, close - open);
+      std::string rule;
+      auto flush = [&] {
+        if (!rule.empty()) out->insert(rule);
+        rule.clear();
+      };
+      for (char ch : inside) {
+        if (ch == ',' || ch == ' ' || ch == '\t') flush();
+        else rule += ch;
+      }
+      flush();
+      at = c.text.find(directive, close);
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  const ParseOptions& options_;
+  FileModel model_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> scope_;        // namespace + class names
+  std::vector<std::string> class_depth_;  // class names only
+};
+
+}  // namespace
+
+FileModel parse_file(const std::string& path, const LexResult& lexed,
+                     const ParseOptions& options) {
+  return Parser(path, lexed, options).run();
+}
+
+}  // namespace e10::lint

@@ -1,0 +1,31 @@
+// Structural parser for e10_lint: token stream -> FileModel.
+//
+// Not a C++ frontend. It recognizes the declaration shapes the rules need
+// — namespaces, classes, function definitions with their call sites,
+// member variables with E10_* annotations, range-for statements, using
+// aliases — over the project's house style. Constructs it cannot classify
+// are skipped, never fatal: an unrecognized declaration simply contributes
+// nothing to the model (the golden-fixture suite in tests/lint pins the
+// shapes that must parse).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "lexer.h"
+#include "model.h"
+
+namespace e10::lint {
+
+struct ParseOptions {
+  /// Type names whose mere use inside a function body counts as a call to
+  /// their constructor (RAII types that block on construction, e.g.
+  /// SimLock). Recorded into Function::type_uses.
+  std::set<std::string> instantiation_types;
+};
+
+/// Parses one file's lexed tokens into a FileModel.
+FileModel parse_file(const std::string& path, const LexResult& lexed,
+                     const ParseOptions& options);
+
+}  // namespace e10::lint

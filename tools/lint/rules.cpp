@@ -1,0 +1,441 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+
+namespace e10::lint {
+
+const std::vector<std::string> kAllRules = {
+    "unwind-blocking", "wall-clock",  "unordered-iteration",
+    "nodiscard",       "mutex-guard", "lock-order",
+};
+
+namespace {
+
+std::string basename(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string first_ident(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out += c;
+    } else if (!out.empty()) {
+      break;
+    }
+  }
+  return out;
+}
+
+// ---- unwind-blocking ------------------------------------------------------
+
+struct FnRef {
+  const Function* fn;
+  const FileModel* file;
+};
+
+/// Why a function blocks: the first blocking call found in its body, and
+/// (for transitive blocks) the callee we recursed into.
+struct BlockReason {
+  std::string what;  // printable site, e.g. "wait (sync.cpp:42)"
+  const Function* next = nullptr;  // transitive callee, null for primitives
+};
+
+class UnwindBlockingRule {
+ public:
+  UnwindBlockingRule(const std::vector<LintedFile>& files,
+                     const RuleConfig& config)
+      : files_(files), config_(config) {
+    for (const LintedFile& lf : files) {
+      for (const Function& fn : lf.model.functions) {
+        if (fn.is_definition && !fn.is_defaulted) {
+          by_name_[fn.name].push_back({&fn, &lf.model});
+        }
+      }
+    }
+  }
+
+  void run(std::vector<Finding>* out) {
+    for (const LintedFile& lf : files_) {
+      for (const Function& fn : lf.model.functions) {
+        if (!fn.is_definition || fn.is_defaulted) continue;
+        if (!fn.is_destructor && !fn.is_noexcept) continue;
+        if (!blocking(&fn, &lf.model)) continue;
+        if (is_suppressed(lf.model, "unwind-blocking", fn.line)) continue;
+        const char* kind = fn.is_destructor ? "destructor" : "noexcept function";
+        out->push_back(
+            {"unwind-blocking", lf.model.path, fn.line,
+             std::string(kind) + " '" + fn.qualified +
+                 "' reaches a blocking simulator call: " + path_of(&fn) +
+                 " — blocking during unwind rethrows ProcessCancelled "
+                 "inside a noexcept context and terminates"});
+      }
+    }
+  }
+
+ private:
+  bool blocking(const Function* fn, const FileModel* file) {
+    auto memo = state_.find(fn);
+    if (memo != state_.end()) return memo->second;
+    state_[fn] = false;  // on-stack: break recursion cycles as clean
+
+    // Direct blocking primitives.
+    for (const Call& c : fn->calls) {
+      if (config_.blocking_methods.count(c.callee) != 0) {
+        reasons_[fn] = {c.callee + " (" + basename(file->path) + ":" +
+                            std::to_string(c.line) + ")",
+                        nullptr};
+        return state_[fn] = true;
+      }
+    }
+    for (const Call& c : fn->type_uses) {
+      reasons_[fn] = {c.callee + " constructor (" + basename(file->path) +
+                          ":" + std::to_string(c.line) + ")",
+                      nullptr};
+      return state_[fn] = true;
+    }
+    // Transitive: resolve each call against project definitions by name
+    // (narrowed by explicit qualifier / receiver class when one matches).
+    for (const Call& c : fn->calls) {
+      auto it = by_name_.find(c.callee);
+      if (it == by_name_.end()) continue;
+      std::vector<FnRef> candidates;
+      if (!c.qualifier.empty()) {
+        for (const FnRef& ref : it->second) {
+          if (ref.fn->class_name == c.qualifier) candidates.push_back(ref);
+        }
+      }
+      if (candidates.empty()) candidates = it->second;
+      for (const FnRef& ref : candidates) {
+        if (ref.fn == fn) continue;
+        if (blocking(ref.fn, ref.file)) {
+          reasons_[fn] = {ref.fn->qualified + " (" + basename(file->path) +
+                              ":" + std::to_string(c.line) + ")",
+                          ref.fn};
+          return state_[fn] = true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::string path_of(const Function* fn) {
+    std::string out = fn->name;
+    const Function* cur = fn;
+    int guard = 0;
+    while (cur != nullptr && guard++ < 16) {
+      auto it = reasons_.find(cur);
+      if (it == reasons_.end()) break;
+      out += " -> " + it->second.what;
+      cur = it->second.next;
+    }
+    return out;
+  }
+
+  const std::vector<LintedFile>& files_;
+  const RuleConfig& config_;
+  std::map<std::string, std::vector<FnRef>> by_name_;
+  std::map<const Function*, bool> state_;
+  std::map<const Function*, BlockReason> reasons_;
+};
+
+// ---- wall-clock -----------------------------------------------------------
+
+void run_wall_clock(const std::vector<LintedFile>& files,
+                    const RuleConfig& config, std::vector<Finding>* out) {
+  for (const LintedFile& lf : files) {
+    const std::vector<Token>& toks = lf.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kIdent) continue;
+      const std::string& t = toks[i].text;
+      bool hit = false;
+      if (config.banned_idents.count(t) != 0) {
+        hit = true;
+      } else if (config.banned_calls.count(t) != 0 && i + 1 < toks.size() &&
+                 toks[i + 1].text == "(") {
+        // Banned only in call position; member calls on project objects
+        // (`obj.time(...)`) are someone else's method, not libc.
+        const bool member =
+            i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+        // `int time(int axis) const;` declares a method that shares the
+        // libc name: an identifier before the name is its return type,
+        // not part of a call expression — unless it is a statement
+        // keyword (`return time(0)`).
+        static const std::set<std::string> kCallKeywords = {
+            "return", "co_return", "co_yield", "case", "throw", "goto"};
+        const bool declared = i > 0 && toks[i - 1].kind == Tok::kIdent &&
+                              kCallKeywords.count(toks[i - 1].text) == 0;
+        hit = !member && !declared;
+      }
+      if (!hit) continue;
+      if (is_suppressed(lf.model, "wall-clock", toks[i].line)) continue;
+      out->push_back(
+          {"wall-clock", lf.model.path, toks[i].line,
+           "'" + t +
+               "' is nondeterministic — simulator code must use virtual "
+               "time (Engine::now) and seeded Rng so replay and journal "
+               "recovery stay bit-identical"});
+    }
+  }
+}
+
+// ---- unordered-iteration --------------------------------------------------
+
+void run_unordered_iteration(const std::vector<LintedFile>& files,
+                             std::vector<Finding>* out) {
+  // Unordered members by (unqualified) class name, across every file —
+  // members live in headers, the iterating method bodies in .cpp files.
+  std::map<std::string, std::set<std::string>> unordered_members;
+  for (const LintedFile& lf : files) {
+    for (const Member& m : lf.model.members) {
+      if (m.is_unordered) unordered_members[m.class_name].insert(m.name);
+    }
+  }
+  for (const LintedFile& lf : files) {
+    for (const Function& fn : lf.model.functions) {
+      if (!fn.is_definition) continue;
+      std::set<std::string> targets = fn.unordered_locals;
+      auto it = unordered_members.find(fn.class_name);
+      if (it != unordered_members.end()) {
+        targets.insert(it->second.begin(), it->second.end());
+      }
+      if (targets.empty()) continue;
+      for (const RangeFor& rf : fn.range_fors) {
+        std::string hit;
+        for (const std::string& ident : rf.range_idents) {
+          if (targets.count(ident) != 0) {
+            hit = ident;
+            break;
+          }
+        }
+        if (hit.empty()) continue;
+        if (is_suppressed(lf.model, "unordered-iteration", rf.line)) continue;
+        out->push_back(
+            {"unordered-iteration", lf.model.path, rf.line,
+             "range-for over unordered container '" + hit + "' in '" +
+                 fn.qualified +
+                 "' — iteration order is unspecified and leaks into "
+                 "reports/traces; iterate a sorted copy of the keys (or "
+                 "e10-lint-allow if the loop is order-independent)"});
+      }
+    }
+  }
+}
+
+// ---- nodiscard ------------------------------------------------------------
+
+void run_nodiscard(const std::vector<LintedFile>& files,
+                   const RuleConfig& config, std::vector<Finding>* out) {
+  // Types already marked at class level satisfy the rule for every
+  // function returning them (the compiler enforces the discard).
+  std::set<std::string> class_nodiscard;
+  for (const LintedFile& lf : files) {
+    for (const ClassInfo& c : lf.model.classes) {
+      if (c.is_nodiscard) class_nodiscard.insert(c.name);
+    }
+  }
+  // The attribute is only required on one declaration; group all
+  // declarations/definitions of a function before judging.
+  struct Site {
+    const FileModel* file;
+    const Function* fn;
+  };
+  std::map<std::string, std::vector<Site>> groups;
+  std::map<std::string, bool> satisfied;
+  for (const LintedFile& lf : files) {
+    for (const Function& fn : lf.model.functions) {
+      if (fn.is_destructor || fn.return_head.empty()) continue;
+      if (config.nodiscard_types.count(fn.return_head) == 0) continue;
+      if (class_nodiscard.count(fn.return_head) != 0) continue;
+      groups[fn.qualified].push_back({&lf.model, &fn});
+      satisfied[fn.qualified] = satisfied[fn.qualified] || fn.has_nodiscard;
+    }
+  }
+  for (const auto& [qualified, sites] : groups) {
+    if (satisfied[qualified]) continue;
+    // Report at the header declaration when there is one (the attribute
+    // belongs on the first declaration).
+    const Site* best = &sites.front();
+    for (const Site& s : sites) {
+      const bool header = s.file->path.size() >= 2 &&
+                          s.file->path.rfind(".h") == s.file->path.size() - 2;
+      if (header) {
+        best = &s;
+        break;
+      }
+    }
+    if (is_suppressed(*best->file, "nodiscard", best->fn->line)) continue;
+    out->push_back({"nodiscard", best->file->path, best->fn->line,
+                    "'" + qualified + "' returns " + best->fn->return_head +
+                        " but no declaration is [[nodiscard]] — an ignored " +
+                        best->fn->return_head +
+                        " silently drops an I/O error"});
+  }
+}
+
+// ---- mutex-guard ----------------------------------------------------------
+
+void run_mutex_guard(const std::vector<LintedFile>& files,
+                     std::vector<Finding>* out) {
+  struct ClassMembers {
+    std::vector<std::pair<const Member*, const FileModel*>> members;
+  };
+  std::map<std::string, ClassMembers> classes;
+  // Capability classes ARE locks (SimMutex) or RAII guards borrowing one
+  // (SimLock); their members are the lock's own state, not guarded data.
+  std::set<std::string> capability_classes;
+  for (const LintedFile& lf : files) {
+    for (const ClassInfo& c : lf.model.classes) {
+      if (c.is_capability || c.is_scoped_capability) {
+        capability_classes.insert(c.name);
+      }
+    }
+    for (const Member& m : lf.model.members) {
+      classes[m.class_name].members.push_back({&m, &lf.model});
+    }
+  }
+  for (const auto& [cls, cm] : classes) {
+    if (capability_classes.count(cls) != 0) continue;
+    const Member* first_mutex = nullptr;
+    const FileModel* mutex_file = nullptr;
+    bool any_guarded = false;
+    std::set<std::string> member_names;
+    for (const auto& [m, file] : cm.members) {
+      member_names.insert(m->name);
+      // A mutex held by reference is borrowed, not owned: the owner is
+      // responsible for declaring what it guards.
+      const bool owned =
+          m->type_text.find('&') == std::string::npos &&
+          m->type_text.find('*') == std::string::npos;
+      if (m->is_mutex && owned && first_mutex == nullptr) {
+        first_mutex = m;
+        mutex_file = file;
+      }
+      for (const Annotation& a : m->annotations) {
+        if (a.macro == "E10_GUARDED_BY" || a.macro == "E10_PT_GUARDED_BY") {
+          any_guarded = true;
+        }
+      }
+    }
+    // A mutex member with nothing declared guarded by anything: the lock
+    // protects state the analysis cannot see.
+    if (first_mutex != nullptr && !any_guarded &&
+        !is_suppressed(*mutex_file, "mutex-guard", first_mutex->line)) {
+      out->push_back({"mutex-guard", mutex_file->path, first_mutex->line,
+                      "class '" + cls + "' declares mutex '" +
+                          first_mutex->name +
+                          "' but no member is E10_GUARDED_BY it — guarded "
+                          "state must be annotated for the static analysis"});
+    }
+    // Annotation arguments must name a member of the class.
+    for (const auto& [m, file] : cm.members) {
+      for (const Annotation& a : m->annotations) {
+        if (a.macro != "E10_GUARDED_BY" && a.macro != "E10_PT_GUARDED_BY" &&
+            a.macro != "E10_ACQUIRED_BEFORE" &&
+            a.macro != "E10_ACQUIRED_AFTER" && a.macro != "E10_TRACKED_BY") {
+          continue;
+        }
+        const std::string target = first_ident(a.arg);
+        if (target.empty() || member_names.count(target) != 0) continue;
+        if (is_suppressed(*file, "mutex-guard", m->line)) continue;
+        out->push_back({"mutex-guard", file->path, m->line,
+                        a.macro + "(" + a.arg + ") on '" + cls +
+                            "::" + m->name + "' names no member of '" + cls +
+                            "'"});
+      }
+    }
+  }
+}
+
+// ---- lock-order -----------------------------------------------------------
+
+void run_lock_order(const std::vector<LintedFile>& files,
+                    std::vector<Finding>* out) {
+  // Declared acquisition-order edges from E10_ACQUIRED_BEFORE/AFTER
+  // annotations: before -> after, nodes qualified as Class::member.
+  std::map<std::string, std::vector<std::string>> adj;
+  std::map<std::string, std::pair<const FileModel*, int>> site;
+  for (const LintedFile& lf : files) {
+    for (const Member& m : lf.model.members) {
+      const std::string self = m.class_name + "::" + m.name;
+      for (const Annotation& a : m.annotations) {
+        const std::string other =
+            m.class_name + "::" + first_ident(a.arg);
+        if (a.macro == "E10_ACQUIRED_BEFORE") {
+          adj[self].push_back(other);
+        } else if (a.macro == "E10_ACQUIRED_AFTER") {
+          adj[other].push_back(self);
+        } else {
+          continue;
+        }
+        site.emplace(self, std::make_pair(&lf.model, m.line));
+        site.emplace(other, std::make_pair(&lf.model, m.line));
+      }
+    }
+  }
+  // Cycle detection (iterative-friendly sizes; recursion is fine here).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::function<bool(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const std::string& v : adj[u]) {
+      if (color[v] == 1) {
+        std::string cycle;
+        for (auto it = std::find(stack.begin(), stack.end(), v);
+             it != stack.end(); ++it) {
+          cycle += *it + " < ";
+        }
+        cycle += v;
+        auto s = site.find(u);
+        const FileModel* file = s != site.end() ? s->second.first : nullptr;
+        out->push_back({"lock-order", file != nullptr ? file->path : "<order>",
+                        s != site.end() ? s->second.second : 0,
+                        "declared lock acquisition order is cyclic: " + cycle});
+        stack.pop_back();
+        color[u] = 2;
+        return true;
+      }
+      if (color[v] == 0 && dfs(v)) {
+        stack.pop_back();
+        color[u] = 2;
+        return true;
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+    return false;
+  };
+  for (const auto& [node, _] : adj) {
+    if (color[node] == 0 && dfs(node)) break;  // one cycle report is enough
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(const std::vector<LintedFile>& files,
+                               const RuleConfig& config,
+                               const std::set<std::string>& enabled) {
+  std::vector<Finding> out;
+  auto on = [&](const char* rule) { return enabled.count(rule) != 0; };
+  if (on("unwind-blocking")) UnwindBlockingRule(files, config).run(&out);
+  if (on("wall-clock")) run_wall_clock(files, config, &out);
+  if (on("unordered-iteration")) run_unordered_iteration(files, &out);
+  if (on("nodiscard")) run_nodiscard(files, config, &out);
+  if (on("mutex-guard")) run_mutex_guard(files, &out);
+  if (on("lock-order")) run_lock_order(files, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.rule == b.rule && a.path == b.path &&
+                                 a.line == b.line && a.message == b.message;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace e10::lint
