@@ -93,6 +93,17 @@ BenchOptions BenchOptions::parse(int argc, char** argv) {
                      value.c_str());
         std::exit(2);
       }
+    } else if (arg.starts_with("--two-level=")) {
+      const std::string value = arg.substr(12);
+      if (value == "on") {
+        options.two_level = true;
+      } else if (value == "off") {
+        options.two_level = false;
+      } else {
+        std::fprintf(stderr, "--two-level: expected on or off, got '%s'\n",
+                     value.c_str());
+        std::exit(2);
+      }
     } else if (arg.starts_with("--faults=")) {
       options.faults_spec = arg.substr(9);
       // Validate up front so a typo fails before any experiment runs.
@@ -186,6 +197,7 @@ std::vector<ExperimentResult> run_figure(const FigureSpec& figure,
       spec.pipeline = options.pipeline;
       spec.sync_streams = options.sync_streams;
       spec.flush_coalesce = options.coalesce;
+      spec.two_level = options.two_level;
       spec.workflow.base_path = "/pfs/" + figure.benchmark;
       spec.workflow.num_files = options.files;
       spec.workflow.compute_delay = compute_delay_for(options);
@@ -338,7 +350,8 @@ void print_bandwidth_table(const std::string& title,
 void print_breakdown_table(const std::string& title, CacheCase cache_case,
                            const std::vector<ExperimentResult>& results) {
   static constexpr prof::Phase kShown[] = {
-      prof::Phase::offset_exchange, prof::Phase::shuffle_all2all,
+      prof::Phase::offset_exchange, prof::Phase::shuffle_intra,
+      prof::Phase::shuffle_all2all, prof::Phase::shuffle_inter,
       prof::Phase::exchange,        prof::Phase::write_contig,
       prof::Phase::post_write,      prof::Phase::not_hidden_sync,
   };
@@ -384,7 +397,8 @@ void print_sync_table(const std::string& title,
 void print_tail_table(const std::string& title, CacheCase cache_case,
                       const std::vector<ExperimentResult>& results) {
   static constexpr prof::Phase kShown[] = {
-      prof::Phase::shuffle_all2all, prof::Phase::exchange,
+      prof::Phase::shuffle_intra,   prof::Phase::shuffle_all2all,
+      prof::Phase::shuffle_inter,   prof::Phase::exchange,
       prof::Phase::write_contig,    prof::Phase::flush_wait,
       prof::Phase::not_hidden_sync,
   };

@@ -42,6 +42,10 @@
 //   --coalesce=on|off  coalesce adjacent queued sync requests into shared
 //                      stripe-aligned flush dispatches (default on); off
 //                      flushes each request separately for ablations.
+//   --two-level=on|off two-level collective-write exchange (default off):
+//                      intra-node gather to per-node leaders before a
+//                      leaders-only inter-node exchange. See
+//                      docs/two_level.md.
 #pragma once
 
 #include <cstdio>
@@ -69,6 +73,7 @@ struct BenchOptions {
   bool pipeline = true;             // double-buffered round loop
   int sync_streams = 4;             // in-flight flush streams per sync thread
   bool coalesce = true;             // coalesce adjacent sync requests
+  bool two_level = false;           // two-level collective-write exchange
 
   static BenchOptions parse(int argc, char** argv);
   bool combo_selected(const std::string& label) const;

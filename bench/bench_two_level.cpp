@@ -1,0 +1,359 @@
+// Two-level vs flat collective-write exchange across ranks-per-node
+// (docs/two_level.md). Keeps the total rank count fixed (512 at paper
+// scale, 64 with --quick) and sweeps ranks_per_node x the paper's
+// <aggregators>_<cb> combos, running every point once with the flat
+// shuffle and once with e10_two_level_flag=enable. The two runs must
+// produce identical content checksums — the exchange may only change the
+// message schedule, never the bytes — and the bench exits non-zero on any
+// mismatch (or, with --check-concurrency, on any checker finding).
+//
+// The figure of merit is the shuffle portion of the breakdown
+// (shuffle_intra + shuffle_all2all + shuffle_inter + exchange, max over
+// ranks): the two-level exchange trades an intra-node gather hop for a
+// leaders-only inter-node exchange, so its win should grow with
+// ranks_per_node.
+//
+// Flags:
+//   --quick             64 total ranks, 1/8 data (smoke scale)
+//   --rpn=2,8,16        ranks-per-node sweep (default 2,8,16)
+//   --combos=a_bm,...   restrict combos, e.g. --combos=8_4m,64_4m
+//   --files=N           files per experiment (default 2 here)
+//   --check-concurrency attach the concurrency checker to every run
+//   --report=PATH       run-report JSON array of the TWO-LEVEL runs only
+//                       (bench_compare-compatible; the flat runs would
+//                       collide with them on the point key)
+//   --summary=PATH      comparison document in the results/BENCH_*.json
+//                       shape: per-point io_time/shuffle_s for both modes,
+//                       speedups, checksum equality, exchange volumes
+//   --recorded=DATE     "recorded" stamp for the summary document
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace e10;
+using namespace e10::units;
+using namespace e10::workloads;
+
+struct Options {
+  bool quick = false;
+  bool check_concurrency = false;
+  int files = 2;
+  std::vector<std::size_t> rpn = {2, 8, 16};
+  std::vector<std::string> combos;  // empty = all
+  std::string report_path;
+  std::string summary_path;
+  std::string recorded;
+};
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Options parse(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.quick = true;
+    } else if (arg == "--check-concurrency") {
+      options.check_concurrency = true;
+    } else if (arg.rfind("--files=", 0) == 0) {
+      options.files = std::stoi(arg.substr(8));
+    } else if (arg.rfind("--rpn=", 0) == 0) {
+      options.rpn.clear();
+      for (const std::string& item : split_list(arg.substr(6))) {
+        options.rpn.push_back(static_cast<std::size_t>(std::stoul(item)));
+      }
+    } else if (arg.rfind("--combos=", 0) == 0) {
+      options.combos = split_list(arg.substr(9));
+    } else if (arg.rfind("--report=", 0) == 0) {
+      options.report_path = arg.substr(9);
+    } else if (arg.rfind("--summary=", 0) == 0) {
+      options.summary_path = arg.substr(10);
+    } else if (arg.rfind("--recorded=", 0) == 0) {
+      options.recorded = arg.substr(11);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (options.rpn.empty() || options.files <= 0) {
+    std::fprintf(stderr, "empty --rpn or non-positive --files\n");
+    std::exit(2);
+  }
+  return options;
+}
+
+/// Fixed total rank count so the sweep isolates the topology, not the
+/// problem size: paper scale keeps the 512 ranks of Fig. 4.
+std::size_t total_ranks(const Options& options) {
+  return options.quick ? 64 : 512;
+}
+
+std::string config_str(const obs::Json& report, const char* key) {
+  const obs::Json* config = report.find("config");
+  if (config == nullptr) return {};
+  const obs::Json* value = config->find(key);
+  return value != nullptr && value->is_string() ? value->as_string()
+                                                : std::string();
+}
+
+double derived_num(const obs::Json& report, const char* key) {
+  const obs::Json* derived = report.find("derived");
+  if (derived == nullptr) return 0.0;
+  const obs::Json* value = derived->find(key);
+  return value != nullptr && value->is_numeric() ? value->as_number() : 0.0;
+}
+
+/// The shuffle portion of the breakdown (max over ranks, per phase): the
+/// flat path reports it all under `exchange`, the two-level path under the
+/// staged phases. Overcounts waiting that hides behind the write — the
+/// critical-path measure below is the honest one.
+double shuffle_seconds(const ExperimentResult& result) {
+  double total = 0.0;
+  for (const prof::Phase phase :
+       {prof::Phase::shuffle_intra, prof::Phase::shuffle_all2all,
+        prof::Phase::shuffle_inter, prof::Phase::exchange}) {
+    total += units::to_seconds(result.breakdown.at(phase));
+  }
+  return total;
+}
+
+/// Shuffle seconds on the causal critical path (obs::analyze_critical_path
+/// category attribution): the end-to-end time the exchange actually costs,
+/// as opposed to waiting that overlaps the aggregator writes.
+double shuffle_critical_path_seconds(const ExperimentResult& result) {
+  const obs::Json* categories = result.critical_path.find("categories");
+  if (categories == nullptr) return 0.0;
+  const obs::Json* shuffle = categories->find("shuffle");
+  if (shuffle == nullptr) return 0.0;
+  const obs::Json* seconds = shuffle->find("s");
+  return seconds != nullptr && seconds->is_numeric() ? seconds->as_number()
+                                                     : 0.0;
+}
+
+ExperimentResult run_point(const Options& options, std::size_t rpn,
+                           int aggregators, Offset cb, bool two_level) {
+  bench::BenchOptions scale;
+  scale.quick = options.quick;
+  scale.files = options.files;
+
+  ExperimentSpec spec;
+  spec.testbed = deep_er_testbed();
+  spec.testbed.ranks_per_node = rpn;
+  spec.testbed.compute_nodes = total_ranks(options) / rpn;
+  spec.aggregators = aggregators;
+  spec.cb_buffer_size = cb;
+  spec.cache_case = CacheCase::disabled;
+  spec.two_level = two_level;
+  spec.critical_path = true;
+  spec.check_concurrency = options.check_concurrency;
+  spec.workflow.base_path = "/pfs/two_level";
+  spec.workflow.num_files = options.files;
+  spec.workflow.compute_delay = bench::compute_delay_for(scale);
+  spec.workflow.include_last_phase = false;
+
+  return run_experiment(spec, [](const TestbedParams& testbed) {
+    const int ranks =
+        static_cast<int>(testbed.compute_nodes * testbed.ranks_per_node);
+    return std::make_unique<CollPerfWorkload>(collperf_paper_params(ranks));
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse(argc, argv);
+  const std::size_t ranks = total_ranks(options);
+  std::printf("## two-level exchange vs flat shuffle (%zu ranks, %d files%s)\n",
+              ranks, options.files, options.quick ? ", QUICK scale" : "");
+  std::printf("%-4s %-8s %13s %13s %9s %12s %12s %12s %12s %7s\n", "rpn",
+              "combo", "io_flat [s]", "io_2lvl [s]", "io_spdup",
+              "cp_flat [s]", "cp_2lvl [s]", "shfl_flat[s]", "shfl_2lvl[s]",
+              "chksum");
+  std::fflush(stdout);
+
+  bench::BenchOptions scale;
+  scale.quick = options.quick;
+  const auto sweep = bench::sweep_for(scale);
+
+  obs::Json reports = obs::Json::array();
+  obs::Json entries = obs::Json::array();
+  bool checksums_ok = true;
+  std::size_t findings = 0;
+  std::size_t points = 0;
+  std::size_t shuffle_faster_high_rpn = 0;
+  std::size_t high_rpn_points = 0;
+
+  for (const std::size_t rpn : options.rpn) {
+    if (ranks % rpn != 0) {
+      std::fprintf(stderr, "skipping rpn=%zu: does not divide %zu ranks\n",
+                   rpn, ranks);
+      continue;
+    }
+    for (const auto& [aggregators, cb] : sweep) {
+      const std::string combo = std::to_string(aggregators) + "_" +
+                                std::to_string(cb / MiB) + "m";
+      if (!options.combos.empty() &&
+          std::find(options.combos.begin(), options.combos.end(), combo) ==
+              options.combos.end()) {
+        continue;
+      }
+      const ExperimentResult flat =
+          run_point(options, rpn, aggregators, cb, false);
+      const ExperimentResult two =
+          run_point(options, rpn, aggregators, cb, true);
+      findings += flat.analysis_races + flat.analysis_cycles +
+                  two.analysis_races + two.analysis_cycles;
+      const std::string flat_sum = config_str(flat.report, "content_checksum");
+      const std::string two_sum = config_str(two.report, "content_checksum");
+      const bool match = !flat_sum.empty() && flat_sum == two_sum;
+      checksums_ok = checksums_ok && match;
+
+      const double io_flat = units::to_seconds(flat.workflow.io_time);
+      const double io_two = units::to_seconds(two.workflow.io_time);
+      const double shuffle_flat = shuffle_seconds(flat);
+      const double shuffle_two = shuffle_seconds(two);
+      const double cp_flat = shuffle_critical_path_seconds(flat);
+      const double cp_two = shuffle_critical_path_seconds(two);
+      ++points;
+      // The acceptance measure: shuffle time on the causal critical path,
+      // where the two-level exchange must win once nodes are dense enough.
+      if (rpn >= 8) {
+        ++high_rpn_points;
+        if (cp_two < cp_flat) ++shuffle_faster_high_rpn;
+      }
+      std::printf(
+          "%-4zu %-8s %13.3f %13.3f %9.3f %12.3f %12.3f %12.3f %12.3f %7s\n",
+          rpn, combo.c_str(), io_flat, io_two,
+          io_two > 0 ? io_flat / io_two : 0.0, cp_flat, cp_two, shuffle_flat,
+          shuffle_two, match ? "match" : "MISMATCH");
+      std::fflush(stdout);
+
+      obs::Json entry = obs::Json::object();
+      entry.set("combo", obs::Json::str(combo));
+      entry.set("ranks_per_node",
+                obs::Json::integer(static_cast<std::int64_t>(rpn)));
+      entry.set("io_time_s_flat", obs::Json::number(io_flat));
+      entry.set("io_time_s_two_level", obs::Json::number(io_two));
+      entry.set("io_speedup",
+                obs::Json::number(io_two > 0 ? io_flat / io_two : 0.0));
+      entry.set("shuffle_critical_path_s_flat", obs::Json::number(cp_flat));
+      entry.set("shuffle_critical_path_s_two_level",
+                obs::Json::number(cp_two));
+      entry.set("shuffle_s_flat", obs::Json::number(shuffle_flat));
+      entry.set("shuffle_s_two_level", obs::Json::number(shuffle_two));
+      entry.set("two_level_rounds",
+                obs::Json::number(derived_num(two.report, "two_level.rounds")));
+      entry.set("intra_bytes", obs::Json::number(derived_num(
+                                   two.report, "two_level.intra_bytes")));
+      entry.set("inter_bytes", obs::Json::number(derived_num(
+                                   two.report, "two_level.inter_bytes")));
+      entry.set("content_checksum_match", obs::Json::boolean(match));
+      entries.push(std::move(entry));
+      // Only the two-level runs go to --report: bench_compare keys points
+      // by combo/cache_case and would silently pair the wrong rows if both
+      // modes of one point shared a file. The rpn suffix keeps the three
+      // topologies of one combo apart in that key for the same reason.
+      obs::Json report = two.report;
+      if (const obs::Json* config = report.find("config")) {
+        obs::Json patched = *config;
+        patched.set("combo",
+                    obs::Json::str(combo + "_rpn" + std::to_string(rpn)));
+        report.set("config", std::move(patched));
+      }
+      reports.push(std::move(report));
+    }
+  }
+
+  std::printf(
+      "\n%zu points; checksums %s; shuffle critical path faster at rpn>=8: "
+      "%zu/%zu\n",
+      points, checksums_ok ? "all match" : "MISMATCH", shuffle_faster_high_rpn,
+      high_rpn_points);
+  if (options.check_concurrency) {
+    std::printf("concurrency findings: %zu\n", findings);
+  }
+  std::fflush(stdout);
+
+  if (!options.report_path.empty()) {
+    if (const Status s = obs::write_json_file(options.report_path, reports);
+        !s.is_ok()) {
+      std::fprintf(stderr, "failed to write report to %s: %s\n",
+                   options.report_path.c_str(), s.message().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "report written to %s\n",
+                 options.report_path.c_str());
+  }
+  if (!options.summary_path.empty()) {
+    obs::Json doc = obs::Json::object();
+    doc.set(
+        "description",
+        obs::Json::str(
+            "Two-level (node-aware domains + intra-node gather + "
+            "leaders-only inter-node exchange) vs flat ext2ph shuffle, "
+            "coll_perf at fixed total ranks across ranks_per_node, cache "
+            "disabled. shuffle_critical_path_s is the shuffle category of "
+            "the causal critical-path attribution (the acceptance measure); "
+            "shuffle_s sums the max-over-ranks "
+            "shuffle_intra/shuffle_all2all/shuffle_inter/exchange phases; "
+            "checksums must match per point. See docs/two_level.md."));
+    if (!options.recorded.empty()) {
+      doc.set("recorded", obs::Json::str(options.recorded));
+    }
+    doc.set("command",
+            obs::Json::str("bench_two_level --rpn=... [--quick] "
+                           "[--files=N] [--summary=...]"));
+    obs::Json summary = obs::Json::object();
+    summary.set("total_ranks",
+                obs::Json::integer(static_cast<std::int64_t>(ranks)));
+    summary.set("sweep_points",
+                obs::Json::integer(static_cast<std::int64_t>(points)));
+    summary.set("high_rpn_points",
+                obs::Json::integer(static_cast<std::int64_t>(high_rpn_points)));
+    summary.set("shuffle_faster_high_rpn",
+                obs::Json::integer(
+                    static_cast<std::int64_t>(shuffle_faster_high_rpn)));
+    summary.set("all_checksums_match", obs::Json::boolean(checksums_ok));
+    doc.set("summary", std::move(summary));
+    doc.set("entries", std::move(entries));
+    if (const Status s = obs::write_json_file(options.summary_path, doc);
+        !s.is_ok()) {
+      std::fprintf(stderr, "failed to write summary to %s: %s\n",
+                   options.summary_path.c_str(), s.message().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "summary written to %s\n",
+                 options.summary_path.c_str());
+  }
+
+  if (!checksums_ok) {
+    std::fprintf(stderr, "FAIL: two-level changed the output bytes\n");
+    return 1;
+  }
+  if (options.check_concurrency && findings > 0) {
+    std::fprintf(stderr, "FAIL: %zu concurrency finding(s)\n", findings);
+    return 1;
+  }
+  return 0;
+}

@@ -65,6 +65,11 @@ struct AdioFile {
   // cb_nodes / cb_config_list at open time).
   std::vector<int> aggregators;
 
+  // Two-level collective-write exchange (docs/two_level.md), resolved once
+  // at open from e10_two_level_flag and the communicator topology: active
+  // only when some node hosts more than one rank.
+  bool two_level = false;
+
   Offset stripe_unit = 0;  // resolved at open from the PFS file
 
   bool is_aggregator() const;

@@ -89,4 +89,74 @@ std::vector<Extent> partition_file_domains(const Extent& region,
   return domains;
 }
 
+std::vector<Extent> partition_node_aware_domains(
+    const Extent& region, const std::vector<std::size_t>& aggregator_nodes,
+    Offset cb_buffer_size, std::optional<Offset> align_unit) {
+  const std::size_t count = aggregator_nodes.size();
+  if (count == 0) {
+    throw std::logic_error("partition_node_aware_domains: zero aggregators");
+  }
+  if (align_unit) {
+    // Stripe alignment dominates: false sharing on a stripe lock costs more
+    // than an unbalanced intra-node gather saves.
+    return partition_file_domains(region, count, align_unit);
+  }
+  if (cb_buffer_size <= 0) {
+    throw std::logic_error("partition_node_aware_domains: bad cb_buffer_size");
+  }
+  std::vector<Extent> domains(count, Extent{region.offset, 0});
+  if (region.empty()) return domains;
+
+  // Group consecutive aggregators that share a node (select_aggregators
+  // returns ascending ranks, so one node's aggregators are consecutive).
+  struct Group {
+    std::size_t first = 0;  // index of first aggregator in the group
+    std::size_t size = 0;
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (groups.empty() || aggregator_nodes[i] != aggregator_nodes[groups.back().first]) {
+      groups.push_back(Group{i, 1});
+    } else {
+      ++groups.back().size;
+    }
+  }
+
+  // Deal whole cb-sized blocks: first to groups proportionally to their
+  // aggregator count (remainder to the earliest groups), then evenly within
+  // each group. Quantizing to cb blocks keeps every round window except the
+  // file tail a full collective buffer.
+  const Offset blocks =
+      (region.length + cb_buffer_size - 1) / cb_buffer_size;
+  std::vector<Offset> per_agg_blocks(count, 0);
+  Offset spare = blocks;
+  for (const Group& group : groups) {
+    // Proportional share: floor(blocks * size / count); floors' remainder is
+    // dealt to the earliest aggregators below.
+    const Offset share = blocks * static_cast<Offset>(group.size) /
+                         static_cast<Offset>(count);
+    Offset base = share / static_cast<Offset>(group.size);
+    Offset rem = share % static_cast<Offset>(group.size);
+    for (std::size_t i = 0; i < group.size; ++i) {
+      per_agg_blocks[group.first + i] = base + (rem > 0 ? 1 : 0);
+      if (rem > 0) --rem;
+    }
+    spare -= share;
+  }
+  for (std::size_t i = 0; spare > 0 && i < count; ++i, --spare) {
+    ++per_agg_blocks[i];
+  }
+
+  // Lay the block counts out contiguously; the final partial block is
+  // clipped to the region end, so the cover is exact.
+  Offset cursor = region.offset;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Offset want = per_agg_blocks[i] * cb_buffer_size;
+    const Offset len = std::min(want, region.end() - cursor);
+    domains[i] = Extent{cursor, len};
+    cursor += len;
+  }
+  return domains;
+}
+
 }  // namespace e10::adio

@@ -31,4 +31,20 @@ std::vector<Extent> partition_file_domains(const Extent& region,
                                            std::size_t count,
                                            std::optional<Offset> align_unit);
 
+/// Node-aware variant for the two-level exchange (docs/two_level.md):
+/// `aggregator_nodes[i]` is the compute node hosting aggregator i (ascending
+/// rank order, so same-node aggregators are consecutive). Domains are
+/// quantized to whole `cb_buffer_size` blocks — every round window except
+/// the file tail is a full collective buffer — and the blocks are dealt to
+/// node groups proportionally to their aggregator count before being split
+/// within the group, so each node's aggregators serve one contiguous span
+/// and per-node byte shares stay balanced when nodes host unequal
+/// aggregator counts. With `align_unit` set the stripe-aligned flat split
+/// wins (the BeeGFS driver's no-false-sharing guarantee dominates).
+/// Contiguous cover of `region`, ascending, same shape as
+/// partition_file_domains.
+std::vector<Extent> partition_node_aware_domains(
+    const Extent& region, const std::vector<std::size_t>& aggregator_nodes,
+    Offset cb_buffer_size, std::optional<Offset> align_unit);
+
 }  // namespace e10::adio

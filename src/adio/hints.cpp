@@ -199,6 +199,11 @@ Result<Hints> Hints::parse(const mpi::Info& info) {
                            "e10_flush_coalesce_flag: bad value " + *v);
     }
   }
+  if (const auto v = info.get("e10_two_level_flag")) {
+    auto t = parse_toggle("e10_two_level_flag", *v);
+    if (!t.is_ok()) return t.status();
+    hints.e10_two_level = t.value();
+  }
   if (const auto v = info.get("ind_wr_buffer_size")) {
     auto b = parse_bytes("ind_wr_buffer_size", *v);
     if (!b.is_ok()) return b.status();
@@ -233,6 +238,7 @@ mpi::Info Hints::to_info() const {
   info.set("e10_sync_streams", std::to_string(e10_sync_streams));
   info.set("e10_flush_coalesce_flag",
            e10_flush_coalesce ? "enable" : "disable");
+  info.set("e10_two_level_flag", to_string(e10_two_level));
   return info;
 }
 

@@ -5,6 +5,7 @@
 // Table II) that this library reproduces.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
@@ -73,6 +74,30 @@ struct Hints {
   /// requests into shared stripe-aligned flush dispatches. "disable" flushes
   /// each request separately for ablations.
   bool e10_flush_coalesce = true;
+  /// EXTENSION (e10_two_level_flag): two-level collective-write aggregation
+  /// (docs/two_level.md). Each round gathers a node's contributions to the
+  /// node leader over the intra-node (shared-memory) transport first, then
+  /// runs a leaders-only inter-node dissemination and data exchange.
+  /// "automatic" enables it when at least kTwoLevelAutoRanksPerNode ranks
+  /// share a node — the sweep's break-even point — so flat placements keep
+  /// the flat exchange. Default disable (bit-for-bit flat behaviour).
+  Toggle e10_two_level = Toggle::disable;
+
+  /// Ranks-per-node threshold at which e10_two_level_flag=automatic turns
+  /// the two-level exchange on (results/BENCH_two_level.json: wins are
+  /// consistent from 8 ranks per node up).
+  static constexpr std::size_t kTwoLevelAutoRanksPerNode = 8;
+
+  /// Segment size for the two-level data stage. Leaders split each merged
+  /// per-aggregator bucket into segments of at most this size — matching
+  /// the fabric's eager threshold — so the transfers stream to the
+  /// aggregator while the previous round's write is still draining instead
+  /// of rendezvous-stalling behind the collective-buffer hand-off. Both
+  /// ends derive *which* pairs talk from the node hull / round window
+  /// overlap; the first segment (the manifest) carries the follow-on
+  /// segment count in-band, keeping the matching deterministic without a
+  /// count exchange.
+  static constexpr Offset kTwoLevelSegmentBytes = Offset{256} * units::KiB;
 
   /// Parses an Info object. Unknown keys are ignored (MPI semantics);
   /// malformed values of known keys are reported.

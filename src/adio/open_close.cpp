@@ -130,6 +130,16 @@ Result<std::unique_ptr<AdioFile>> open_coll(IoContext& ctx, mpi::Comm comm,
   fd->aggregators = select_aggregators(comm, fd->hints.cb_nodes,
                                        fd->hints.cb_config_per_node);
 
+  // Two-level exchange resolution (docs/two_level.md): the hint decides,
+  // with "automatic" keyed to the topology; the intra-node gather stage only
+  // exists when some node hosts more than one rank.
+  const std::size_t rpn = comm.max_ranks_per_node();
+  const bool want_two_level =
+      fd->hints.e10_two_level == Toggle::enable ||
+      (fd->hints.e10_two_level == Toggle::automatic &&
+       rpn >= Hints::kTwoLevelAutoRanksPerNode);
+  fd->two_level = want_two_level && rpn > 1 && comm.size() > 1;
+
   // E10 cache layer (ADIOI_GEN_OpenColl extension): open the cache file on
   // this rank's node-local file system; revert to standard open on failure.
   if (fd->hints.e10_cache != CacheMode::disable &&

@@ -17,6 +17,29 @@ RoundPlanner::RoundPlanner(const Extent& region, std::size_t aggregator_count,
   }
 }
 
+RoundPlanner::RoundPlanner(const Extent& region,
+                           const std::vector<std::size_t>& aggregator_nodes,
+                           Offset cb_buffer_size, std::optional<Offset> align,
+                           bool two_level)
+    : cb_(cb_buffer_size) {
+  if (region.length <= 0 || aggregator_nodes.empty() || cb_ <= 0) return;
+  // Node-aware planning only changes anything when some node hosts more
+  // than one aggregator (select_aggregators returns ascending ranks under
+  // block placement, so same-node entries are adjacent). One aggregator per
+  // node — every ranks_per_node == 1 layout — or the flag off must
+  // reproduce the flat plan byte-for-byte.
+  const bool grouped =
+      std::adjacent_find(aggregator_nodes.begin(), aggregator_nodes.end()) !=
+      aggregator_nodes.end();
+  domains_ =
+      two_level && grouped
+          ? partition_node_aware_domains(region, aggregator_nodes, cb_, align)
+          : partition_file_domains(region, aggregator_nodes.size(), align);
+  for (const Extent& d : domains_) {
+    rounds_ = std::max(rounds_, (d.length + cb_ - 1) / cb_);
+  }
+}
+
 WritePipeline::WritePipeline(AdioFile& fd, bool enabled)
     : fd_(fd),
       enabled_(enabled),

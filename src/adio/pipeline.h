@@ -36,6 +36,17 @@ class RoundPlanner {
   RoundPlanner(const Extent& region, std::size_t aggregator_count,
                Offset cb_buffer_size, std::optional<Offset> align);
 
+  /// Topology-aware overload for the two-level exchange (docs/two_level.md).
+  /// `aggregator_nodes[i]` is the node hosting aggregator i. With
+  /// `two_level` set and more than one distinct node, domains come from
+  /// partition_node_aware_domains (cb-block-quantized, node-grouped);
+  /// otherwise the plan is byte-identical to the flat constructor — the
+  /// disabled path reproduces flat behaviour bit-for-bit.
+  RoundPlanner(const Extent& region,
+               const std::vector<std::size_t>& aggregator_nodes,
+               Offset cb_buffer_size, std::optional<Offset> align,
+               bool two_level);
+
   const std::vector<Extent>& domains() const { return domains_; }
   /// Number of exchange-and-write rounds (ROMIO's ntimes): the maximum
   /// over domains of ceil(domain length / collective buffer size).

@@ -83,6 +83,10 @@ Result<std::vector<DataView>> read_strided_coll(
   if (fd.driver == Driver::beegfs && fd.stripe_unit > 0) {
     align = fd.stripe_unit;
   }
+  // The read path stays single-level even under e10_two_level_flag: reads
+  // already fan out aggregator → rank (one message per reader), so an
+  // intra-node gather stage has no p-to-A flow to collapse. The flat
+  // constructor keeps the read plan independent of the hint.
   RoundPlanner planner(Extent{gmin, gmax - gmin}, fd.aggregators.size(),
                        fd.hints.cb_buffer_size, align);
   const Offset ntimes = planner.rounds();

@@ -13,10 +13,23 @@
 // double-buffered (e10_pipeline_flag, docs/pipeline.md): round r's write
 // stays in flight while round r+1's dissemination and shuffle proceed, and
 // the aggregator joins it before reusing the collective buffer.
+//
+// With e10_two_level_flag active (docs/two_level.md) step 3 runs a
+// two-stage exchange instead of the flat one: each node's contributions are
+// first gathered to the node leader over the cheap intra-node transport
+// (shuffle_intra), and only leaders send data to the aggregators
+// (shuffle_inter) — p-to-A NIC flows collapse to L-to-A. Step 3a's
+// dissemination disappears entirely: senders and receivers derive which
+// (leader, aggregator) pairs talk from the step-1 allgather (each node's
+// extent hull vs each aggregator's round window), and the exact segment
+// count rides in-band in the pair's first message (the manifest), so the
+// two-level rounds have no collective synchronisation at all. The flag
+// off takes the flat path below, bit for bit.
 #include <algorithm>
 #include <limits>
 #include <map>
 #include <optional>
+#include <utility>
 
 #include "adio/adio_file.h"
 #include "adio/pipeline.h"
@@ -44,6 +57,36 @@ std::vector<mpi::IoPiece> sorted_by_offset(std::vector<mpi::IoPiece> pieces) {
               return a.file.offset < b.file.offset;
             });
   return pieces;
+}
+
+/// Greedy packing for the two-level data stage: distributes `pieces` over
+/// exactly `segments` buckets of at most `seg_bytes` each, cutting
+/// individual pieces at segment boundaries. Callers guarantee the total
+/// piece length fits (segments * seg_bytes).
+std::vector<std::vector<mpi::IoPiece>> pack_segments(
+    std::vector<mpi::IoPiece> pieces, std::size_t segments,
+    Offset seg_bytes) {
+  std::vector<std::vector<mpi::IoPiece>> out(segments);
+  std::size_t seg = 0;
+  Offset fill = 0;
+  for (mpi::IoPiece& piece : pieces) {
+    while (piece.file.length > 0) {
+      if (fill == seg_bytes) {
+        ++seg;
+        fill = 0;
+      }
+      const Offset take = std::min(piece.file.length, seg_bytes - fill);
+      mpi::IoPiece part;
+      part.file = Extent{piece.file.offset, take};
+      part.data = piece.data.slice(0, take);
+      out[seg].push_back(std::move(part));
+      piece.file.offset += take;
+      piece.file.length -= take;
+      piece.data = piece.data.slice(take, piece.file.length);
+      fill += take;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -103,6 +146,7 @@ Status write_strided_coll(AdioFile& fd,
   }
 
   Offset ntimes = 0;
+  std::vector<Extent> domains;
   std::vector<std::map<std::size_t, std::vector<mpi::IoPiece>>> plan;
   {
     PhaseScope scope(ctx, me, prof::Phase::calc);
@@ -113,9 +157,13 @@ Status write_strided_coll(AdioFile& fd,
     if (fd.driver == Driver::beegfs && fd.stripe_unit > 0) {
       align = fd.stripe_unit;
     }
-    RoundPlanner planner(Extent{gmin, gmax - gmin}, fd.aggregators.size(),
-                         fd.hints.cb_buffer_size, align);
+    std::vector<std::size_t> aggregator_nodes;
+    aggregator_nodes.reserve(fd.aggregators.size());
+    for (int agg : fd.aggregators) aggregator_nodes.push_back(comm.node_of(agg));
+    RoundPlanner planner(Extent{gmin, gmax - gmin}, aggregator_nodes,
+                         fd.hints.cb_buffer_size, align, fd.two_level);
     ntimes = planner.rounds();
+    domains = planner.domains();
 
     // --- Step 3 (local part): which (aggregator, round) each of my pieces
     // feeds. Pieces are sorted, so the planner's monotonic domain cursor
@@ -137,10 +185,85 @@ Status write_strided_coll(AdioFile& fd,
   // --- Step 3: rounds of dissemination + shuffle + write -------------------
   Status my_status = Status::ok();
   obs::Histogram* a2a_hist = nullptr;
+  obs::Counter* tl_rounds = nullptr;
+  obs::Counter* tl_intra_msgs = nullptr;
+  obs::Counter* tl_intra_bytes = nullptr;
+  obs::Counter* tl_inter_msgs = nullptr;
+  obs::Counter* tl_inter_bytes = nullptr;
   if (ctx.metrics != nullptr) {
     a2a_hist = &ctx.metrics->histogram(obs::names::kAlltoallSendBytes,
                                        obs::exponential_bounds(4096, 14));
+    if (fd.two_level) {
+      tl_rounds = &ctx.metrics->counter(obs::names::kTwoLevelRounds);
+      tl_intra_msgs = &ctx.metrics->counter(obs::names::kTwoLevelIntraMsgs);
+      tl_intra_bytes = &ctx.metrics->counter(obs::names::kTwoLevelIntraBytes);
+      tl_inter_msgs = &ctx.metrics->counter(obs::names::kTwoLevelInterMsgs);
+      tl_inter_bytes = &ctx.metrics->counter(obs::names::kTwoLevelInterBytes);
+    }
   }
+
+  // Two-level topology, fixed for the operation (pure computation — no
+  // virtual time passes here). Leaders appear in ascending world-rank
+  // order; block placement keeps each node's ranks contiguous, so the
+  // single pass below sees every node's leader first.
+  const int my_leader = fd.two_level ? comm.node_leader(me) : me;
+  std::vector<int> leader_ranks;     // all leaders, ascending world rank
+  std::size_t my_leader_index = 0;   // my leader's position in leader_ranks
+  std::vector<int> my_members;       // leader only: my node's ranks (incl. me)
+  std::size_t my_agg_index = 0;      // aggregator only: index in fd.aggregators
+  // Per leader index: the [min start, max end) hull of that node's rank
+  // extents, (kNoOffset, kNoOffset) when the node has no data. Every rank
+  // computes the same hulls from the step-1 allgather, so senders and
+  // receivers can derive the per-round message pattern without any further
+  // dissemination: leader l sends aggregator a a (possibly empty) bucket in
+  // round r exactly when l's hull intersects a's round-r window.
+  std::vector<std::pair<Offset, Offset>> node_hull;
+  if (fd.two_level) {
+    for (int r = 0; r < p; ++r) {
+      if (comm.node_leader(r) == r) {
+        if (r == my_leader) my_leader_index = leader_ranks.size();
+        leader_ranks.push_back(r);
+        node_hull.emplace_back(kNoOffset, kNoOffset);
+      }
+      auto& hull = node_hull.back();
+      const auto& [start, end] = all_offsets[static_cast<std::size_t>(r)];
+      if (start == kNoOffset) continue;
+      if (hull.first == kNoOffset) {
+        hull = {start, end};
+      } else {
+        hull.first = std::min(hull.first, start);
+        hull.second = std::max(hull.second, end);
+      }
+    }
+    if (me == my_leader) my_members = comm.node_ranks(comm.node());
+    if (fd.is_aggregator()) {
+      my_agg_index = static_cast<std::size_t>(
+          std::find(fd.aggregators.begin(), fd.aggregators.end(), me) -
+          fd.aggregators.begin());
+    }
+  }
+  // Round-r window of aggregator a's file domain (empty when the domain is
+  // exhausted), and whether leader l's hull touches it. A leader owes each
+  // overlapping window exactly one manifest message — the first (possibly
+  // empty) data segment plus the count of follow-on segments, all sized
+  // at most Hints::kTwoLevelSegmentBytes so every message stays under the
+  // fabric's eager threshold and streams while the previous round's write
+  // drains. The hull only decides *which* pairs talk; the segment count
+  // rides in the manifest, so holes inside a hull (common for strided
+  // patterns, whose per-rank hulls span nearly the whole file) cost one
+  // near-empty message instead of a hull's worth of empty segments.
+  const auto window = [&](std::size_t agg, Offset round) -> Extent {
+    const Extent& dom = domains[agg];
+    const Offset start = dom.offset + round * fd.hints.cb_buffer_size;
+    if (dom.empty() || start >= dom.end()) return Extent{0, 0};
+    return Extent{start, std::min(fd.hints.cb_buffer_size, dom.end() - start)};
+  };
+  const auto overlaps = [](const std::pair<Offset, Offset>& hull,
+                           const Extent& w) -> bool {
+    if (hull.first == kNoOffset || w.empty()) return false;
+    return std::max(hull.first, w.offset) < std::min(hull.second, w.end());
+  };
+
   WritePipeline pipeline(fd, fd.hints.e10_pipeline);
   for (Offset round = 0; round < ntimes; ++round) {
     const Time tr0 = ctx.engine.now();
@@ -162,60 +285,233 @@ Status write_strided_coll(AdioFile& fd,
       for (const mpi::IoPiece& piece : pieces) bytes += piece.file.length;
       send_counts[static_cast<std::size_t>(fd.aggregators[agg_index])] = bytes;
       round_send_bytes += bytes;
-      if (a2a_hist != nullptr) a2a_hist->observe(bytes);
+      // The per-sender histogram: flat mode observes every rank's per-
+      // aggregator flow; two-level mode observes the leaders' merged flows
+      // below, after the intra-node gather.
+      if (a2a_hist != nullptr && !fd.two_level) a2a_hist->observe(bytes);
     }
     round_span.arg("send_bytes", static_cast<std::int64_t>(round_send_bytes));
 
-    std::vector<Offset> recv_counts;
-    {
-      PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
-      recv_counts = comm.alltoall(send_counts, sizeof(Offset));
+    if (!fd.two_level) {
+      // ---- Flat exchange (classic ext2ph) --------------------------------
+      std::vector<Offset> recv_counts;
+      {
+        PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
+        recv_counts = comm.alltoall(send_counts, sizeof(Offset));
+      }
+
+      // The shuffle lands in a collective buffer; with the pipeline enabled
+      // the oldest in-flight round's write must be joined before its buffer
+      // is reused for this round's receives.
+      pipeline.acquire_buffer();
+
+      std::vector<mpi::Request> requests;
+      std::size_t nrecv = 0;
+      if (fd.is_aggregator()) {
+        for (int src = 0; src < p; ++src) {
+          if (recv_counts[static_cast<std::size_t>(src)] > 0) {
+            requests.push_back(comm.irecv(src, static_cast<int>(round)));
+            ++nrecv;
+          }
+        }
+      }
+      for (auto& [agg_index, pieces] : round_plan) {
+        Offset bytes = 0;
+        for (const mpi::IoPiece& piece : pieces) bytes += piece.file.length;
+        requests.push_back(comm.isend(fd.aggregators[agg_index],
+                                      static_cast<int>(round),
+                                      std::move(pieces), bytes));
+      }
+      {
+        PhaseScope scope(ctx, me, prof::Phase::exchange);
+        scope.span().arg("requests",
+                         static_cast<std::int64_t>(requests.size()));
+        mpi::Request::wait_all(requests);
+      }
+
+      const Time tr1 = ctx.engine.now();
+      if (fd.is_aggregator() && nrecv > 0) {
+        std::vector<mpi::IoPiece> received;
+        for (std::size_t i = 0; i < nrecv; ++i) {
+          auto pieces = std::any_cast<std::vector<mpi::IoPiece>>(
+              requests[i].packet().payload);
+          received.insert(received.end(),
+                          std::make_move_iterator(pieces.begin()),
+                          std::make_move_iterator(pieces.end()));
+        }
+        received = sorted_by_offset(std::move(received));
+        const Status written = pipeline.issue_round(round, received);
+        if (my_status.is_ok()) my_status = written;
+      }
+      log::debug("adio", "write_coll round ", round,
+                 ": a2a+exch=", units::to_milliseconds(tr1 - tr0),
+                 "ms write=", units::to_milliseconds(ctx.engine.now() - tr1),
+                 "ms");
+      continue;
     }
 
-    // The shuffle lands in a collective buffer; with the pipeline enabled
-    // the oldest in-flight round's write must be joined before its buffer
-    // is reused for this round's receives.
-    pipeline.acquire_buffer();
+    // ---- Two-level exchange (docs/two_level.md) --------------------------
+    // Two tags per round keep the stages' matching separate; members race
+    // ahead into round r+1's gather while round r's write is in flight,
+    // exactly like the flat shuffle overlaps under the pipeline.
+    const int tag_gather = 2 * static_cast<int>(round);
+    const int tag_data = tag_gather + 1;
+    if (tl_rounds != nullptr && me == leader_ranks.front()) {
+      tl_rounds->increment();
+    }
 
-    std::vector<mpi::Request> requests;
-    std::size_t nrecv = 0;
-    if (fd.is_aggregator()) {
-      for (int src = 0; src < p; ++src) {
-        if (recv_counts[static_cast<std::size_t>(src)] > 0) {
-          requests.push_back(comm.irecv(src, static_cast<int>(round)));
-          ++nrecv;
+    // Stage 1: gather this node's buckets to the leader (shared memory).
+    // Members always send — possibly an empty bucket — so the leader's
+    // per-member receive matching stays deterministic.
+    std::map<std::size_t, std::vector<mpi::IoPiece>> merged;
+    if (me != my_leader) {
+      PhaseScope scope(ctx, me, prof::Phase::shuffle_intra);
+      mpi::Request req = comm.isend(my_leader, tag_gather,
+                                    std::move(round_plan), round_send_bytes);
+      req.wait();
+      if (tl_intra_msgs != nullptr) {
+        tl_intra_msgs->increment();
+        tl_intra_bytes->add(round_send_bytes);
+      }
+    } else {
+      merged = std::move(round_plan);
+      std::vector<mpi::Request> gathers;
+      {
+        PhaseScope scope(ctx, me, prof::Phase::shuffle_intra);
+        scope.span().arg("members",
+                         static_cast<std::int64_t>(my_members.size()));
+        for (int r : my_members) {
+          if (r != me) gathers.push_back(comm.irecv(r, tag_gather));
+        }
+        mpi::Request::wait_all(gathers);
+      }
+      // Merge member buckets in ascending rank order; the leader (lowest
+      // rank on the node) contributed first via the move above.
+      for (mpi::Request& req : gathers) {
+        auto bucket =
+            std::any_cast<std::map<std::size_t, std::vector<mpi::IoPiece>>>(
+                req.packet().payload);
+        for (auto& [agg_index, pieces] : bucket) {
+          auto& dst = merged[agg_index];
+          dst.insert(dst.end(), std::make_move_iterator(pieces.begin()),
+                     std::make_move_iterator(pieces.end()));
         }
       }
     }
-    for (auto& [agg_index, pieces] : round_plan) {
-      Offset bytes = 0;
-      for (const mpi::IoPiece& piece : pieces) bytes += piece.file.length;
-      requests.push_back(comm.isend(fd.aggregators[agg_index],
-                                    static_cast<int>(round),
-                                    std::move(pieces), bytes));
-    }
-    {
-      PhaseScope scope(ctx, me, prof::Phase::exchange);
-      scope.span().arg("requests",
-                       static_cast<std::int64_t>(requests.size()));
-      mpi::Request::wait_all(requests);
-    }
 
-    const Time tr1 = ctx.engine.now();
-    if (fd.is_aggregator() && nrecv > 0) {
-      std::vector<mpi::IoPiece> received;
-      for (std::size_t i = 0; i < nrecv; ++i) {
-        auto pieces = std::any_cast<std::vector<mpi::IoPiece>>(
-            requests[i].packet().payload);
+    // Same buffer discipline as the flat path: join the oldest in-flight
+    // round's write before posting this round's data receives.
+    pipeline.acquire_buffer();
+
+    // Stage 2: leaders send merged data to the aggregators. Which pairs
+    // talk is the hull-vs-window overlap both sides computed up front — no
+    // per-round count dissemination and no leader barrier. Each talking
+    // pair exchanges one manifest (follow-on segment count + the first
+    // segment's pieces) and that many extra segments, every message eager-
+    // sized, so the aggregator learns the exact count in-band: by the time
+    // a manifest is decoded its extras have already buffered at the
+    // receiver and the follow-on receives complete instantly. Manifest
+    // receives are posted before any send; a leader-aggregator's
+    // self-destined bucket short-circuits locally with no message.
+    using Manifest = std::pair<std::size_t, std::vector<mpi::IoPiece>>;
+    std::vector<mpi::Request> sends;
+    std::vector<mpi::Request> manifests;
+    std::vector<int> manifest_src;  // leader world rank per manifest
+    std::vector<mpi::IoPiece> local;
+    std::vector<mpi::IoPiece> received;
+    {
+      PhaseScope scope(ctx, me, prof::Phase::shuffle_inter);
+      if (fd.is_aggregator()) {
+        const Extent my_window = window(my_agg_index, round);
+        for (std::size_t l = 0; l < leader_ranks.size(); ++l) {
+          if (leader_ranks[l] == me) continue;
+          if (!overlaps(node_hull[l], my_window)) continue;
+          manifests.push_back(comm.irecv(leader_ranks[l], tag_data));
+          manifest_src.push_back(leader_ranks[l]);
+        }
+      }
+      if (me == my_leader) {
+        for (std::size_t a = 0; a < fd.aggregators.size(); ++a) {
+          if (!overlaps(node_hull[my_leader_index], window(a, round))) {
+            continue;
+          }
+          std::vector<mpi::IoPiece> pieces;
+          if (const auto it = merged.find(a); it != merged.end()) {
+            pieces = std::move(it->second);
+          }
+          const int agg_rank = fd.aggregators[a];
+          if (agg_rank == me) {
+            local = std::move(pieces);
+            continue;
+          }
+          Offset total = 0;
+          for (const mpi::IoPiece& piece : pieces) total += piece.file.length;
+          const auto nsegs = static_cast<std::size_t>(std::max<Offset>(
+              1, (total + Hints::kTwoLevelSegmentBytes - 1) /
+                     Hints::kTwoLevelSegmentBytes));
+          auto segments = pack_segments(std::move(pieces), nsegs,
+                                        Hints::kTwoLevelSegmentBytes);
+          const bool same_node = comm.node_of(agg_rank) == comm.node();
+          for (std::size_t s = 0; s < segments.size(); ++s) {
+            Offset bytes = 0;
+            for (const mpi::IoPiece& piece : segments[s]) {
+              bytes += piece.file.length;
+            }
+            if (a2a_hist != nullptr) a2a_hist->observe(bytes);
+            if (tl_inter_msgs != nullptr) {
+              if (same_node) {
+                tl_intra_msgs->increment();
+                tl_intra_bytes->add(bytes);
+              } else {
+                tl_inter_msgs->increment();
+                tl_inter_bytes->add(bytes);
+              }
+            }
+            // Segment 0 doubles as the manifest carrying the extra count.
+            sends.push_back(
+                s == 0 ? comm.isend(agg_rank, tag_data,
+                                    Manifest{nsegs - 1,
+                                             std::move(segments[s])},
+                                    bytes)
+                       : comm.isend(agg_rank, tag_data,
+                                    std::move(segments[s]), bytes));
+          }
+        }
+      }
+      received = std::move(local);
+      for (std::size_t i = 0; i < manifests.size(); ++i) {
+        manifests[i].wait();
+        auto [extra, pieces] =
+            std::any_cast<Manifest>(manifests[i].packet().payload);
         received.insert(received.end(),
                         std::make_move_iterator(pieces.begin()),
                         std::make_move_iterator(pieces.end()));
+        std::vector<mpi::Request> extras;
+        extras.reserve(extra);
+        for (std::size_t e = 0; e < extra; ++e) {
+          extras.push_back(comm.irecv(manifest_src[i], tag_data));
+        }
+        mpi::Request::wait_all(extras);
+        for (mpi::Request& req : extras) {
+          auto more =
+              std::any_cast<std::vector<mpi::IoPiece>>(req.packet().payload);
+          received.insert(received.end(),
+                          std::make_move_iterator(more.begin()),
+                          std::make_move_iterator(more.end()));
+        }
       }
+      scope.span().arg("requests", static_cast<std::int64_t>(
+                                       sends.size() + manifests.size()));
+      mpi::Request::wait_all(sends);
+    }
+
+    const Time tr1 = ctx.engine.now();
+    if (fd.is_aggregator() && !received.empty()) {
       received = sorted_by_offset(std::move(received));
       const Status written = pipeline.issue_round(round, received);
       if (my_status.is_ok()) my_status = written;
     }
-    log::debug("adio", "write_coll round ", round,
+    log::debug("adio", "write_coll two-level round ", round,
                ": a2a+exch=", units::to_milliseconds(tr1 - tr0),
                "ms write=", units::to_milliseconds(ctx.engine.now() - tr1),
                "ms");

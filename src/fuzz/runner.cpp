@@ -43,6 +43,7 @@ mpi::Info info_for(const Scenario& s) {
   info.set("cb_buffer_size", std::to_string(s.cb_buffer));
   if (s.aggregators > 0) info.set("cb_nodes", std::to_string(s.aggregators));
   info.set("e10_pipeline_flag", s.pipeline ? "enable" : "disable");
+  info.set("e10_two_level_flag", s.two_level ? "enable" : "disable");
   info.set("e10_cache", s.cache);
   if (s.cache != "disable") {
     info.set("e10_cache_path", kCacheDir);
@@ -446,6 +447,9 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     baseline.pipeline = true;
     baseline.sync_streams = 4;
     baseline.coalesce = true;
+    // Flip the exchange topology too: the two-level gather must produce
+    // byte-identical content to the flat shuffle.
+    baseline.two_level = !scenario.two_level;
     Execution base =
         execute(baseline, /*crash_at=*/0, /*check_concurrency=*/false);
     if (base.report.engine_error) {
@@ -456,8 +460,9 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     } else if (base.report.checksum != ex.report.checksum) {
       std::ostringstream os;
       os << "checksum " << ex.report.checksum << " (cache=" << scenario.cache
-         << ") != " << base.report.checksum << " (cache=" << baseline.cache
-         << ")";
+         << ", two_level=" << (scenario.two_level ? "on" : "off") << ") != "
+         << base.report.checksum << " (cache=" << baseline.cache
+         << ", two_level=" << (baseline.two_level ? "on" : "off") << ")";
       ex.violate("cross_hints", os.str());
     }
   }

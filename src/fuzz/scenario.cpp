@@ -162,6 +162,9 @@ Scenario Scenario::generate(std::uint64_t seed, const ScenarioLimits& limits,
   s.aggregators = static_cast<int>(rng.uniform_int(0, s.ranks()));
   s.cb_buffer = rng.uniform_int(1, 16) * 64 * KiB;
   s.journal_hint = rng.bernoulli(0.3);
+  // The two-level exchange only differs from flat on multi-rank nodes; keep
+  // the draw unconditional so single-rank layouts stay seed-compatible.
+  s.two_level = rng.bernoulli(0.5) && s.ranks_per_node > 1;
 
   if (rng.bernoulli(0.5)) s.fault_spec = random_fault_spec(rng, s.ranks());
 
@@ -191,6 +194,7 @@ std::string Scenario::to_spec() const {
   os << "aggregators=" << aggregators << "\n";
   os << "cb_buffer=" << cb_buffer << "\n";
   os << "journal=" << (journal_hint ? "on" : "off") << "\n";
+  os << "two_level=" << (two_level ? "on" : "off") << "\n";
   if (!fault_spec.empty()) os << "faults=" << fault_spec << "\n";
   if (crash_frac > 0.0) {
     // Full round-trip precision: parse(to_spec()) must reproduce the exact
@@ -257,7 +261,8 @@ Result<Scenario> Scenario::parse(std::string_view text) {
         return bad_spec(line_no, "flush must be flush_immediate|flush_onclose");
       }
       s.flush = std::string(value);
-    } else if (key == "pipeline" || key == "coalesce" || key == "journal") {
+    } else if (key == "pipeline" || key == "coalesce" || key == "journal" ||
+               key == "two_level") {
       if (value != "on" && value != "off") {
         return bad_spec(line_no, "expected on|off");
       }
@@ -265,6 +270,7 @@ Result<Scenario> Scenario::parse(std::string_view text) {
       if (key == "pipeline") s.pipeline = on;
       if (key == "coalesce") s.coalesce = on;
       if (key == "journal") s.journal_hint = on;
+      if (key == "two_level") s.two_level = on;
     } else if (key == "sync_streams") {
       const auto v = as_int();
       if (!v || *v < 1) return bad_spec(line_no, "bad sync_streams");
@@ -351,6 +357,7 @@ std::string Scenario::summary() const {
      << sync_streams << " coalesce=" << (coalesce ? "on" : "off") << " aggs="
      << aggregators;
   if (journal_hint) os << " journal";
+  if (two_level) os << " two_level";
   if (!fault_spec.empty()) os << " faults[" << fault_spec << "]";
   if (crash_at.has_value()) {
     os << " crash@" << *crash_at << "ns";

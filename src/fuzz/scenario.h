@@ -54,7 +54,9 @@ const char* bug_kind_name(BugKind bug);
 /// Bounds for Scenario::generate (the CLI's --max-ranks etc.).
 struct ScenarioLimits {
   std::size_t max_nodes = 4;
-  std::size_t max_ranks_per_node = 2;
+  /// High enough that multi-rank nodes (and with them the two-level
+  /// exchange's intra-node gather paths) are routinely exercised.
+  std::size_t max_ranks_per_node = 8;
   Offset max_file_bytes = 2 * units::MiB;
   int max_calls = 3;
 };
@@ -80,6 +82,7 @@ struct Scenario {
   int aggregators = 0;                  // cb_nodes (0 = one per node)
   Offset cb_buffer = units::MiB;        // cb_buffer_size
   bool journal_hint = false;            // e10_cache_journal
+  bool two_level = false;               // e10_two_level_flag
 
   // ---- Adversarial ingredients -------------------------------------------
   /// FaultPlan::parse spec (transients / outages / degrades / rank

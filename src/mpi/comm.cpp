@@ -28,6 +28,16 @@ std::size_t Comm::node() const { return state_->node_of(rank_); }
 
 std::size_t Comm::node_of(int rank) const { return state_->node_of(rank); }
 
+int Comm::node_leader(int rank) const { return state_->node_leader(rank); }
+
+std::vector<int> Comm::node_ranks(std::size_t node) const {
+  return state_->node_ranks(node);
+}
+
+std::size_t Comm::max_ranks_per_node() const {
+  return state_->max_ranks_per_node();
+}
+
 sim::Engine& Comm::engine() const { return state_->engine(); }
 
 const std::string& Comm::name() const { return state_->name(); }
@@ -96,6 +106,30 @@ std::size_t CommState::node_of(int rank) const {
     throw std::logic_error("CommState::node_of: rank out of range");
   }
   return rank_nodes_[static_cast<std::size_t>(rank)];
+}
+
+int CommState::node_leader(int rank) const {
+  const std::size_t node = node_of(rank);
+  for (int r = 0; r <= rank; ++r) {
+    if (rank_nodes_[static_cast<std::size_t>(r)] == node) return r;
+  }
+  return rank;  // unreachable: rank itself is on the node
+}
+
+std::vector<int> CommState::node_ranks(std::size_t node) const {
+  std::vector<int> out;
+  for (int r = 0; r < size(); ++r) {
+    if (rank_nodes_[static_cast<std::size_t>(r)] == node) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t CommState::max_ranks_per_node() const {
+  std::map<std::size_t, std::size_t> counts;
+  for (const std::size_t node : rank_nodes_) ++counts[node];
+  std::size_t best = 0;
+  for (const auto& [node, count] : counts) best = std::max(best, count);
+  return best;
 }
 
 bool CommState::matches(const PendingRecv& recv, const Packet& packet) {

@@ -47,11 +47,21 @@ class Comm {
  public:
   Comm() = default;
 
-  bool valid() const { return state_ != nullptr; }
-  int rank() const { return rank_; }
-  int size() const;
-  std::size_t node() const;
-  std::size_t node_of(int rank) const;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+  [[nodiscard]] std::size_t node() const;
+  [[nodiscard]] std::size_t node_of(int rank) const;
+  /// Lowest rank of this communicator hosted on the same node as `rank` —
+  /// the node's leader in the two-level aggregation protocol. Communicator-
+  /// relative: a split communicator elects its own leaders.
+  [[nodiscard]] int node_leader(int rank) const;
+  /// Ranks of this communicator hosted on `node`, ascending. Empty when the
+  /// communicator has no rank there.
+  [[nodiscard]] std::vector<int> node_ranks(std::size_t node) const;
+  /// Largest number of this communicator's ranks sharing one node (1 means
+  /// an intra-node gather stage has nothing to gather).
+  [[nodiscard]] std::size_t max_ranks_per_node() const;
   sim::Engine& engine() const;
   const std::string& name() const;
 
@@ -174,6 +184,9 @@ class CommState {
   sim::Engine& engine() { return engine_; }
   const std::string& name() const { return name_; }
   std::size_t node_of(int rank) const;
+  [[nodiscard]] int node_leader(int rank) const;
+  [[nodiscard]] std::vector<int> node_ranks(std::size_t node) const;
+  [[nodiscard]] std::size_t max_ranks_per_node() const;
 
   Request isend(int src, int dst, int tag, std::any payload, Offset bytes);
   Request irecv(int dst, int src, int tag);

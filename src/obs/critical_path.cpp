@@ -18,7 +18,8 @@ using sim::ProcessId;
 /// Span-name -> category table. Innermost span wins on nesting, so outer
 /// workload wrappers (write_file, write_round) only absorb their own glue.
 PathCategory categorize(const std::string& name) {
-  if (name == "shuffle_all2all" || name == "exchange") {
+  if (name == "shuffle_all2all" || name == "exchange" ||
+      name == "shuffle_intra" || name == "shuffle_inter") {
     return PathCategory::shuffle;
   }
   if (name == "write_contig" || name == "read_contig") {
@@ -407,8 +408,9 @@ void fill_consistency(const Tracer& tracer, const prof::Profiler* profiler,
   if (profiler == nullptr) return;
   const std::vector<PhaseGroup> groups = {
       {"shuffle",
-       {"shuffle_all2all", "exchange"},
-       {prof::Phase::shuffle_all2all, prof::Phase::exchange}},
+       {"shuffle_intra", "shuffle_all2all", "shuffle_inter", "exchange"},
+       {prof::Phase::shuffle_intra, prof::Phase::shuffle_all2all,
+        prof::Phase::shuffle_inter, prof::Phase::exchange}},
       {"write",
        {"write_contig", "read_contig"},
        {prof::Phase::write_contig, prof::Phase::read_contig}},

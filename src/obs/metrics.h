@@ -140,6 +140,20 @@ inline constexpr const char* kPipelineStalls = "coll.pipeline.stalls";
 inline constexpr const char* kPipelineStallNs = "coll.pipeline.stall_ns";
 inline constexpr const char* kPipelineWriteNs = "coll.pipeline.write_ns";
 inline constexpr const char* kPipelineHiddenNs = "coll.pipeline.hidden_ns";
+/// Two-level collective-write exchange (docs/two_level.md): rounds that ran
+/// the two-stage protocol and its message/byte traffic split by physical
+/// route — intra covers the stage-1 member → leader gathers plus stage-2
+/// leader → same-node-aggregator forwards (shared memory), inter covers the
+/// stage-2 leader → aggregator flows that cross nodes (NIC). Bytes are
+/// payload bytes; a leader-aggregator's self-destined bucket merges locally
+/// and is counted under neither.
+inline constexpr const char* kTwoLevelRounds = "coll.two_level.rounds";
+inline constexpr const char* kTwoLevelIntraMsgs = "coll.two_level.intra_msgs";
+inline constexpr const char* kTwoLevelIntraBytes =
+    "coll.two_level.intra_bytes";
+inline constexpr const char* kTwoLevelInterMsgs = "coll.two_level.inter_msgs";
+inline constexpr const char* kTwoLevelInterBytes =
+    "coll.two_level.inter_bytes";
 inline constexpr const char* kLockWaits = "pfs.lock.waits";
 inline constexpr const char* kLockWaitNs = "pfs.lock.wait_ns";
 inline constexpr const char* kLockHandoffs = "pfs.lock.handoffs";

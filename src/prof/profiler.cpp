@@ -12,7 +12,9 @@ const char* phase_name(Phase phase) {
     case Phase::open: return "open";
     case Phase::offset_exchange: return "offset_exchange";
     case Phase::calc: return "calc";
+    case Phase::shuffle_intra: return "shuffle_intra";
     case Phase::shuffle_all2all: return "shuffle_all2all";
+    case Phase::shuffle_inter: return "shuffle_inter";
     case Phase::exchange: return "exchange";
     case Phase::write_contig: return "write_contig";
     case Phase::post_write: return "post_write";

@@ -22,7 +22,9 @@ enum class Phase : std::size_t {
   open = 0,
   offset_exchange,    // initial access-pattern allgather
   calc,               // file-domain / request mapping computation
+  shuffle_intra,      // two-level stage 1: intra-node gather to the leader
   shuffle_all2all,    // per-round dissemination MPI_Alltoall
+  shuffle_inter,      // two-level stage 2: leaders-only data exchange
   exchange,           // isend/irecv/waitall of the data shuffle
   write_contig,       // ADIO_WriteContig (to PFS or to the cache)
   post_write,         // final error-code MPI_Allreduce

@@ -81,6 +81,7 @@ mpi::Info experiment_hints(const ExperimentSpec& spec) {
            std::to_string(spec.testbed.pfs.default_stripe_count));
   info.set("ind_wr_buffer_size", std::to_string(512 * units::KiB));
   info.set("e10_pipeline_flag", spec.pipeline ? "enable" : "disable");
+  info.set("e10_two_level_flag", spec.two_level ? "enable" : "disable");
   info.set("e10_sync_streams", std::to_string(spec.sync_streams));
   info.set("e10_flush_coalesce_flag",
            spec.flush_coalesce ? "enable" : "disable");
@@ -190,6 +191,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   inputs.config.emplace_back("sync_streams",
                              std::to_string(spec.sync_streams));
   inputs.config.emplace_back("coalesce", spec.flush_coalesce ? "on" : "off");
+  inputs.config.emplace_back("two_level", spec.two_level ? "on" : "off");
   // Output-content fingerprint: pipelined and synchronous runs of the same
   // spec must agree on it (CI asserts this).
   inputs.config.emplace_back("content_checksum",
@@ -222,6 +224,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
         write_ns > 0 ? hidden_ns / write_ns : 0.0;
     inputs.derived["write_round.stalls"] = static_cast<double>(
         metrics.counter_value(names::kPipelineStalls));
+  }
+  if (spec.two_level) {
+    // Two-level exchange traffic split (docs/two_level.md): how much of the
+    // shuffle moved over shared memory instead of the NICs.
+    inputs.derived["two_level.rounds"] = static_cast<double>(
+        metrics.counter_value(names::kTwoLevelRounds));
+    inputs.derived["two_level.intra_bytes"] = static_cast<double>(
+        metrics.counter_value(names::kTwoLevelIntraBytes));
+    inputs.derived["two_level.inter_bytes"] = static_cast<double>(
+        metrics.counter_value(names::kTwoLevelInterBytes));
   }
   inputs.derived["sync.coalesce_ratio"] = result.sync_coalesce_ratio;
   inputs.derived["sync.flush_bandwidth_gib"] =

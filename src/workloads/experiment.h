@@ -44,6 +44,11 @@ struct ExperimentSpec {
   /// flush dispatches (e10_flush_coalesce_flag); false flushes each request
   /// separately for ablations.
   bool flush_coalesce = true;
+  /// Two-level collective-write exchange (e10_two_level_flag,
+  /// docs/two_level.md): gather each node's contributions to the node
+  /// leader over shared memory before a leaders-only inter-node exchange.
+  /// false keeps the flat p-to-A shuffle.
+  bool two_level = false;
   /// Fault scenario armed on the platform before the run (empty = none).
   fault::FaultPlan faults;
   /// Record a Chrome trace of this run (ExperimentResult::trace_json).

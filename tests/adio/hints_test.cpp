@@ -92,6 +92,25 @@ TEST(Hints, RoundTripThroughInfo) {
   EXPECT_EQ(again.e10_cache_flush_flag, FlushFlag::flush_onclose);
 }
 
+TEST(Hints, TwoLevelFlagParsesAndEchoes) {
+  // Default: disable — flat collective write, bit-for-bit.
+  EXPECT_EQ(Hints().e10_two_level, Toggle::disable);
+  mpi::Info info;
+  info.set("e10_two_level_flag", "automatic");
+  const Hints h = Hints::parse(info).value();
+  EXPECT_EQ(h.e10_two_level, Toggle::automatic);
+  // Echo round-trips through MPI_File_get_info.
+  const Hints again = Hints::parse(h.to_info()).value();
+  EXPECT_EQ(again.e10_two_level, Toggle::automatic);
+
+  mpi::Info on;
+  on.set("e10_two_level_flag", "enable");
+  EXPECT_EQ(Hints::parse(on).value().e10_two_level, Toggle::enable);
+  mpi::Info bad;
+  bad.set("e10_two_level_flag", "sometimes");
+  EXPECT_FALSE(Hints::parse(bad).is_ok());
+}
+
 TEST(Hints, TbwFlushNoneParses) {
   mpi::Info info;
   info.set("e10_cache_flush_flag", "none");

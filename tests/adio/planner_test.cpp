@@ -153,5 +153,117 @@ TEST(RoundPlanner, MatchesTheLegacyPlanningLoop) {
   EXPECT_LT(max_round, planner.rounds());
 }
 
+TEST(RoundPlanner, NodeAwarePlanIsFlatWhenDisabled) {
+  // e10_two_level_flag=disable must reproduce the flat plan bit-for-bit.
+  const Extent region{4097, 33 * MiB + 131};
+  const std::vector<std::size_t> nodes{0, 0, 1, 1, 2};  // rpn > 1
+  RoundPlanner flat(region, nodes.size(), 3 * MiB, std::nullopt);
+  RoundPlanner off(region, nodes, 3 * MiB, std::nullopt, /*two_level=*/false);
+  EXPECT_EQ(off.domains(), flat.domains());
+  EXPECT_EQ(off.rounds(), flat.rounds());
+}
+
+TEST(RoundPlanner, NodeAwarePlanIsFlatWithOneRankPerNode) {
+  // Every aggregator on its own node: nothing to gather intra-node, so the
+  // two-level constructor must fall back to the flat split.
+  const Extent region{0, 17 * MiB + 513};
+  const std::vector<std::size_t> nodes{0, 1, 2, 3};
+  RoundPlanner flat(region, nodes.size(), 4 * MiB, std::nullopt);
+  RoundPlanner two(region, nodes, 4 * MiB, std::nullopt, /*two_level=*/true);
+  EXPECT_EQ(two.domains(), flat.domains());
+  EXPECT_EQ(two.rounds(), flat.rounds());
+}
+
+TEST(RoundPlanner, NodeAwarePlanDelegatesToStripeAlignmentWhenSet) {
+  // align_unit set: the BeeGFS stripe-aligned flat split wins over the
+  // node grouping (no stripe false-sharing trumps locality).
+  const Extent region{4097, 33 * MiB + 131};
+  const std::vector<std::size_t> nodes{0, 0, 0, 1, 1};
+  RoundPlanner flat(region, nodes.size(), 3 * MiB, 4 * MiB);
+  RoundPlanner two(region, nodes, 3 * MiB, 4 * MiB, /*two_level=*/true);
+  EXPECT_EQ(two.domains(), flat.domains());
+  EXPECT_EQ(two.rounds(), flat.rounds());
+}
+
+TEST(RoundPlanner, NodeAwareDomainsCoverRegionExactlyUnevenNodes) {
+  // Uneven node groups and a tiny collective buffer: the node-aware domains
+  // must still tile the region — contiguous, ascending, every byte once —
+  // and stay cb-block-quantized except at the file tail.
+  const Extent region{12345, 5 * MiB + 6789};
+  const std::vector<std::size_t> nodes{0, 0, 0, 1, 1, 2};
+  const Offset cb = 256 * KiB;
+  const auto domains = partition_node_aware_domains(region, nodes, cb,
+                                                    std::nullopt);
+  ASSERT_EQ(domains.size(), nodes.size());
+  Offset cursor = region.offset;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    EXPECT_EQ(domains[i].offset, cursor);
+    if (i + 1 < domains.size()) {
+      // Interior boundaries land on whole collective-buffer blocks.
+      EXPECT_EQ(domains[i].length % cb, 0) << "domain " << i;
+    }
+    cursor = domains[i].end();
+  }
+  EXPECT_EQ(cursor, region.end());
+
+  // The planner's round windows over those domains must partition the
+  // region exactly, in file order.
+  RoundPlanner planner(region, nodes, cb, std::nullopt, /*two_level=*/true);
+  EXPECT_EQ(planner.domains(), domains);
+  const auto windows = collect(planner, {region});
+  Offset pos = region.offset;
+  for (const auto& [round, agg, off, len] : windows) {
+    EXPECT_EQ(off, pos);
+    EXPECT_GT(len, 0);
+    ASSERT_LT(agg, domains.size());
+    EXPECT_GE(off, domains[agg].offset);
+    EXPECT_LE(off + len, domains[agg].end());
+    EXPECT_EQ(round, (off - domains[agg].offset) / cb);
+    EXPECT_LE(len, cb);  // no window exceeds a collective buffer
+    pos += len;
+  }
+  EXPECT_EQ(pos, region.end());
+}
+
+TEST(RoundPlanner, NodeAwareSharesAreProportionalToGroupSize) {
+  // 3 aggregators on node 0, 1 on node 1: node 0's group serves a
+  // contiguous span roughly three times node 1's, in whole cb blocks.
+  const Extent region{0, 16 * MiB};
+  const std::vector<std::size_t> nodes{0, 0, 0, 1};
+  const Offset cb = 1 * MiB;
+  const auto domains = partition_node_aware_domains(region, nodes, cb,
+                                                    std::nullopt);
+  ASSERT_EQ(domains.size(), 4u);
+  const Offset node0 = domains[0].length + domains[1].length +
+                       domains[2].length;
+  const Offset node1 = domains[3].length;
+  EXPECT_EQ(node0, 12 * MiB);
+  EXPECT_EQ(node1, 4 * MiB);
+  // Same-node aggregators form one contiguous span.
+  EXPECT_EQ(domains[0].end(), domains[1].offset);
+  EXPECT_EQ(domains[1].end(), domains[2].offset);
+}
+
+TEST(RoundPlanner, NodeAwareTinyRegionLeavesSomeDomainsEmpty) {
+  // Region smaller than one cb block per aggregator: some domains collapse
+  // to empty, but coverage and ordering of the rest still hold.
+  const Extent region{512, 100 * KiB};
+  const std::vector<std::size_t> nodes{0, 0, 1, 1};
+  const auto domains = partition_node_aware_domains(region, nodes, 64 * KiB,
+                                                    std::nullopt);
+  ASSERT_EQ(domains.size(), 4u);
+  Offset total = 0;
+  Offset cursor = region.offset;
+  for (const Extent& dom : domains) {
+    if (!dom.empty()) {
+      EXPECT_EQ(dom.offset, cursor);
+      cursor = dom.end();
+    }
+    total += dom.length;
+  }
+  EXPECT_EQ(total, region.length);
+  EXPECT_EQ(cursor, region.end());
+}
+
 }  // namespace
 }  // namespace e10::adio
