@@ -1,0 +1,136 @@
+// DES engine hot-path benchmark: host-side cost of the scheduler itself.
+//
+// Runs the paper's 512-rank coll_perf sweep (the same specs bench_collperf
+// executes) and reports, per (combo, cache case):
+//   - host wall time for the whole experiment (the only wall-clock use in
+//     the tree lives here in the bench layer; src/ stays deterministic)
+//   - the engine's deterministic self-metrics (events, fiber switches,
+//     spawned processes, peak ready depth, recycled fiber stacks)
+//   - host events/sec, the engine throughput figure the PR-level
+//     comparisons in results/BENCH_engine.json track
+//   - the run's virtual io_time, bandwidth and content checksum, so two
+//     builds can be diffed for bit-identical simulation results while
+//     comparing host time.
+//
+// Flags are shared with the other benches (see bench_common.h); typical:
+//   bench_engine --files=4 --report=results/engine_report.json
+//   bench_engine --quick --combos=8_4m --cases=enabled
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "workloads/experiment.h"
+#include "workloads/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace e10;
+  using workloads::CacheCase;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+  const auto sweep = bench::sweep_for(options);
+
+  std::printf("## engine hot path: coll_perf sweep%s\n",
+              options.quick ? " [QUICK scale]" : "");
+  std::printf("%-10s %-18s %9s %12s %12s %11s %10s %8s %12s\n", "combo",
+              "case", "host_s", "events", "switches", "events/s",
+              "ready_hwm", "spawned", "virt_io_s");
+  std::fflush(stdout);
+
+  obs::Json rows = obs::Json::array();
+  double total_host_s = 0.0;
+  for (const CacheCase cache_case :
+       {CacheCase::disabled, CacheCase::enabled, CacheCase::theoretical}) {
+    if (!options.case_selected(cache_case)) continue;
+    for (const auto& [aggregators, cb] : sweep) {
+      workloads::ExperimentSpec spec;
+      spec.testbed = bench::testbed_for(options);
+      spec.aggregators = aggregators;
+      spec.cb_buffer_size = cb;
+      spec.cache_case = cache_case;
+      spec.pipeline = options.pipeline;
+      spec.sync_streams = options.sync_streams;
+      spec.flush_coalesce = options.coalesce;
+      spec.two_level = options.two_level;
+      spec.workflow.base_path = "/pfs/coll_perf";
+      spec.workflow.num_files = options.files;
+      spec.workflow.compute_delay = bench::compute_delay_for(options);
+      spec.workflow.include_last_phase = false;
+      spec.check_concurrency = options.check_concurrency;
+      if (!options.combo_selected(workloads::combo_label(spec))) continue;
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const workloads::ExperimentResult result = workloads::run_experiment(
+          spec, [](const workloads::TestbedParams& testbed) {
+            const int ranks = static_cast<int>(testbed.compute_nodes *
+                                               testbed.ranks_per_node);
+            return std::make_unique<workloads::CollPerfWorkload>(
+                workloads::collperf_paper_params(ranks));
+          });
+      const double host_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      total_host_s += host_s;
+
+      const sim::EngineStats& stats = result.engine_stats;
+      const double events_per_s =
+          host_s > 0 ? static_cast<double>(stats.events) / host_s : 0.0;
+      const double virt_io_s = units::to_seconds(result.workflow.io_time);
+      std::printf(
+          "%-10s %-18s %9.3f %12llu %12llu %11.0f %10llu %8llu %12.3f\n",
+          result.combo.c_str(), workloads::to_string(cache_case), host_s,
+          static_cast<unsigned long long>(stats.events),
+          static_cast<unsigned long long>(stats.switches), events_per_s,
+          static_cast<unsigned long long>(stats.max_ready_depth),
+          static_cast<unsigned long long>(stats.spawned), virt_io_s);
+      std::fflush(stdout);
+      if (options.check_concurrency &&
+          (result.analysis_races > 0 || result.analysis_cycles > 0)) {
+        std::fprintf(stderr, "  concurrency: %zu races, %zu cycles in %s %s\n",
+                     result.analysis_races, result.analysis_cycles,
+                     workloads::to_string(cache_case), result.combo.c_str());
+      }
+
+      obs::Json row = obs::Json::object();
+      row.set("combo", obs::Json::str(result.combo));
+      row.set("cache_case",
+              obs::Json::str(workloads::to_string(cache_case)));
+      row.set("host_s", obs::Json::number(host_s));
+      row.set("events",
+              obs::Json::number(static_cast<double>(stats.events)));
+      row.set("switches",
+              obs::Json::number(static_cast<double>(stats.switches)));
+      row.set("spawned",
+              obs::Json::number(static_cast<double>(stats.spawned)));
+      row.set("max_ready_depth",
+              obs::Json::number(static_cast<double>(stats.max_ready_depth)));
+      row.set("stack_reuses",
+              obs::Json::number(static_cast<double>(stats.stack_reuses)));
+      row.set("events_per_sec", obs::Json::number(events_per_s));
+      row.set("virtual_io_time_s", obs::Json::number(virt_io_s));
+      row.set("bandwidth_gib", obs::Json::number(result.bandwidth_gib));
+      row.set("content_checksum", obs::Json::str(result.content_checksum));
+      if (options.check_concurrency) {
+        row.set("analysis_races",
+                obs::Json::number(static_cast<double>(result.analysis_races)));
+        row.set("analysis_cycles", obs::Json::number(static_cast<double>(
+                                       result.analysis_cycles)));
+      }
+      rows.push(std::move(row));
+    }
+  }
+  std::printf("\ntotal host time: %.3f s\n", total_host_s);
+  std::fflush(stdout);
+
+  if (!options.report_path.empty()) {
+    if (const Status s = obs::write_json_file(options.report_path, rows);
+        !s.is_ok()) {
+      std::fprintf(stderr, "failed to write report to %s: %s\n",
+                   options.report_path.c_str(), s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "report written to %s\n",
+                 options.report_path.c_str());
+  }
+  return 0;
+}

@@ -39,7 +39,10 @@ using e10::fuzz::ShrinkResult;
 struct Options {
   std::uint64_t seed = 1;
   int runs = 200;
-  int max_ranks = 8;
+  /// Rank ceiling per scenario. 32 since the engine hot-path work — the
+  /// allocation-free scheduler keeps even the biggest scenarios fast
+  /// enough for the 200-run CI smoke.
+  int max_ranks = 32;
   int crash_every = 3;  // every crash_every'th scenario gets a crash point
   std::string out_dir = ".";
   std::string replay_path;
@@ -108,7 +111,10 @@ Options parse_options(int argc, char** argv) {
 
 ScenarioLimits limits_for(const Options& opt) {
   ScenarioLimits limits;
-  limits.max_ranks_per_node = opt.max_ranks >= 4 ? 2 : 1;
+  // Multi-rank nodes whenever the budget allows: they cover the shared
+  // per-node cache and intra-node exchange paths single-rank nodes skip.
+  limits.max_ranks_per_node =
+      opt.max_ranks >= 16 ? 4 : (opt.max_ranks >= 4 ? 2 : 1);
   limits.max_nodes = std::max<std::size_t>(
       1, static_cast<std::size_t>(opt.max_ranks) / limits.max_ranks_per_node);
   return limits;

@@ -1,0 +1,261 @@
+// Scale sweep: collective write at 2048 / 4096 / 8192 ranks.
+//
+// The paper's testbed stops at 512 ranks; this bench grows the same
+// coll_perf collective-write point to probe where the simulated PFS hits
+// its per-server ceiling (PfsParams::server_bandwidth, 2 GB/s in the
+// DEEP-ER config) and how stripe lock-table traffic scales with the rank
+// count. Every point runs twice — stripe-aligned file domains (64
+// aggregators, lock table quiet, servers saturated) and misaligned domains
+// (48 aggregators, neighbouring aggregators false-share boundary stripes)
+// — and with the causal critical-path analyzer attached, so the end-to-end
+// time is attributed to phases/resources rather than guessed at.
+//
+// Per point it reports:
+//   - host wall time and the engine's deterministic self-metrics
+//     (events, switches, peak ready depth) plus derived host events/sec —
+//     the DES-engine throughput figures the 8192-rank acceptance gate uses
+//   - virtual io time, perceived bandwidth, content checksum
+//   - per-server device utilisation: bytes written, busy seconds, achieved
+//     bandwidth vs the configured ceiling
+//   - stripe lock-table contention: waits, total wait seconds, handoffs
+//   - the critical-path bottleneck category and attributed fraction (the
+//     full attribution table is printed for the largest point)
+//
+// Flags (shared parser, see bench_common.h): --quick runs only the
+// 2048-rank point; --cases=<one case> overrides the default cache_disabled
+// (the case that exercises the servers and lock table directly);
+// --check-concurrency, --report=PATH, --pipeline/--two-level/... as usual.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/json.h"
+#include "obs/report.h"
+#include "workloads/experiment.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace e10;
+
+struct ScalePoint {
+  int ranks;
+  std::array<Offset, 3> grid;  // product must equal ranks
+};
+
+/// Per-rank block stays the paper's {4, 16, 131072} x 8 B = 64 MiB; the
+/// process grid grows instead, so every point writes ranks x 64 MiB.
+constexpr ScalePoint kPoints[] = {
+    {2048, {8, 16, 16}},
+    {4096, {16, 16, 16}},
+    {8192, {16, 16, 32}},
+};
+
+const obs::Json* report_counters(const workloads::ExperimentResult& result) {
+  const obs::Json* metrics = result.report.find("metrics");
+  return metrics != nullptr ? metrics->find("counters") : nullptr;
+}
+
+double counter_or_zero(const obs::Json* counters, const std::string& name) {
+  if (counters == nullptr) return 0.0;
+  const obs::Json* v = counters->find(name);
+  return v != nullptr ? v->as_number() : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using workloads::CacheCase;
+  const auto options = bench::BenchOptions::parse(argc, argv);
+
+  // Default to the cache-disabled case: every byte goes straight through
+  // the stripe lock table to the data servers, which is what this sweep is
+  // probing. --cases can select the cache cases instead.
+  CacheCase cache_case = CacheCase::disabled;
+  for (const CacheCase c : {CacheCase::disabled, CacheCase::enabled,
+                            CacheCase::theoretical}) {
+    if (options.case_selected(c)) {
+      cache_case = c;
+      break;
+    }
+  }
+
+  // Two aggregator configurations per point, 64 MiB buffers throughout:
+  //   - aligned: 64 aggregators. Every file domain is a multiple of the
+  //     4 MiB stripe, so no two aggregators ever touch the same stripe and
+  //     the lock table stays quiet — the configuration that isolates the
+  //     per-server bandwidth ceiling.
+  //   - misaligned: 48 aggregators. ranks x 64 MiB never splits into 48
+  //     stripe-multiple domains, so neighbouring aggregators false-share
+  //     boundary stripes every round — the configuration that exercises
+  //     the stripe lock table (handoff revoke/regrant per shared stripe).
+  struct Variant {
+    const char* name;
+    int aggregators;
+  };
+  constexpr Variant kVariants[] = {{"aligned", 64}, {"misaligned", 48}};
+  constexpr Offset kCbBuffer = 64 * units::MiB;
+
+  std::printf("## scale sweep: coll_perf collective write, %s, cb=64m%s\n",
+              workloads::to_string(cache_case),
+              options.quick ? " [QUICK: 2048 only]" : "");
+  std::printf("%7s %-11s %9s %13s %11s %9s %9s %10s %8s\n", "ranks",
+              "domains", "host_s", "events", "events/s", "ready_hwm",
+              "virt_io_s", "bw_gib", "checksum");
+  std::fflush(stdout);
+
+  struct Run {
+    ScalePoint point;
+    Variant variant;
+  };
+  std::vector<Run> runs;
+  for (const ScalePoint& point : kPoints) {
+    if (options.quick && point.ranks > 2048) continue;
+    for (const Variant& variant : kVariants) runs.push_back({point, variant});
+  }
+
+  obs::Json rows = obs::Json::array();
+  std::string last_path_table;
+  for (const Run& run : runs) {
+    const ScalePoint& point = run.point;
+    const Variant& variant = run.variant;
+    workloads::ExperimentSpec spec;
+    spec.testbed = workloads::deep_er_testbed();
+    spec.testbed.compute_nodes = static_cast<std::size_t>(point.ranks) / 8;
+    spec.testbed.ranks_per_node = 8;
+    spec.aggregators = variant.aggregators;
+    spec.cb_buffer_size = kCbBuffer;
+    spec.cache_case = cache_case;
+    spec.pipeline = options.pipeline;
+    spec.sync_streams = options.sync_streams;
+    spec.flush_coalesce = options.coalesce;
+    spec.two_level = options.two_level;
+    spec.workflow.base_path = "/pfs/coll_perf";
+    spec.workflow.num_files = 1;  // one write point per scale, not a campaign
+    spec.workflow.compute_delay = 0;
+    spec.workflow.include_last_phase = false;
+    spec.critical_path = true;
+    spec.check_concurrency = options.check_concurrency;
+
+    const workloads::CollPerfWorkload::Params params{point.grid,
+                                                     {4, 16, 131072}, 8};
+    const auto t0 = std::chrono::steady_clock::now();
+    const workloads::ExperimentResult result = workloads::run_experiment(
+        spec, [&params](const workloads::TestbedParams&) {
+          return std::make_unique<workloads::CollPerfWorkload>(params);
+        });
+    const double host_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const sim::EngineStats& stats = result.engine_stats;
+    const double events_per_s =
+        host_s > 0 ? static_cast<double>(stats.events) / host_s : 0.0;
+    const double virt_io_s = units::to_seconds(result.workflow.io_time);
+    std::printf("%7d %-11s %9.2f %13llu %11.0f %9llu %9.3f %10.3f %8s\n",
+                point.ranks, variant.name, host_s,
+                static_cast<unsigned long long>(stats.events), events_per_s,
+                static_cast<unsigned long long>(stats.max_ready_depth),
+                virt_io_s, result.bandwidth_gib,
+                result.content_checksum.c_str());
+
+    // Per-server device attribution, straight from the exported counters.
+    const obs::Json* counters = report_counters(result);
+    obs::Json servers = obs::Json::array();
+    std::printf("        %-8s %14s %10s %12s\n", "server", "bytes_written",
+                "busy_s", "bw_gib/s");
+    for (int s = 0;; ++s) {
+      const std::string prefix =
+          "pfs.server." + std::to_string(s) + ".device.";
+      if (counters == nullptr ||
+          counters->find(prefix + "busy_ns") == nullptr) {
+        break;
+      }
+      const double busy_s =
+          counter_or_zero(counters, prefix + "busy_ns") * 1e-9;
+      const double bytes = counter_or_zero(counters, prefix + "bytes_written");
+      const double bw_gib =
+          busy_s > 0 ? bytes / static_cast<double>(units::GiB) / busy_s : 0.0;
+      std::printf("        %-8d %14.0f %10.3f %12.3f\n", s, bytes, busy_s,
+                  bw_gib);
+      obs::Json server = obs::Json::object();
+      server.set("server", obs::Json::number(s));
+      server.set("bytes_written", obs::Json::number(bytes));
+      server.set("busy_s", obs::Json::number(busy_s));
+      server.set("bandwidth_gib", obs::Json::number(bw_gib));
+      servers.push(std::move(server));
+    }
+
+    const double lock_waits = counter_or_zero(counters, "pfs.lock.waits");
+    const double lock_wait_s =
+        counter_or_zero(counters, "pfs.lock.wait_ns") * 1e-9;
+    const double lock_handoffs =
+        counter_or_zero(counters, "pfs.lock.handoffs");
+    std::printf(
+        "        locks: %.0f waits, %.3f s total wait, %.0f handoffs\n",
+        lock_waits, lock_wait_s, lock_handoffs);
+    std::printf("        critical path: %s (%.0f%% attributed)\n",
+                result.bottleneck.c_str(),
+                100.0 * result.attributed_fraction);
+    if (options.check_concurrency) {
+      std::printf("        concurrency: %zu races, %zu cycles\n",
+                  result.analysis_races, result.analysis_cycles);
+    }
+    std::fflush(stdout);
+    last_path_table = result.critical_path_text;
+
+    obs::Json row = obs::Json::object();
+    row.set("ranks", obs::Json::number(point.ranks));
+    row.set("domains", obs::Json::str(variant.name));
+    row.set("aggregators", obs::Json::number(variant.aggregators));
+    row.set("cache_case", obs::Json::str(workloads::to_string(cache_case)));
+    row.set("host_s", obs::Json::number(host_s));
+    row.set("events", obs::Json::number(static_cast<double>(stats.events)));
+    row.set("switches",
+            obs::Json::number(static_cast<double>(stats.switches)));
+    row.set("spawned", obs::Json::number(static_cast<double>(stats.spawned)));
+    row.set("max_ready_depth",
+            obs::Json::number(static_cast<double>(stats.max_ready_depth)));
+    row.set("stack_reuses",
+            obs::Json::number(static_cast<double>(stats.stack_reuses)));
+    row.set("events_per_sec", obs::Json::number(events_per_s));
+    row.set("virtual_io_time_s", obs::Json::number(virt_io_s));
+    row.set("bandwidth_gib", obs::Json::number(result.bandwidth_gib));
+    row.set("content_checksum", obs::Json::str(result.content_checksum));
+    row.set("servers", std::move(servers));
+    obs::Json locks = obs::Json::object();
+    locks.set("waits", obs::Json::number(lock_waits));
+    locks.set("wait_s", obs::Json::number(lock_wait_s));
+    locks.set("handoffs", obs::Json::number(lock_handoffs));
+    row.set("locks", std::move(locks));
+    row.set("bottleneck", obs::Json::str(result.bottleneck));
+    row.set("attributed_fraction",
+            obs::Json::number(result.attributed_fraction));
+    if (options.check_concurrency) {
+      row.set("analysis_races",
+              obs::Json::number(static_cast<double>(result.analysis_races)));
+      row.set("analysis_cycles",
+              obs::Json::number(static_cast<double>(result.analysis_cycles)));
+    }
+    rows.push(std::move(row));
+  }
+
+  if (!last_path_table.empty()) {
+    std::printf("\n## critical-path attribution (largest point)\n%s\n",
+                last_path_table.c_str());
+  }
+  if (!options.report_path.empty()) {
+    if (const Status s = obs::write_json_file(options.report_path, rows);
+        !s.is_ok()) {
+      std::fprintf(stderr, "failed to write report to %s: %s\n",
+                   options.report_path.c_str(), s.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "report written to %s\n",
+                 options.report_path.c_str());
+  }
+  return 0;
+}

@@ -4,11 +4,11 @@
 // mode blocks on in-transit extents inside read_contig.
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <optional>
 
 #include "adio/adio_file.h"
 #include "adio/pipeline.h"
+#include "adio/round_plan.h"
 
 namespace e10::adio {
 
@@ -93,25 +93,29 @@ Result<std::vector<DataView>> read_strided_coll(
 
   // Which (aggregator, round) serves each part of my request list. Sorted
   // requests keep the planner's domain cursor monotonic.
-  std::vector<std::map<std::size_t, std::vector<Extent>>> plan(
-      static_cast<std::size_t>(ntimes));
+  std::vector<RoundPlan<Extent>> plan(static_cast<std::size_t>(ntimes));
   for (const Extent& want : sorted) {
     planner.split(want, [&](Offset round, std::size_t agg_index,
                             const Extent& sub) {
-      plan[static_cast<std::size_t>(round)][agg_index].push_back(sub);
+      plan_append(plan, round, agg_index, sub);
     });
   }
 
   Status my_status = Status::ok();
   ByteStore assembled;  // pieces land here, keyed by file offset
 
+  // Round-persistent exchange buffers (entries touched by a round are
+  // cleared sparsely afterwards, so the steady state allocates nothing).
+  std::vector<std::vector<Extent>> requests_by_rank(
+      static_cast<std::size_t>(p));
+  std::vector<mpi::Request> recv_requests;
+  std::vector<mpi::Request> send_requests;
+
   for (Offset round = 0; round < ntimes; ++round) {
     auto& round_plan = plan[static_cast<std::size_t>(round)];
 
     // Dissemination: every rank tells every aggregator which extents it
     // wants this round (the read-side analogue of the alltoall).
-    std::vector<std::vector<Extent>> requests_by_rank(
-        static_cast<std::size_t>(p));
     for (const auto& [agg_index, extents] : round_plan) {
       requests_by_rank[static_cast<std::size_t>(
           fd.aggregators[agg_index])] = extents;
@@ -121,18 +125,20 @@ Result<std::vector<DataView>> read_strided_coll(
       PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
       incoming = comm.alltoall(requests_by_rank, 2 * sizeof(Offset) * 4);
     }
+    for (const auto& [agg_index, extents] : round_plan) {
+      requests_by_rank[static_cast<std::size_t>(fd.aggregators[agg_index])]
+          .clear();
+    }
 
     // Post receives for the data I asked for.
-    std::vector<mpi::Request> recv_requests;
-    std::vector<std::size_t> recv_agg;
+    recv_requests.clear();
     for (const auto& [agg_index, extents] : round_plan) {
       recv_requests.push_back(
           comm.irecv(fd.aggregators[agg_index], static_cast<int>(round)));
-      recv_agg.push_back(agg_index);
     }
 
     // Aggregator: read the covering window once, slice per requester.
-    std::vector<mpi::Request> send_requests;
+    send_requests.clear();
     if (fd.is_aggregator()) {
       std::vector<ReadChunk> chunks;
       Offset lo = kNoOffset, hi = -1;
@@ -148,8 +154,10 @@ Result<std::vector<DataView>> read_strided_coll(
         if (!window.is_ok()) {
           if (my_status.is_ok()) my_status = window.status();
         } else {
-          // Group the chunks per requester and answer each with one message.
-          std::map<int, std::vector<mpi::IoPiece>> replies;
+          // Group the chunks per requester and answer each with one
+          // message. Chunks were collected in ascending source order, so
+          // a flat append-grouped list matches the old map's iteration.
+          std::vector<std::pair<int, std::vector<mpi::IoPiece>>> replies;
           for (const ReadChunk& chunk : chunks) {
             mpi::IoPiece piece;
             piece.file = chunk.extent;
@@ -167,7 +175,11 @@ Result<std::vector<DataView>> read_strided_coll(
                   std::byte{0})));
             }
             piece.data = DataView::concat(parts);
-            replies[chunk.requester].push_back(std::move(piece));
+            if (replies.empty() || replies.back().first != chunk.requester) {
+              replies.emplace_back(chunk.requester,
+                                   std::vector<mpi::IoPiece>{});
+            }
+            replies.back().second.push_back(std::move(piece));
           }
           for (auto& [dst, pieces] : replies) {
             Offset bytes = 0;

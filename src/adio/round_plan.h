@@ -1,0 +1,72 @@
+// Flat per-round exchange plans for the two-phase collective paths.
+//
+// The seed kept each round's outgoing work in a
+// std::map<std::size_t /*agg*/, std::vector<T>> — one red-black tree per
+// (rank, round), allocated, filled, iterated once and thrown away. The
+// RoundPlanner's split() callback emits in file order, which is ascending
+// (aggregator, round-within-aggregator): for any fixed round the buckets
+// arrive in ascending aggregator order, already grouped. A plan is
+// therefore a plain vector of buckets sorted by agg_index, built by
+// appending — iteration order is identical to the map's (ascending
+// agg_index), so message ordering and virtual time are unchanged, and the
+// deterministic-iteration lint rule stays satisfied.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10::adio {
+
+/// One round's items destined for a single aggregator.
+template <typename T>
+struct AggBucket {
+  std::size_t agg_index = 0;
+  std::vector<T> items;
+};
+
+/// A round's buckets, ascending by agg_index (the map's iteration order).
+template <typename T>
+using RoundPlan = std::vector<AggBucket<T>>;
+
+/// Appends an item to plan[round]'s bucket for agg_index, creating the
+/// bucket if needed. Correct only for the RoundPlanner emission order
+/// (ascending agg_index per round), which makes every bucket's items a
+/// single append streak.
+template <typename T>
+void plan_append(std::vector<RoundPlan<T>>& plan, Offset round,
+                 std::size_t agg_index, T item) {
+  RoundPlan<T>& rp = plan[static_cast<std::size_t>(round)];
+  if (rp.empty() || rp.back().agg_index != agg_index) {
+    rp.push_back(AggBucket<T>{agg_index, {}});
+  }
+  rp.back().items.push_back(std::move(item));
+}
+
+/// Merges src's buckets into dst (both ascending by agg_index), appending
+/// src's items after dst's per bucket — the same result order as the old
+/// map-based merge, where each contributor's pieces landed behind the
+/// previous contributor's.
+template <typename T>
+void plan_merge(RoundPlan<T>& dst, RoundPlan<T>&& src) {
+  for (AggBucket<T>& bucket : src) {
+    const auto it = std::lower_bound(
+        dst.begin(), dst.end(), bucket.agg_index,
+        [](const AggBucket<T>& b, std::size_t agg) {
+          return b.agg_index < agg;
+        });
+    if (it != dst.end() && it->agg_index == bucket.agg_index) {
+      it->items.insert(it->items.end(),
+                       std::make_move_iterator(bucket.items.begin()),
+                       std::make_move_iterator(bucket.items.end()));
+    } else {
+      dst.insert(it, std::move(bucket));
+    }
+  }
+}
+
+}  // namespace e10::adio

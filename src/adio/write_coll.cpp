@@ -27,12 +27,12 @@
 // off takes the flat path below, bit for bit.
 #include <algorithm>
 #include <limits>
-#include <map>
 #include <optional>
 #include <utility>
 
 #include "adio/adio_file.h"
 #include "adio/pipeline.h"
+#include "adio/round_plan.h"
 #include "common/log.h"
 
 namespace e10::adio {
@@ -147,7 +147,7 @@ Status write_strided_coll(AdioFile& fd,
 
   Offset ntimes = 0;
   std::vector<Extent> domains;
-  std::vector<std::map<std::size_t, std::vector<mpi::IoPiece>>> plan;
+  std::vector<RoundPlan<mpi::IoPiece>> plan;
   {
     PhaseScope scope(ctx, me, prof::Phase::calc);
 
@@ -176,8 +176,7 @@ Status write_strided_coll(AdioFile& fd,
         part.file = sub;
         part.data = piece.data.slice(sub.offset - piece.file.offset,
                                      sub.length);
-        plan[static_cast<std::size_t>(round)][agg_index].push_back(
-            std::move(part));
+        plan_append(plan, round, agg_index, std::move(part));
       });
     }
   }
@@ -265,6 +264,15 @@ Status write_strided_coll(AdioFile& fd,
   };
 
   WritePipeline pipeline(fd, fd.hints.e10_pipeline);
+  // Round-persistent exchange buffers: the counts vectors, the request
+  // list, and the aggregator's receive staging survive across rounds so
+  // the steady state allocates nothing. send_counts carries only this
+  // round's nonzero (aggregator, bytes) pairs, and only aggregators ask
+  // the alltoall to materialize recv_counts.
+  std::vector<std::pair<int, Offset>> send_counts;
+  std::vector<Offset> recv_counts;
+  std::vector<mpi::Request> requests;
+  std::vector<mpi::IoPiece> received;
   for (Offset round = 0; round < ntimes; ++round) {
     const Time tr0 = ctx.engine.now();
     auto& round_plan = plan[static_cast<std::size_t>(round)];
@@ -278,12 +286,14 @@ Status write_strided_coll(AdioFile& fd,
                      static_cast<std::int64_t>(pipeline.enabled() ? 1 : 0));
     }
 
-    std::vector<Offset> send_counts(static_cast<std::size_t>(p), 0);
     Offset round_send_bytes = 0;
+    send_counts.clear();
     for (const auto& [agg_index, pieces] : round_plan) {
       Offset bytes = 0;
       for (const mpi::IoPiece& piece : pieces) bytes += piece.file.length;
-      send_counts[static_cast<std::size_t>(fd.aggregators[agg_index])] = bytes;
+      if (!fd.two_level) {
+        send_counts.emplace_back(fd.aggregators[agg_index], bytes);
+      }
       round_send_bytes += bytes;
       // The per-sender histogram: flat mode observes every rank's per-
       // aggregator flow; two-level mode observes the leaders' merged flows
@@ -294,10 +304,10 @@ Status write_strided_coll(AdioFile& fd,
 
     if (!fd.two_level) {
       // ---- Flat exchange (classic ext2ph) --------------------------------
-      std::vector<Offset> recv_counts;
       {
         PhaseScope scope(ctx, me, prof::Phase::shuffle_all2all);
-        recv_counts = comm.alltoall(send_counts, sizeof(Offset));
+        comm.alltoall_counts(send_counts,
+                             fd.is_aggregator() ? &recv_counts : nullptr);
       }
 
       // The shuffle lands in a collective buffer; with the pipeline enabled
@@ -305,7 +315,7 @@ Status write_strided_coll(AdioFile& fd,
       // is reused for this round's receives.
       pipeline.acquire_buffer();
 
-      std::vector<mpi::Request> requests;
+      requests.clear();
       std::size_t nrecv = 0;
       if (fd.is_aggregator()) {
         for (int src = 0; src < p; ++src) {
@@ -331,7 +341,7 @@ Status write_strided_coll(AdioFile& fd,
 
       const Time tr1 = ctx.engine.now();
       if (fd.is_aggregator() && nrecv > 0) {
-        std::vector<mpi::IoPiece> received;
+        received.clear();
         for (std::size_t i = 0; i < nrecv; ++i) {
           auto pieces = std::any_cast<std::vector<mpi::IoPiece>>(
               requests[i].packet().payload);
@@ -363,7 +373,7 @@ Status write_strided_coll(AdioFile& fd,
     // Stage 1: gather this node's buckets to the leader (shared memory).
     // Members always send — possibly an empty bucket — so the leader's
     // per-member receive matching stays deterministic.
-    std::map<std::size_t, std::vector<mpi::IoPiece>> merged;
+    RoundPlan<mpi::IoPiece> merged;
     if (me != my_leader) {
       PhaseScope scope(ctx, me, prof::Phase::shuffle_intra);
       mpi::Request req = comm.isend(my_leader, tag_gather,
@@ -389,13 +399,8 @@ Status write_strided_coll(AdioFile& fd,
       // rank on the node) contributed first via the move above.
       for (mpi::Request& req : gathers) {
         auto bucket =
-            std::any_cast<std::map<std::size_t, std::vector<mpi::IoPiece>>>(
-                req.packet().payload);
-        for (auto& [agg_index, pieces] : bucket) {
-          auto& dst = merged[agg_index];
-          dst.insert(dst.end(), std::make_move_iterator(pieces.begin()),
-                     std::make_move_iterator(pieces.end()));
-        }
+            std::any_cast<RoundPlan<mpi::IoPiece>>(req.packet().payload);
+        plan_merge(merged, std::move(bucket));
       }
     }
 
@@ -418,7 +423,7 @@ Status write_strided_coll(AdioFile& fd,
     std::vector<mpi::Request> manifests;
     std::vector<int> manifest_src;  // leader world rank per manifest
     std::vector<mpi::IoPiece> local;
-    std::vector<mpi::IoPiece> received;
+    received.clear();
     {
       PhaseScope scope(ctx, me, prof::Phase::shuffle_inter);
       if (fd.is_aggregator()) {
@@ -431,13 +436,19 @@ Status write_strided_coll(AdioFile& fd,
         }
       }
       if (me == my_leader) {
+        // merged ascends by agg_index, so one forward cursor serves the
+        // ascending aggregator scan.
+        auto merged_it = merged.begin();
         for (std::size_t a = 0; a < fd.aggregators.size(); ++a) {
           if (!overlaps(node_hull[my_leader_index], window(a, round))) {
             continue;
           }
+          while (merged_it != merged.end() && merged_it->agg_index < a) {
+            ++merged_it;
+          }
           std::vector<mpi::IoPiece> pieces;
-          if (const auto it = merged.find(a); it != merged.end()) {
-            pieces = std::move(it->second);
+          if (merged_it != merged.end() && merged_it->agg_index == a) {
+            pieces = std::move(merged_it->items);
           }
           const int agg_rank = fd.aggregators[a];
           if (agg_rank == me) {

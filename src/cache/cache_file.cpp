@@ -344,17 +344,17 @@ std::optional<DataView> CacheFile::try_read(const Extent& global) {
   auto it = extent_map_.lower_bound(cursor);
   if (it != extent_map_.begin()) {
     auto prev = std::prev(it);
-    if (prev->first + prev->second.length > cursor) it = prev;
+    if (prev->offset + prev->extent.length > cursor) it = prev;
   }
   while (cursor < global.end()) {
-    if (it == extent_map_.end() || it->first > cursor) {
+    if (it == extent_map_.end() || it->offset > cursor) {
       ++stats_.read_misses;
       return std::nullopt;  // gap: extent not fully cached
     }
-    const Offset skip = cursor - it->first;
+    const Offset skip = cursor - it->offset;
     const Offset take =
-        std::min(global.end(), it->first + it->second.length) - cursor;
-    runs.emplace_back(it->second.cache_offset + skip, take);
+        std::min(global.end(), it->offset + it->extent.length) - cursor;
+    runs.emplace_back(it->extent.cache_offset + skip, take);
     cursor += take;
     ++it;
   }

@@ -1,5 +1,8 @@
 #include "cache/journal.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace e10::cache {
 namespace {
 
@@ -63,29 +66,64 @@ std::vector<std::uint64_t> scan_commit_records(const DataView& bytes) {
   return seqs;
 }
 
+const CacheExtent& ExtentMap::at(Offset offset) const {
+  const const_iterator it = lower_bound(offset);
+  if (it == entries_.end() || it->offset != offset) {
+    throw std::out_of_range("ExtentMap::at: no extent starts at offset " +
+                            std::to_string(offset));
+  }
+  return it->extent;
+}
+
 void apply_extent(ExtentMap& map, const Extent& global, Offset cache_offset,
                   std::uint64_t seq) {
-  auto it = map.lower_bound(global.offset);
-  if (it != map.begin()) {
-    auto prev = std::prev(it);
-    if (prev->first + prev->second.length > global.offset) it = prev;
+  std::vector<ExtentMap::Entry>& entries = map.entries_;
+  auto first = std::lower_bound(
+      entries.begin(), entries.end(), global.offset,
+      [](const ExtentMap::Entry& e, Offset o) { return e.offset < o; });
+  if (first != entries.begin()) {
+    const auto prev = std::prev(first);
+    if (prev->offset + prev->extent.length > global.offset) first = prev;
   }
-  while (it != map.end() && it->first < global.end()) {
-    const Offset start = it->first;
-    const CacheExtent old = it->second;
-    it = map.erase(it);
+
+  // Entries are non-overlapping, so only the first overlapped entry can
+  // stick out on the left and only the last one on the right; everything
+  // between is fully shadowed. Collect the surviving fragments, then
+  // replace the whole overlapped run [first, last) in one splice.
+  ExtentMap::Entry replacement[3];
+  std::size_t n = 0;
+  auto last = first;
+  while (last != entries.end() && last->offset < global.end()) {
+    const Offset start = last->offset;
+    const CacheExtent& old = last->extent;
     if (start < global.offset) {
-      map.emplace(start,
-                  CacheExtent{old.cache_offset, global.offset - start,
-                              old.seq});
+      replacement[n++] = ExtentMap::Entry{
+          start,
+          CacheExtent{old.cache_offset, global.offset - start, old.seq}};
     }
-    if (start + old.length > global.end()) {
-      map.emplace(global.end(),
-                  CacheExtent{old.cache_offset + (global.end() - start),
-                              start + old.length - global.end(), old.seq});
+    ++last;
+  }
+  replacement[n++] = ExtentMap::Entry{
+      global.offset, CacheExtent{cache_offset, global.length, seq}};
+  if (last != first) {
+    const ExtentMap::Entry& back = *std::prev(last);
+    if (back.offset + back.extent.length > global.end()) {
+      replacement[n++] = ExtentMap::Entry{
+          global.end(),
+          CacheExtent{back.extent.cache_offset + (global.end() - back.offset),
+                      back.offset + back.extent.length - global.end(),
+                      back.extent.seq}};
     }
   }
-  map.emplace(global.offset, CacheExtent{cache_offset, global.length, seq});
+
+  const auto overlapped = static_cast<std::size_t>(last - first);
+  if (overlapped >= n) {
+    std::copy(replacement, replacement + n, first);
+    entries.erase(first + static_cast<std::ptrdiff_t>(n), last);
+  } else {
+    std::copy(replacement, replacement + overlapped, first);
+    entries.insert(last, replacement + overlapped, replacement + n);
+  }
 }
 
 }  // namespace e10::cache

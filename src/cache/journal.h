@@ -14,8 +14,8 @@
 // extent whose sequence number was never committed.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "common/dataview.h"
@@ -58,8 +58,42 @@ struct CacheExtent {
 
 /// Global-file offset -> cached extent. Later writes of the same range
 /// shadow earlier ones (the map keeps the freshest copy, like the
-/// log-structured cache itself).
-using ExtentMap = std::map<Offset, CacheExtent>;
+/// log-structured cache itself). Stored as a flat vector of entries sorted
+/// by offset, non-overlapping by construction: lookups binary-search and
+/// read sequentially instead of chasing red-black tree nodes, and
+/// apply_extent replaces the overlapped run with one splice instead of a
+/// per-fragment erase/emplace churn. Iteration order (ascending offset)
+/// matches the std::map it replaces.
+class ExtentMap {
+ public:
+  struct Entry {
+    Offset offset = 0;
+    CacheExtent extent;
+  };
+  using const_iterator = std::vector<Entry>::const_iterator;
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// First entry with offset >= `offset` (std::map::lower_bound shape).
+  [[nodiscard]] const_iterator lower_bound(Offset offset) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), offset,
+        [](const Entry& entry, Offset o) { return entry.offset < o; });
+  }
+
+  /// The extent starting exactly at `offset`; throws std::out_of_range
+  /// when no entry starts there (std::map::at shape).
+  [[nodiscard]] const CacheExtent& at(Offset offset) const;
+
+ private:
+  friend void apply_extent(ExtentMap& map, const Extent& global,
+                           Offset cache_offset, std::uint64_t seq);
+  std::vector<Entry> entries_;
+};
 
 /// Applies one write to the map, splitting and shadowing older overlapping
 /// entries. Shared between the live write path and crash-recovery replay so

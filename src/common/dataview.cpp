@@ -175,48 +175,104 @@ Offset DataView::origin() const {
   return segments_[0].origin;
 }
 
-void ByteStore::erase_range(Offset begin, Offset end) {
-  // Find the first segment that could overlap [begin, end).
-  auto it = segments_.lower_bound(begin);
-  if (it != segments_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->first + prev->second.size() > begin) it = prev;
-  }
-  while (it != segments_.end() && it->first < end) {
-    const Offset start = it->first;
-    const Offset seg_end = start + it->second.size();
-    DataView view = std::move(it->second);
-    it = segments_.erase(it);
-    if (start < begin) {
-      it = segments_.emplace_hint(it, start, view.slice(0, begin - start));
-      ++it;
-    }
-    if (seg_end > end) {
-      it = segments_.emplace_hint(it, end,
-                                  view.slice(end - start, seg_end - end));
-    }
-  }
-}
-
 void ByteStore::write(Offset offset, const DataView& view) {
   if (view.empty()) return;
-  erase_range(offset, offset + view.size());
-  segments_.emplace(offset, view);
+  // In-order appends (offset at or past everything written so far) keep
+  // the log sorted and non-overlapping; anything else defers shadowing
+  // resolution to the next read.
+  if (!segments_.empty() && offset < max_end_) dirty_ = true;
+  segments_.push_back(Stored{offset, view, next_seq_++});
+  max_end_ = std::max(max_end_, offset + view.size());
+}
+
+void ByteStore::consolidate() const {
+  if (!dirty_) return;
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Stored& a, const Stored& b) {
+              return a.offset != b.offset ? a.offset < b.offset
+                                          : a.seq < b.seq;
+            });
+
+  // Sweep left to right. `active` is a max-heap (by seq) of the writes
+  // covering the cursor; the top is the visible one — the latest write
+  // wins, exactly the shadowing rule the eager map applied per write. A
+  // visible run is emitted only when the visible write changes, so a
+  // write that stays on top across a shadowed neighbour's start comes out
+  // as one segment, just as it would have under eager shadowing.
+  const auto by_seq = [](const Stored* a, const Stored* b) {
+    return a->seq < b->seq;
+  };
+  const auto end_of = [](const Stored* s) {
+    return s->offset + s->view.size();
+  };
+  std::vector<Stored> out;
+  out.reserve(segments_.size());
+  std::vector<const Stored*> active;
+  const Stored* visible = nullptr;
+  Offset vis_start = 0;
+  Offset cursor = 0;
+  const auto emit = [&](Offset upto) {
+    if (visible != nullptr && upto > vis_start) {
+      out.push_back(Stored{vis_start,
+                           visible->view.slice(vis_start - visible->offset,
+                                               upto - vis_start),
+                           visible->seq});
+    }
+  };
+  std::size_t i = 0;
+  const std::size_t n = segments_.size();
+  while (i < n || !active.empty()) {
+    while (!active.empty() && end_of(active.front()) <= cursor) {
+      std::pop_heap(active.begin(), active.end(), by_seq);
+      active.pop_back();
+    }
+    if (active.empty()) {
+      if (i >= n) break;
+      emit(cursor);
+      visible = nullptr;
+      cursor = std::max(cursor, segments_[i].offset);  // skip unwritten gap
+    }
+    while (i < n && segments_[i].offset <= cursor) {
+      active.push_back(&segments_[i]);
+      std::push_heap(active.begin(), active.end(), by_seq);
+      ++i;
+    }
+    while (!active.empty() && end_of(active.front()) <= cursor) {
+      std::pop_heap(active.begin(), active.end(), by_seq);
+      active.pop_back();
+    }
+    if (active.empty()) continue;
+    const Stored* top = active.front();
+    if (top != visible) {
+      emit(cursor);
+      visible = top;
+      vis_start = cursor;
+    }
+    Offset next = end_of(top);
+    if (i < n) next = std::min(next, segments_[i].offset);
+    cursor = next;
+  }
+  emit(cursor);
+  segments_ = std::move(out);
+  dirty_ = false;
 }
 
 DataView ByteStore::read(Offset offset, Offset length) const {
   if (length <= 0) return DataView();
+  consolidate();
   std::vector<DataView> parts;
   Offset cursor = offset;
   const Offset end = offset + length;
-  auto it = segments_.lower_bound(offset);
+  auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), offset,
+      [](const Stored& s, Offset o) { return s.offset < o; });
   if (it != segments_.begin()) {
     auto prev = std::prev(it);
-    if (prev->first + prev->second.size() > offset) it = prev;
+    if (prev->offset + prev->view.size() > offset) it = prev;
   }
-  for (; it != segments_.end() && it->first < end; ++it) {
-    const Offset start = it->first;
-    const Offset seg_end = start + it->second.size();
+  for (; it != segments_.end() && it->offset < end; ++it) {
+    const Offset start = it->offset;
+    const Offset seg_end = start + it->view.size();
     if (seg_end <= cursor) continue;
     if (start > cursor) {
       // Unwritten gap reads as zeros.
@@ -226,7 +282,7 @@ DataView ByteStore::read(Offset offset, Offset length) const {
     }
     const Offset lo = std::max(start, cursor);
     const Offset hi = std::min(seg_end, end);
-    parts.push_back(it->second.slice(lo - start, hi - lo));
+    parts.push_back(it->view.slice(lo - start, hi - lo));
     cursor = hi;
   }
   if (cursor < end) {
@@ -238,19 +294,17 @@ DataView ByteStore::read(Offset offset, Offset length) const {
 }
 
 std::byte ByteStore::byte_at(Offset pos) const {
-  auto it = segments_.upper_bound(pos);
+  consolidate();
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), pos,
+      [](Offset o, const Stored& s) { return o < s.offset; });
   if (it == segments_.begin()) return std::byte{0};
   --it;
-  if (pos < it->first + it->second.size()) {
-    return it->second.byte_at(pos - it->first);
+  if (pos < it->offset + it->view.size()) {
+    return it->view.byte_at(pos - it->offset);
   }
   return std::byte{0};
 }
 
-Offset ByteStore::extent_end() const {
-  if (segments_.empty()) return 0;
-  const auto& last = *segments_.rbegin();
-  return last.first + last.second.size();
-}
 
 }  // namespace e10

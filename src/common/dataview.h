@@ -13,7 +13,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -88,6 +87,18 @@ class DataView {
 
 /// A sparse byte store: the in-memory model of one file's content, shared by
 /// the PFS and local-FS simulators and by the reference model in tests.
+///
+/// Log-structured flat storage: a write appends to a plain vector in O(1).
+/// Appends that extend the file in offset order (the cache data file, the
+/// journals, most server-side streams) keep the vector sorted and
+/// non-overlapping; an out-of-order or overlapping write just marks the
+/// store dirty, and the first subsequent read runs one O(k log k) sweep
+/// that sorts the log and resolves shadowing (later writes win) into
+/// non-overlapping segments. This replaced a std::map keyed by offset: the
+/// interleaved aggregator flush pattern made per-write tree surgery — and,
+/// worse, positional inserts in a naive sorted vector — the top cost of
+/// the whole write benchmark, while the log append is free and the sweep
+/// runs once per write burst.
 class ByteStore {
  public:
   /// Writes `view` at `offset`, replacing anything underneath.
@@ -100,19 +111,36 @@ class ByteStore {
   std::byte byte_at(Offset pos) const;
 
   /// Highest written offset + 1 (the file size if never truncated larger).
-  Offset extent_end() const;
+  Offset extent_end() const { return max_end_; }
 
   /// Total number of distinct stored segments (for tests).
-  std::size_t segment_count() const { return segments_.size(); }
+  std::size_t segment_count() const {
+    consolidate();
+    return segments_.size();
+  }
 
-  void clear() { segments_.clear(); }
+  void clear() {
+    segments_.clear();
+    dirty_ = false;
+    max_end_ = 0;
+    next_seq_ = 0;
+  }
 
  private:
-  // Keyed by start offset; segments never overlap. A map keeps updates
-  // O(log n) — benchmark-scale files hold thousands of segments.
-  std::map<Offset, DataView> segments_;
+  struct Stored {
+    Offset offset = 0;
+    DataView view;
+    std::uint64_t seq = 0;  // insertion order; higher shadows lower
+  };
 
-  void erase_range(Offset begin, Offset end);
+  /// Sorts the write log and resolves shadowing into non-overlapping
+  /// segments (ascending offset). No-op when the store is clean.
+  void consolidate() const;
+
+  mutable std::vector<Stored> segments_;
+  mutable bool dirty_ = false;
+  Offset max_end_ = 0;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace e10

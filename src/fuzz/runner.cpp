@@ -254,6 +254,7 @@ Execution execute(const Scenario& s, Time crash_at, bool check_concurrency) {
   }
   ex.report.faults_injected = p.faults.stats().injected;
   ex.report.fault_crashes = p.faults.stats().crashes;
+  ex.report.engine_stats = p.engine.stats();
   return ex;
 }
 
@@ -275,7 +276,11 @@ std::string RunReport::to_text() const {
      << " fault_crashes=" << fault_crashes
      << " recovered_extents=" << recovered_extents
      << " recovered_bytes=" << recovered_bytes
-     << " journal_extents_checked=" << journal_extents_checked;
+     << " journal_extents_checked=" << journal_extents_checked
+     << " engine_events=" << engine_stats.events
+     << " engine_switches=" << engine_stats.switches
+     << " engine_spawned=" << engine_stats.spawned
+     << " engine_ready_hwm=" << engine_stats.max_ready_depth;
   return os.str();
 }
 

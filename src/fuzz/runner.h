@@ -25,6 +25,7 @@
 
 #include "common/units.h"
 #include "fuzz/scenario.h"
+#include "sim/engine.h"
 
 namespace e10::fuzz {
 
@@ -56,6 +57,11 @@ struct RunReport {
   std::uint64_t recovered_extents = 0;
   Offset recovered_bytes = 0;
   std::uint64_t journal_extents_checked = 0;
+  /// Scheduler self-metrics for the whole run (main pass + any recovery
+  /// pass). Part of to_text(), so the determinism oracle catches scheduler
+  /// divergence — two runs agreeing on file bytes but not on event counts
+  /// took different paths to the same answer.
+  sim::EngineStats engine_stats;
 
   /// Canonical text form; byte-identical across identical runs.
   std::string to_text() const;

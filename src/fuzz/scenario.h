@@ -53,7 +53,10 @@ const char* bug_kind_name(BugKind bug);
 
 /// Bounds for Scenario::generate (the CLI's --max-ranks etc.).
 struct ScenarioLimits {
-  std::size_t max_nodes = 4;
+  /// Raised from 4 once the engine's allocation-free scheduler made large
+  /// worlds cheap (docs/performance.md): bigger rank counts exercise the
+  /// round-robin aggregator placement and per-node cache sharing harder.
+  std::size_t max_nodes = 8;
   /// High enough that multi-rank nodes (and with them the two-level
   /// exchange's intra-node gather paths) are routinely exercised.
   std::size_t max_ranks_per_node = 8;

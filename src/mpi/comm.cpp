@@ -70,6 +70,16 @@ std::shared_ptr<const std::vector<std::any>> Comm::run_collective(
   return state_->collective(rank_, kind, std::move(contribution), bytes);
 }
 
+void Comm::alltoall_counts(const std::vector<Offset>& send,
+                           std::vector<Offset>& recv) const {
+  state_->alltoall_counts(rank_, send, recv);
+}
+
+void Comm::alltoall_counts(const std::vector<std::pair<int, Offset>>& send,
+                           std::vector<Offset>* recv) const {
+  state_->alltoall_counts_sparse(rank_, send, recv);
+}
+
 Comm Comm::split(int color, int key) const {
   int new_rank = -1;
   auto child = state_->split_child(rank_, color, key, &new_rank);
@@ -259,56 +269,161 @@ Time CommState::collective_cost(Comm::Kind kind, Offset max_bytes) const {
   return 0;
 }
 
-std::shared_ptr<CommState::CollOp> CommState::join_collective(
-    int rank, Comm::Kind kind, std::any contribution, Offset bytes) {
+CommState::CollOp& CommState::collective_slot(int rank, Comm::Kind kind) {
   const std::uint64_t gen = coll_seq_[static_cast<std::size_t>(rank)]++;
-  auto it = coll_ops_.find(gen);
-  if (it == coll_ops_.end()) {
-    auto op = std::make_shared<CollOp>(engine_);
-    op->contributions.resize(static_cast<std::size_t>(size()));
-    op->kind = kind;
-    ++coll_ops_started_;
-    it = coll_ops_.emplace(gen, std::move(op)).first;
+  if (gen < coll_base_) {
+    throw std::logic_error("collective slot retired before all ranks joined");
   }
-  const std::shared_ptr<CollOp> op = it->second;
-  if (op->kind != kind) {
+  const std::size_t idx = static_cast<std::size_t>(gen - coll_base_);
+  if (idx > coll_ops_.size()) {
+    // A rank can only reach sequence g after joining g-1 itself, so slots
+    // are created densely in order; a gap means sequence corruption.
+    throw std::logic_error("collective sequence gap on comm '" + name_ + "'");
+  }
+  if (idx == coll_ops_.size()) {
+    coll_ops_.emplace_back(engine_);
+    coll_ops_.back().kind = kind;
+    ++coll_ops_started_;
+  }
+  CollOp& op = coll_ops_[idx];
+  if (op.kind != kind) {
     throw std::logic_error(
         "collective mismatch on comm '" + name_ +
         "': ranks issued different collective operations at the same step");
   }
-  op->contributions[static_cast<std::size_t>(rank)] = std::move(contribution);
-  op->max_arrival = std::max(op->max_arrival, engine_.now());
-  op->max_bytes = std::max(op->max_bytes, bytes);
-  ++op->arrived;
-  if (op->arrived == static_cast<std::size_t>(size())) {
+  return op;
+}
+
+void CommState::complete_arrival(CollOp& op, Offset bytes) {
+  op.max_arrival = std::max(op.max_arrival, engine_.now());
+  op.max_bytes = std::max(op.max_bytes, bytes);
+  ++op.arrived;
+  if (op.arrived == static_cast<std::size_t>(size())) {
     // Last arriver: everyone leaves at max arrival + modeled tree cost.
-    const Time release = op->max_arrival + collective_cost(kind, op->max_bytes);
-    op->result = std::make_shared<std::vector<std::any>>(
-        std::move(op->contributions));
+    const Time release =
+        op.max_arrival + collective_cost(op.kind, op.max_bytes);
+    if (!op.typed) {
+      op.result = std::make_shared<std::vector<std::any>>(
+          std::move(op.contributions));
+    }
     // Every released participant was gated on the last arriver — the
     // collective straggler edge the critical-path walk follows.
     if (sim::CausalObserver* causal = engine_.causal_observer();
         causal != nullptr && engine_.in_process()) {
-      op->cause = causal->emit(sim::EdgeKind::collective, engine_.current(),
-                               release);
+      op.cause = causal->emit(sim::EdgeKind::collective, engine_.current(),
+                              release);
     }
-    op->release.set_at(release);
-    coll_ops_.erase(gen);  // joined ranks hold shared_ptrs
+    op.release.set_at(release);
+  }
+}
+
+void CommState::await_release(CollOp& op) {
+  const Time before = engine_.now();
+  op.release.wait();
+  if (sim::CausalObserver* causal = engine_.causal_observer();
+      causal != nullptr && op.cause != 0 && engine_.now() > before) {
+    causal->ack(op.cause, engine_.current(), engine_.now());
+  }
+}
+
+void CommState::depart(CollOp& op) {
+  ++op.departed;
+  const auto p = static_cast<std::size_t>(size());
+  // Ranks depart op g before joining g+1, so full departure happens in
+  // sequence order and only the front ever retires.
+  while (!coll_ops_.empty() && coll_ops_.front().departed == p) {
+    if (coll_ops_.front().typed) {
+      counts_pool_.push_back(std::move(coll_ops_.front().counts));
+    }
+    coll_ops_.pop_front();
+    ++coll_base_;
+  }
+}
+
+std::vector<CommState::CountEntry> CommState::acquire_counts() {
+  if (!counts_pool_.empty()) {
+    std::vector<CountEntry> counts = std::move(counts_pool_.back());
+    counts_pool_.pop_back();
+    counts.clear();
+    return counts;
+  }
+  return {};
+}
+
+CommState::CollOp& CommState::join_counts(int rank) {
+  CollOp& op = collective_slot(rank, Comm::Kind::alltoall);
+  if (op.arrived == 0) {
+    op.typed = true;
+    op.counts = acquire_counts();
+  } else if (!op.typed) {
+    throw std::logic_error("collective mismatch on comm '" + name_ +
+                           "': typed and generic alltoall at the same step");
   }
   return op;
 }
 
+void CommState::extract_counts(const CollOp& op, int rank,
+                               std::vector<Offset>& recv) {
+  recv.assign(static_cast<std::size_t>(size()), 0);
+  for (const CountEntry& entry : op.counts) {
+    if (entry.dst == rank) {
+      recv[static_cast<std::size_t>(entry.src)] = entry.bytes;
+    }
+  }
+}
+
 std::shared_ptr<const std::vector<std::any>> CommState::collective(
     int rank, Comm::Kind kind, std::any contribution, Offset bytes) {
-  const std::shared_ptr<CollOp> op =
-      join_collective(rank, kind, std::move(contribution), bytes);
-  const Time before = engine_.now();
-  op->release.wait();
-  if (sim::CausalObserver* causal = engine_.causal_observer();
-      causal != nullptr && op->cause != 0 && engine_.now() > before) {
-    causal->ack(op->cause, engine_.current(), engine_.now());
+  CollOp& op = collective_slot(rank, kind);
+  if (op.typed) {
+    throw std::logic_error("collective mismatch on comm '" + name_ +
+                           "': typed and generic alltoall at the same step");
   }
-  return op->result;
+  if (op.arrived == 0) {
+    op.contributions.resize(static_cast<std::size_t>(size()));
+  }
+  op.contributions[static_cast<std::size_t>(rank)] = std::move(contribution);
+  complete_arrival(op, bytes);
+  await_release(op);
+  std::shared_ptr<const std::vector<std::any>> result = op.result;
+  depart(op);
+  return result;
+}
+
+void CommState::alltoall_counts(int rank, const std::vector<Offset>& send,
+                                std::vector<Offset>& recv) {
+  const auto p = static_cast<std::size_t>(size());
+  if (send.size() != p) {
+    throw std::logic_error("alltoall: sendbuf size != comm size");
+  }
+  CollOp& op = join_counts(rank);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (send[i] != 0) {
+      op.counts.push_back(CountEntry{rank, static_cast<int>(i), send[i]});
+    }
+  }
+  complete_arrival(op, static_cast<Offset>(sizeof(Offset)) * size());
+  await_release(op);
+  extract_counts(op, rank, recv);
+  depart(op);
+}
+
+void CommState::alltoall_counts_sparse(
+    int rank, const std::vector<std::pair<int, Offset>>& send,
+    std::vector<Offset>* recv) {
+  CollOp& op = join_counts(rank);
+  for (const auto& [dst, bytes] : send) {
+    if (dst < 0 || dst >= size()) {
+      throw std::logic_error("alltoall: destination rank out of range");
+    }
+    op.counts.push_back(CountEntry{rank, dst, bytes});
+  }
+  complete_arrival(op, static_cast<Offset>(sizeof(Offset)) * size());
+  await_release(op);
+  if (recv != nullptr) {
+    extract_counts(op, rank, *recv);
+  }
+  depart(op);
 }
 
 std::shared_ptr<CommState> CommState::split_child(int caller_rank, int color,

@@ -119,6 +119,28 @@ class Comm {
     return out;
   }
 
+  /// Typed fast path for the per-round counts dissemination (the hottest
+  /// collective in the whole simulator — every exchange round of every
+  /// rank runs one). Virtual-time cost and synchronization semantics are
+  /// identical to alltoall<Offset>(send, sizeof(Offset)); the host-side
+  /// difference is that contributions land in a pooled sparse entry list
+  /// instead of per-rank std::any-boxed vector copies, and the result is
+  /// written into a caller-reused buffer (resized to size(), absent
+  /// entries zero).
+  void alltoall_counts(const std::vector<Offset>& send,
+                       std::vector<Offset>& recv) const;
+
+  /// Sparse variant: `send` holds this rank's nonzero (destination rank,
+  /// byte count) pairs — the caller usually knows them directly from its
+  /// round plan; destinations must be unique within one call — and
+  /// `recv`, when non-null, receives the dense
+  /// per-source counts. Passing nullptr skips result extraction entirely
+  /// (a rank that is not an aggregator never reads its counts), which is
+  /// a pure host-side shortcut: the rank still participates in, and is
+  /// charged for, the collective exactly as in the dense form.
+  void alltoall_counts(const std::vector<std::pair<int, Offset>>& send,
+                       std::vector<Offset>* recv) const;
+
   template <typename T>
   T bcast(const T& value, int root, Offset bytes = sizeof(T)) const {
     auto contribs = run_collective(Kind::bcast, std::any(value), bytes);
@@ -194,6 +216,12 @@ class CommState {
   std::shared_ptr<const std::vector<std::any>> collective(
       int rank, Comm::Kind kind, std::any contribution, Offset bytes);
 
+  void alltoall_counts(int rank, const std::vector<Offset>& send,
+                       std::vector<Offset>& recv);
+  void alltoall_counts_sparse(int rank,
+                              const std::vector<std::pair<int, Offset>>& send,
+                              std::vector<Offset>* recv);
+
   std::shared_ptr<CommState> split_child(int caller_rank, int color, int key,
                                          int* new_rank);
 
@@ -219,13 +247,25 @@ class CommState {
     std::deque<PendingMsg> unexpected;
     std::deque<PendingRecv> posted;
   };
+  /// One nonzero cell of a typed alltoall's counts matrix.
+  struct CountEntry {
+    int src = 0;
+    int dst = 0;
+    Offset bytes = 0;
+  };
+
   struct CollOp {
     explicit CollOp(sim::Engine& engine) : release(engine) {}
     std::vector<std::any> contributions;
+    /// Typed alltoall_counts deposits (sparse, deposit order); empty
+    /// unless `typed`. Recycled through counts_pool_ on retirement.
+    std::vector<CountEntry> counts;
     std::size_t arrived = 0;
+    std::size_t departed = 0;
     Time max_arrival = 0;
     Offset max_bytes = 0;
     Comm::Kind kind = Comm::Kind::barrier;
+    bool typed = false;
     sim::SimEvent release;
     std::shared_ptr<std::vector<std::any>> result;
     sim::CausalToken cause = 0;  // last arriver's release emission
@@ -233,8 +273,22 @@ class CommState {
 
   static bool matches(const PendingRecv& recv, const Packet& packet);
   Time collective_cost(Comm::Kind kind, Offset max_bytes) const;
-  std::shared_ptr<CollOp> join_collective(int rank, Comm::Kind kind,
-                                          std::any contribution, Offset bytes);
+  /// Finds or creates the caller's next collective slot (advancing its
+  /// sequence number) and checks operation agreement across ranks.
+  CollOp& collective_slot(int rank, Comm::Kind kind);
+  /// Arrival bookkeeping after the caller deposited its contribution; the
+  /// last arriver schedules the release and seals the result.
+  void complete_arrival(CollOp& op, Offset bytes);
+  /// Blocks until the op releases; records the straggler causal edge.
+  void await_release(CollOp& op);
+  /// Departure bookkeeping: the last leaver retires the op (ops retire
+  /// strictly in sequence order, so only the deque front ever pops).
+  void depart(CollOp& op);
+  /// Checks out a cleared entry list (pooled capacity) for a typed op.
+  std::vector<CountEntry> acquire_counts();
+  /// Shared join/extract core of the dense and sparse typed alltoalls.
+  CollOp& join_counts(int rank);
+  void extract_counts(const CollOp& op, int rank, std::vector<Offset>& recv);
 
   sim::Engine& engine_;
   net::Fabric& fabric_;
@@ -242,9 +296,16 @@ class CommState {
   MpiParams params_;
   std::string name_;
   std::vector<RankQueues> queues_;
-  // Per-rank collective sequence numbers and in-flight ops by sequence.
+  // Per-rank collective sequence numbers; in-flight ops live in a deque
+  // indexed by (sequence - coll_base_). Ranks join ops in sequence order
+  // and ops retire in sequence order, so the window is dense: no per-op
+  // tree nodes or shared_ptr control blocks, and deque references stay
+  // stable while ranks wait inside an op.
   std::vector<std::uint64_t> coll_seq_;
-  std::map<std::uint64_t, std::shared_ptr<CollOp>> coll_ops_;
+  std::deque<CollOp> coll_ops_;
+  std::uint64_t coll_base_ = 0;
+  // Retired typed-alltoall entry lists awaiting reuse.
+  std::vector<std::vector<CountEntry>> counts_pool_;
   // Children created by split/dup at a given collective sequence.
   std::map<std::uint64_t, std::map<int, std::shared_ptr<CommState>>> children_;
   std::uint64_t p2p_messages_ = 0;

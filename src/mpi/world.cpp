@@ -17,6 +17,9 @@ World::World(sim::Engine& engine, net::Fabric& fabric, Topology topology,
 }
 
 void World::launch(std::function<void(Comm)> rank_main) {
+  // One process table chunk span for the whole world up front; at
+  // bench scale (512-8192 ranks) the spawn loop then never grows it.
+  engine_.reserve_processes(static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
     const Comm comm = this->comm(r);
     engine_.spawn("rank-" + std::to_string(r),

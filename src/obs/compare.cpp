@@ -14,6 +14,11 @@ struct Point {
   double io_time_s = 0.0;
   std::string checksum;  // empty = not recorded
   std::vector<std::pair<std::string, double>> phase_max_s;
+  /// Deterministic scheduler counters (derived "engine.*" keys). Unlike
+  /// io_time_s these carry no model jitter at all: the same build on the
+  /// same spec reproduces them exactly, so the gate compares them with no
+  /// threshold.
+  std::vector<std::pair<std::string, double>> engine_counters;
 };
 
 /// Normalized document: insertion-ordered key -> point.
@@ -55,6 +60,11 @@ Result<PointMap> from_run_report_array(const Json& doc) {
     Point point;
     point.io_time_s = io_time->as_number();
     point.checksum = config_str(*config, "content_checksum");
+    for (const auto& [name, value] : derived->members()) {
+      if (name.rfind("engine.", 0) == 0 && value.is_numeric()) {
+        point.engine_counters.emplace_back(name, value.as_number());
+      }
+    }
     if (const Json* phases = entry.find("phases");
         phases != nullptr && phases->is_object()) {
       for (const auto& [phase, row] : phases->members()) {
@@ -161,6 +171,22 @@ Result<CompareReport> compare_runs(const Json& baseline, const Json& candidate,
     }
     std::sort(diff.phase_deltas.begin(), diff.phase_deltas.end(),
               [](const auto& a, const auto& b) { return a.second > b.second; });
+    // Deterministic-counter gate: any engine.* counter present on both
+    // sides must match exactly — a drift means the scheduler did different
+    // work for the same spec, which io_time thresholds would absorb.
+    for (const auto& [name, base_value] : base.engine_counters) {
+      for (const auto& [cand_name, cand_value] : cand->engine_counters) {
+        if (cand_name != name) continue;
+        if (base_value != cand_value) {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf), "%s: %.0f -> %.0f", name.c_str(),
+                        base_value, cand_value);
+          diff.counter_mismatches.emplace_back(buf);
+        }
+        break;
+      }
+    }
+    if (!diff.counter_mismatches.empty()) diff.regression = true;
     if (diff.regression) ++report.regressions;
     if (diff.improved) ++report.improvements;
     if (diff.checksum_mismatch) report.checksum_mismatch = true;
@@ -208,6 +234,9 @@ std::string compare_table(const CompareReport& report,
         out += buf;
         ++shown;
       }
+    }
+    for (const std::string& mismatch : point.counter_mismatches) {
+      out += "    counter drift: " + mismatch + "\n";
     }
   }
   for (const std::string& key : report.missing_in_candidate) {

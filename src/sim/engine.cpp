@@ -8,12 +8,15 @@
 #include "sim/causal.h"
 #include "sim/concurrency.h"
 
-// ASan cannot see through makecontext/swapcontext on its own: a throw on a
-// fiber stack (ProcessCancelled unwinding) or data handed between fiber
-// stacks makes the runtime consult the wrong stack bounds and report false
+// ASan cannot see through fiber switches on its own: a throw on a fiber
+// stack (ProcessCancelled unwinding) or data handed between fiber stacks
+// makes the runtime consult the wrong stack bounds and report false
 // stack-buffer-overflow / stack-use-after-scope (google/sanitizers#189).
 // The __sanitizer fiber hooks announce every stack switch; without ASan
-// the wrappers below compile to nothing.
+// the wrappers below compile to nothing. Pooled stacks additionally need
+// an explicit unpoison on reuse: the previous occupant's frame redzones
+// stay poisoned after it exits, and the next fiber lays out different
+// frames over the same bytes.
 #if defined(__SANITIZE_ADDRESS__)
 #define E10_ASAN_FIBERS 1
 #elif defined(__has_feature)
@@ -25,17 +28,77 @@
 #define E10_ASAN_FIBERS 0
 #endif
 #if E10_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
+
+#if E10_FAST_FIBERS
+
+// Minimal sysv x86-64 context switch. swapcontext() is a poor fit for
+// cooperative fibers: every call makes a rt_sigprocmask syscall to
+// save/restore the signal mask and copies the full mcontext — at half a
+// million switches per sweep point that is pure overhead. The simulator
+// never touches signal state from simulated code, so a switch only has to
+// preserve what the sysv ABI says survives a call: rbp, rbx, r12-r15, the
+// SSE control/status word, and the x87 control word. Saved frame, from the
+// stored stack pointer upward:
+//
+//   sp +  0 : mxcsr (4 bytes) | x87 cw (2 bytes) | pad (2 bytes)
+//   sp +  8 : r15
+//   sp + 16 : r14
+//   sp + 24 : r13
+//   sp + 32 : r12
+//   sp + 40 : rbx
+//   sp + 48 : rbp
+//   sp + 56 : return address
+//
+// e10_ctx_swap(save_sp, load_sp) pushes that frame on the current stack,
+// publishes the resulting rsp through *save_sp, then adopts load_sp and
+// unwinds the same layout — so "returning" happens on the other stack.
+// Engine::prepare_fiber() forges the identical frame at the top of a fresh
+// fiber stack with the return-address slot aimed at Engine::trampoline,
+// which is how a first resume "returns" into the fiber body.
+extern "C" void e10_ctx_swap(void** save_sp, void* load_sp);
+__asm__(
+    ".text\n"
+    ".align 16\n"
+    ".globl e10_ctx_swap\n"
+    ".hidden e10_ctx_swap\n"
+    ".type e10_ctx_swap,@function\n"
+    "e10_ctx_swap:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  stmxcsr (%rsp)\n"
+    "  fnstcw 4(%rsp)\n"
+    "  movq %rsp, (%rdi)\n"
+    "  movq %rsi, %rsp\n"
+    "  ldmxcsr (%rsp)\n"
+    "  fldcw 4(%rsp)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n"
+    ".size e10_ctx_swap, .-e10_ctx_swap\n");
+
+#endif  // E10_FAST_FIBERS
 
 namespace e10::sim {
 
 namespace {
 
 #if E10_ASAN_FIBERS
-/// Call directly before swapcontext: `*fake` saves this side's fake-stack
-/// handle (nullptr `fake` = this fiber is exiting for good), bottom/size
-/// describe the destination stack.
+/// Call directly before the context switch: `*fake` saves this side's
+/// fake-stack handle (nullptr `fake` = this fiber is exiting for good),
+/// bottom/size describe the destination stack.
 void fiber_switch_begin(void** fake, const void* bottom, std::size_t size) {
   __sanitizer_start_switch_fiber(fake, bottom, size);
 }
@@ -46,9 +109,14 @@ void fiber_switch_end(void* fake, const void** from_bottom,
                       std::size_t* from_size) {
   __sanitizer_finish_switch_fiber(fake, from_bottom, from_size);
 }
+/// Clears poison left behind by a previous occupant of a recycled stack.
+void unpoison_stack(const void* bottom, std::size_t size) {
+  __asan_unpoison_memory_region(bottom, size);
+}
 #else
 void fiber_switch_begin(void**, const void*, std::size_t) {}
 void fiber_switch_end(void*, const void**, std::size_t*) {}
+void unpoison_stack(const void*, std::size_t) {}
 #endif
 
 /// The engine whose fiber is currently being started (trampoline target).
@@ -104,23 +172,65 @@ bool Engine::log_context(std::int64_t& now_ns, std::string& name) {
 }
 
 Engine::Process& Engine::proc(ProcessId pid) const {
-  if (pid >= processes_.size()) {
+  if (pid >= process_count_) {
     throw std::logic_error("unknown ProcessId");
   }
-  return *processes_[pid];
+  return chunks_[pid >> kChunkShift][pid & kChunkMask];
 }
 
-ProcessHandle Engine::spawn(std::string name, std::function<void()> body) {
-  auto process = std::make_unique<Process>();
-  Process& p = *process;
-  p.name = std::move(name);
-  p.id = processes_.size();
-  p.clock = current_ != nullptr ? current_->clock : sim_time_;
-  p.body = std::move(body);
-  p.state = Process::State::ready;
+Engine::Process& Engine::allocate_process() {
+  const std::size_t slot = process_count_;
+  if ((slot >> kChunkShift) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Process[]>(kChunkSize));
+  }
+  ++process_count_;
+  return chunks_[slot >> kChunkShift][slot & kChunkMask];
+}
+
+std::unique_ptr<char[]> Engine::acquire_stack() {
+  if (!stack_pool_.empty()) {
+    std::unique_ptr<char[]> stack = std::move(stack_pool_.back());
+    stack_pool_.pop_back();
+    unpoison_stack(stack.get(), kStackBytes);
+    ++stack_reuses_;
+    return stack;
+  }
   // Default-initialized (not zeroed) so pages are only touched when used.
-  p.stack.reset(new char[kStackBytes]);
+  return std::unique_ptr<char[]>(new char[kStackBytes]);
+}
+
+void Engine::release_stack(std::unique_ptr<char[]> stack) {
+  if (stack != nullptr) stack_pool_.push_back(std::move(stack));
+}
+
+void Engine::reserve_processes(std::size_t n) {
+  chunks_.reserve((n + kChunkSize - 1) / kChunkSize);
+  ready_.reserve(n);
+  stack_pool_.reserve(n);
+}
+
+void Engine::prepare_fiber(Process& p) {
   std::memcpy(p.stack.get(), &kStackCanary, sizeof(kStackCanary));
+#if E10_FAST_FIBERS
+  // Forge the e10_ctx_swap frame (layout documented at the asm above) at
+  // the 16-byte-aligned top of the stack, so the first switch into this
+  // fiber "returns" into trampoline() with the stack aligned exactly as
+  // the psABI guarantees at function entry (rsp % 16 == 8).
+  auto top = reinterpret_cast<std::uintptr_t>(p.stack.get()) + kStackBytes;
+  top &= ~std::uintptr_t{15};
+  char* frame = reinterpret_cast<char*>(top - 72);
+  std::memset(frame, 0, 72);
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  __asm__ volatile("stmxcsr %0" : "=m"(mxcsr));
+  __asm__ volatile("fnstcw %0" : "=m"(fcw));
+  std::memcpy(frame + 0, &mxcsr, sizeof(mxcsr));
+  std::memcpy(frame + 4, &fcw, sizeof(fcw));
+  void (*entry)() = &Engine::trampoline;
+  auto entry_addr = reinterpret_cast<std::uintptr_t>(entry);
+  std::memcpy(frame + 56, &entry_addr, sizeof(entry_addr));
+  p.stack_pointer = frame;
+#else
   if (getcontext(&p.context) != 0) {
     throw std::runtime_error("getcontext failed");
   }
@@ -128,14 +238,30 @@ ProcessHandle Engine::spawn(std::string name, std::function<void()> body) {
   p.context.uc_stack.ss_size = kStackBytes;
   p.context.uc_link = &engine_context_;
   makecontext(&p.context, &Engine::trampoline, 0);
-  processes_.push_back(std::move(process));
+#endif
+}
+
+ProcessHandle Engine::spawn(std::string&& name, SmallFn body) {
+  Process& p = allocate_process();
+  p.name = std::move(name);
+  p.id = process_count_ - 1;
+  p.clock = current_ != nullptr ? current_->clock : sim_time_;
+  p.body = std::move(body);
+  p.state = Process::State::ready;
+  p.stack = acquire_stack();
+  prepare_fiber(p);
   ++live_;
   insert_ready(p);
   return ProcessHandle(this, p.id);
 }
 
+ProcessHandle Engine::spawn(std::string_view name, SmallFn body) {
+  return spawn(std::string(name), std::move(body));
+}
+
 void Engine::insert_ready(Process& p) {
-  ready_.emplace(std::make_pair(p.clock, next_seq_++), &p);
+  ready_.push(p.clock, next_seq_++, &p);
+  if (ready_.size() > max_ready_depth_) max_ready_depth_ = ready_.size();
 }
 
 void Engine::resume(Process& p) {
@@ -146,7 +272,11 @@ void Engine::resume(Process& p) {
   g_active_engine = this;
   void* engine_fake_stack = nullptr;
   fiber_switch_begin(&engine_fake_stack, p.stack.get(), kStackBytes);
+#if E10_FAST_FIBERS
+  e10_ctx_swap(&engine_stack_pointer_, p.stack_pointer);
+#else
   swapcontext(&engine_context_, &p.context);
+#endif
   fiber_switch_end(engine_fake_stack, nullptr, nullptr);
   current_ = nullptr;
 }
@@ -156,7 +286,11 @@ void Engine::switch_to_engine() {
   void* fiber_fake_stack = nullptr;
   fiber_switch_begin(&fiber_fake_stack, asan_engine_stack_,
                      asan_engine_stack_size_);
+#if E10_FAST_FIBERS
+  e10_ctx_swap(&self->stack_pointer, engine_stack_pointer_);
+#else
   swapcontext(&self->context, &engine_context_);
+#endif
   fiber_switch_end(fiber_fake_stack, nullptr, nullptr);
   // Resumed: the scheduler restored current_/sim_time_ for us.
   if (self->cancelled) throw ProcessCancelled{};
@@ -201,7 +335,12 @@ void Engine::finish_current() {
   // Final departure from this stack: a null save slot tells ASan to
   // release the fiber's fake stack instead of parking it.
   fiber_switch_begin(nullptr, asan_engine_stack_, asan_engine_stack_size_);
+#if E10_FAST_FIBERS
+  void* discard = nullptr;
+  e10_ctx_swap(&discard, engine_stack_pointer_);
+#else
   swapcontext(&p.context, &engine_context_);
+#endif
   // Never reached: finished fibers are not resumed.
   std::abort();
 }
@@ -215,19 +354,18 @@ void Engine::run() {
   stopped_ = false;
   std::exception_ptr error;
   while (!ready_.empty()) {
-    auto it = ready_.begin();
     // Crash point: nothing scheduled at or after the stop time runs. The
     // break (not a throw) leaves surviving state intact for a recovery pass.
-    if (stop_at_.has_value() && it->first.first >= *stop_at_) {
+    if (stop_at_.has_value() && ready_.top().time >= *stop_at_) {
       stopped_ = true;
       break;
     }
-    Process* p = it->second;
-    ready_.erase(it);
+    Process* p = ready_.pop().item;
+    ++events_;
     resume(*p);
     if (p->state == Process::State::finished) {
       --live_;
-      p->stack.reset();
+      release_stack(std::move(p->stack));
       if (p->error != nullptr) {
         error = p->error;
         p->error = nullptr;
@@ -255,14 +393,15 @@ void Engine::run() {
   if (live_ > 0) {
     std::ostringstream os;
     os << "deadlock: " << live_ << " live process(es), none runnable:";
-    for (const auto& p : processes_) {
-      if (p->state == Process::State::blocked) {
-        os << " [" << p->name << " blocked on "
-           << (p->block_reason != nullptr ? p->block_reason : "?") << " at t="
-           << format_time(p->clock);
+    for (ProcessId pid = 0; pid < process_count_; ++pid) {
+      const Process& p = proc(pid);
+      if (p.state == Process::State::blocked) {
+        os << " [" << p.name << " blocked on "
+           << (p.block_reason != nullptr ? p.block_reason : "?") << " at t="
+           << format_time(p.clock);
         if (concurrency_observer_ != nullptr) {
           const std::string locks =
-              concurrency_observer_->describe_process(p->id);
+              concurrency_observer_->describe_process(p.id);
           if (!locks.empty()) os << " " << locks;
         }
         os << "]";
@@ -284,7 +423,7 @@ void Engine::delay(Time d) {
   // running without a scheduler round trip. Ties still yield (FIFO). An
   // armed crash point due at or before the new clock forces the slow path
   // so the scheduler can stop the run instead of sailing past it.
-  if ((ready_.empty() || ready_.begin()->first.first > p.clock) &&
+  if ((ready_.empty() || ready_.top().time > p.clock) &&
       !(stop_at_.has_value() && p.clock >= *stop_at_)) {
     sim_time_ = p.clock;
     return;
@@ -345,12 +484,12 @@ void Engine::cancel_all() {
   if (current_ != nullptr) {
     throw std::logic_error("Engine::cancel_all from a simulated process");
   }
-  for (const auto& process : processes_) {
-    Process& p = *process;
+  for (ProcessId pid = 0; pid < process_count_; ++pid) {
+    Process& p = proc(pid);
     if (p.state == Process::State::finished) continue;
     p.cancelled = true;
     resume(p);  // unwinds via ProcessCancelled, returns finished
-    p.stack.reset();
+    release_stack(std::move(p.stack));
   }
   ready_.clear();
   live_ = 0;

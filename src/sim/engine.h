@@ -1,32 +1,54 @@
 // Deterministic discrete-event simulation (DES) engine.
 //
-// Simulated processes (MPI ranks, cache sync threads) are ucontext fibers
-// scheduled cooperatively on the caller's thread: the engine always resumes
-// the runnable process with the smallest (virtual time, sequence) key, so a
+// Simulated processes (MPI ranks, cache sync threads) are fibers scheduled
+// cooperatively on the caller's thread: the engine always resumes the
+// runnable process with the smallest (virtual time, sequence) key, so a
 // run is a deterministic function of the inputs and seeds. All blocking
 // primitives in sync.h / mailbox.h park the calling fiber through the same
 // switch. Fibers make a context switch a userspace register swap instead of
 // an OS thread handoff — the difference between simulating 512 ranks in
 // seconds versus minutes.
 //
+// Hot-path layout (docs/performance.md has the inventory and numbers):
+//   - ready queue: allocation-free binary min-heap (sim/ready_queue.h)
+//     preserving the exact (time, seq) FIFO order of the original
+//     std::map-based scheduler,
+//   - processes: chunked arena with stable addresses, indexed O(1) by
+//     ProcessId,
+//   - fiber stacks: pooled and recycled across process lifetimes,
+//   - process bodies: SmallFn (sim/small_fn.h) with a 128-byte inline
+//     buffer instead of std::function,
+//   - context switch: a ~10-instruction userspace register swap on
+//     x86-64 (no sigprocmask syscalls), with a ucontext fallback for
+//     other architectures (E10_FAST_FIBERS below).
+//
 // Virtual time only moves forward through explicit costs: Engine::delay()
 // (compute phases, modeled service times) and wake-up times passed to
 // make_ready() (message arrival, I/O completion).
 #pragma once
 
-#include <ucontext.h>
-
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/ready_queue.h"
+#include "sim/small_fn.h"
+
+// Fast userspace context switch: saves/restores only the sysv callee-saved
+// registers plus the FP control words. Everything this build targets is
+// x86-64 Linux; the ucontext fallback keeps other hosts working.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define E10_FAST_FIBERS 1
+#else
+#define E10_FAST_FIBERS 0
+#include <ucontext.h>
+#endif
 
 namespace e10::sim {
 
@@ -49,6 +71,25 @@ class DeadlockError : public std::runtime_error {
 /// Thrown inside a simulated process when the engine tears it down
 /// (destructor / error propagation). Process bodies must not swallow it.
 class ProcessCancelled {};
+
+/// Deterministic self-metrics: pure counts of scheduler activity, no wall
+/// clock anywhere (the wall-clock lint rule bans it in src/). Two runs of
+/// the same scenario produce identical numbers, which makes these counters
+/// usable as CI regression gates and fuzz determinism oracles where
+/// host-time measurements would flake.
+struct EngineStats {
+  /// Ready-queue pops dispatched by run() (excludes cancel_all teardown).
+  std::uint64_t events = 0;
+  /// Fiber resumes (run() dispatches + cancel_all unwinds).
+  std::uint64_t switches = 0;
+  /// Processes ever spawned.
+  std::uint64_t spawned = 0;
+  /// Peak ready-queue depth observed at insert.
+  std::uint64_t max_ready_depth = 0;
+  /// Spawns whose fiber stack came from the recycle pool (not a fresh
+  /// allocation).
+  std::uint64_t stack_reuses = 0;
+};
 
 /// Handle to a spawned process; join() blocks the calling process until the
 /// target finishes and advances the caller's clock to the finish time.
@@ -80,8 +121,20 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Creates a process whose body starts at the spawner's current time
-  /// (or at time 0 when spawned from outside run()).
-  ProcessHandle spawn(std::string name, std::function<void()> body);
+  /// (or at time 0 when spawned from outside run()). The rvalue overload
+  /// steals the name's storage; the string_view/char* overloads copy the
+  /// bytes exactly once. SmallFn keeps typical capture lists out of the
+  /// heap entirely.
+  ProcessHandle spawn(std::string&& name, SmallFn body);
+  ProcessHandle spawn(std::string_view name, SmallFn body);
+  ProcessHandle spawn(const char* name, SmallFn body) {
+    return spawn(std::string_view(name), std::move(body));
+  }
+
+  /// Pre-sizes the process arena, ready queue, and stack pool for n
+  /// processes. Optional — everything grows on demand — but a World that
+  /// knows its rank count can avoid mid-run growth entirely.
+  void reserve_processes(std::size_t n);
 
   /// Runs until no process is runnable. Rethrows the first exception a
   /// process body threw; throws DeadlockError if live processes remain
@@ -173,10 +226,22 @@ class Engine {
   std::size_t live_processes() const { return live_; }
 
   /// Total processes ever spawned (diagnostics / tests).
-  std::size_t spawned_processes() const { return processes_.size(); }
+  std::size_t spawned_processes() const { return process_count_; }
 
   /// Count of fiber switches performed (diagnostics / micro-bench).
   std::uint64_t switch_count() const { return switches_; }
+
+  /// Deterministic scheduler counters (see EngineStats). Safe to read at
+  /// any point; typically sampled after run() returns.
+  EngineStats stats() const {
+    EngineStats s;
+    s.events = events_;
+    s.switches = switches_;
+    s.spawned = process_count_;
+    s.max_ready_depth = max_ready_depth_;
+    s.stack_reuses = stack_reuses_;
+    return s;
+  }
 
   /// Fiber stack size; processes must stay within it.
   static constexpr std::size_t kStackBytes = 512 * 1024;
@@ -188,8 +253,14 @@ class Engine {
     Time clock = 0;
     enum class State { ready, running, blocked, finished } state = State::ready;
     const char* block_reason = nullptr;
-    std::function<void()> body;
+    SmallFn body;
+#if E10_FAST_FIBERS
+    /// Saved stack pointer while suspended (fast-switch frame on the
+    /// fiber's own stack).
+    void* stack_pointer = nullptr;
+#else
     ucontext_t context{};
+#endif
     std::unique_ptr<char[]> stack;
     bool cancelled = false;
     std::exception_ptr error;
@@ -198,26 +269,49 @@ class Engine {
     std::uint64_t finish_token = 0;
   };
 
+  // Arena geometry: processes live in fixed-size chunks so addresses stay
+  // stable as the table grows (the ready queue and current_ hold raw
+  // pointers) and a spawn never moves or reallocates existing processes.
+  static constexpr std::size_t kChunkShift = 6;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
   friend class ProcessHandle;
 
   Process& proc(ProcessId pid) const;
+  Process& allocate_process();
+  std::unique_ptr<char[]> acquire_stack();
+  void release_stack(std::unique_ptr<char[]> stack);
+  void prepare_fiber(Process& p);  // arms the trampoline on a fresh stack
   void insert_ready(Process& p);
   void resume(Process& p);         // engine context -> fiber
   void switch_to_engine();         // fiber -> engine context; rethrows cancel
-  void finish_current();           // fiber epilogue; never returns
+  [[noreturn]] void finish_current();  // fiber epilogue; never returns
   void cancel_all();
   static void trampoline();        // fiber entry (uses current_run_target)
 
-  std::vector<std::unique_ptr<Process>> processes_;
-  // Ready queue keyed by (virtual time, admission sequence).
-  std::map<std::pair<Time, std::uint64_t>, Process*> ready_;
+  std::vector<std::unique_ptr<Process[]>> chunks_;
+  std::size_t process_count_ = 0;
+  // Ready queue keyed by (virtual time, admission sequence); pops in the
+  // exact order the original std::map iterated (ready_queue.h).
+  ReadyQueue<Process*> ready_;
+  // Retired fiber stacks awaiting reuse by future spawns.
+  std::vector<std::unique_ptr<char[]>> stack_pool_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t switches_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t max_ready_depth_ = 0;
+  std::uint64_t stack_reuses_ = 0;
   Time sim_time_ = 0;
   std::optional<Time> stop_at_;
   bool stopped_ = false;
   Process* current_ = nullptr;
+#if E10_FAST_FIBERS
+  /// Engine-side saved stack pointer while a fiber runs.
+  void* engine_stack_pointer_ = nullptr;
+#else
   ucontext_t engine_context_{};
+#endif
   /// Engine-side stack bounds, learned at the first fiber entry; fibers
   /// report them to ASan when switching back (no-ops without ASan).
   const void* asan_engine_stack_ = nullptr;

@@ -1,0 +1,97 @@
+// Allocation-free scheduler ready queue: a binary min-heap keyed on
+// (virtual time, admission sequence).
+//
+// The seed engine kept runnable processes in a
+// std::map<std::pair<Time, uint64_t>, Process*>, paying one red-black-tree
+// node allocation per scheduling event — the single hottest allocation site
+// in the whole simulator (docs/performance.md). The heap stores entries
+// inline in one contiguous vector: pushes and pops are pointer-free
+// sift-up/sift-down over cache-line-friendly 24-byte entries, and the
+// backing storage is reused for the lifetime of the engine.
+//
+// Ordering contract (the scheduler equivalence suite asserts it): pop()
+// returns entries in exactly ascending (time, seq) order — identical to the
+// seed map's begin()/erase iteration. Keys are unique because every
+// admission gets a fresh sequence number, so the heap's internal layout
+// freedom can never surface as a pop-order difference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace e10::sim {
+
+template <typename T>
+class ReadyQueue {
+ public:
+  struct Entry {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    T item{};
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+    }
+  };
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Smallest (time, seq) entry; undefined when empty.
+  const Entry& top() const { return heap_.front(); }
+
+  void push(Time time, std::uint64_t seq, T item) {
+    heap_.push_back(Entry{time, seq, std::move(item)});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes and returns the smallest (time, seq) entry.
+  Entry pop() {
+    Entry out = std::move(heap_.front());
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = std::move(last);
+      sift_down(0);
+    }
+    return out;
+  }
+
+  /// Drops every entry; keeps the backing storage for reuse.
+  void clear() { heap_.clear(); }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[i] < heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t smallest = i;
+      if (heap_[left] < heap_[smallest]) smallest = left;
+      if (right < n && heap_[right] < heap_[smallest]) smallest = right;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace e10::sim

@@ -1,0 +1,116 @@
+// Move-only type-erased callable with a large inline buffer.
+//
+// Process bodies are lambdas capturing a handful of handles (a Comm, a
+// few pointers, a path string). std::function's small-buffer optimisation
+// tops out at two pointers on libstdc++, so nearly every Engine::spawn paid
+// a heap allocation just to park the capture. SmallFn erases the same
+// void() signature with a 128-byte inline buffer — every capture in the
+// tree fits — and falls back to the heap only for oversized callables, so
+// spawning a process allocates nothing in the common case.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace e10::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 128;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(std::move(other)); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->call(buffer_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroys the held callable (releasing captured state) and empties.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void* buffer);
+    void (*destroy)(void* buffer);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* buffer) { (*std::launder(static_cast<Fn*>(buffer)))(); },
+      [](void* buffer) { std::launder(static_cast<Fn*>(buffer))->~Fn(); },
+      [](void* dst, void* src) {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* buffer) { (**std::launder(static_cast<Fn**>(buffer)))(); },
+      [](void* buffer) { delete *std::launder(static_cast<Fn**>(buffer)); },
+      [](void* dst, void* src) {
+        Fn** from = std::launder(static_cast<Fn**>(src));
+        ::new (dst) Fn*(*from);
+        // Ownership moved to dst; nothing to destroy in src.
+      },
+  };
+
+  void move_from(SmallFn&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buffer_, other.buffer_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buffer_[kInlineBytes]{};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace e10::sim

@@ -135,6 +135,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   result.cache_case = spec.cache_case;
   result.workflow = run_workflow(platform, *workload, workflow);
   result.bandwidth_gib = result.workflow.bandwidth_gib;
+  result.engine_stats = platform.engine.stats();
   for (std::size_t p = 0; p < prof::kPhaseCount; ++p) {
     const auto phase = static_cast<prof::Phase>(p);
     result.breakdown[phase] = platform.profiler.max_over_ranks(phase);
@@ -194,8 +195,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   inputs.config.emplace_back("two_level", spec.two_level ? "on" : "off");
   // Output-content fingerprint: pipelined and synchronous runs of the same
   // spec must agree on it (CI asserts this).
-  inputs.config.emplace_back("content_checksum",
-                             content_fingerprint(platform.pfs, workflow));
+  result.content_checksum = content_fingerprint(platform.pfs, workflow);
+  inputs.config.emplace_back("content_checksum", result.content_checksum);
   inputs.config.emplace_back("ranks", std::to_string(platform.ranks()));
   inputs.config.emplace_back(
       "num_files", std::to_string(spec.workflow.num_files));
@@ -210,6 +211,18 @@ ExperimentResult run_experiment(const ExperimentSpec& spec,
   inputs.metrics = &platform.metrics;
   inputs.derived["perceived_bandwidth_gib"] = result.bandwidth_gib;
   inputs.derived["flush_overlap_ratio"] = result.flush_overlap_ratio;
+  // Engine self-metrics: deterministic scheduler counters (no wall clock),
+  // so the CI perf smoke job can gate on them exactly.
+  inputs.derived["engine.events"] =
+      static_cast<double>(result.engine_stats.events);
+  inputs.derived["engine.switches"] =
+      static_cast<double>(result.engine_stats.switches);
+  inputs.derived["engine.spawned"] =
+      static_cast<double>(result.engine_stats.spawned);
+  inputs.derived["engine.max_ready_depth"] =
+      static_cast<double>(result.engine_stats.max_ready_depth);
+  inputs.derived["engine.stack_reuses"] =
+      static_cast<double>(result.engine_stats.stack_reuses);
   inputs.derived["total_bytes"] =
       static_cast<double>(result.workflow.total_bytes);
   inputs.derived["io_time_s"] = units::to_seconds(result.workflow.io_time);

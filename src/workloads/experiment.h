@@ -14,6 +14,7 @@
 #include "fault/fault_plan.h"
 #include "obs/json.h"
 #include "prof/profiler.h"
+#include "sim/engine.h"
 #include "workloads/workflow.h"
 
 namespace e10::workloads {
@@ -93,6 +94,14 @@ struct ExperimentResult {
   double sync_coalesce_ratio = 0.0;
   double sync_flush_bandwidth_gib = 0.0;
   double sync_stream_overlap_ratio = 0.0;
+  /// Engine self-metrics for the whole run (sim::EngineStats): event and
+  /// switch counts, peak ready depth, spawn and stack-reuse totals. All
+  /// deterministic — same spec, same counters — so CI gates on them and
+  /// the bench layer derives host-side events/sec from them.
+  sim::EngineStats engine_stats;
+  /// Sampled FNV-1a fingerprint of the output files (also echoed in the
+  /// report config as "content_checksum").
+  std::string content_checksum;
   /// Machine-readable run report (config + phases + metrics + derived).
   obs::Json report;
   /// Chrome trace JSON; empty unless ExperimentSpec::trace was set.

@@ -194,6 +194,36 @@ TEST(Compare, EmptyDocumentsCannotVacuouslyPass) {
             std::string::npos);
 }
 
+TEST(Compare, EngineCounterDriftFailsExactlyEvenWithinThreshold) {
+  // engine.* derived counters are deterministic scheduler counts; a drift
+  // of even one event is a failure, no matter how small relative to the
+  // threshold — and io_time staying identical must not mask it.
+  const auto doc = [](double events) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), R"([
+      {"config": {"combo": "8_4m", "cache_case": "cache_enabled"},
+       "derived": {"io_time_s": 10.0, "engine.events": %f,
+                   "engine.switches": 500.0}}
+    ])",
+                  events);
+    return parse(buf);
+  };
+  const auto same = compare_runs(doc(1000.0), doc(1000.0), CompareOptions{});
+  ASSERT_TRUE(same.is_ok());
+  EXPECT_EQ(same.value().regressions, 0u);
+
+  const auto drift = compare_runs(doc(1000.0), doc(1001.0), CompareOptions{});
+  ASSERT_TRUE(drift.is_ok());
+  EXPECT_EQ(drift.value().regressions, 1u);
+  ASSERT_EQ(drift.value().points[0].counter_mismatches.size(), 1u);
+  EXPECT_NE(drift.value().points[0].counter_mismatches[0].find(
+                "engine.events"),
+            std::string::npos);
+  const std::string table = compare_table(drift.value(), CompareOptions{});
+  EXPECT_NE(table.find("counter drift"), std::string::npos);
+  EXPECT_NE(table.find("FAIL"), std::string::npos);
+}
+
 TEST(Compare, DisjointSweepsAreAnErrorNotAPass) {
   // Every baseline point missing from the candidate and vice versa: two
   // documents from different sweeps. A gate verdict over zero shared points
